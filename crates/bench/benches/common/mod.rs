@@ -1,0 +1,23 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Criterion measures *host* wall time. For the CPU backends that is the
+//! paper's measurement; for the simulated-GPU backends it measures the
+//! simulator (the modeled device time lives in the pipeline reports and is
+//! what the `repro` binary prints). Benches therefore default to the smoke
+//! suite so `cargo bench` completes quickly; set `TC_BENCH_SCALE=bench` for
+//! the full-size suite.
+
+use tc_gen::suite::SUITE_SEED;
+use tc_gen::{Scale, Seed};
+
+pub fn scale() -> Scale {
+    match std::env::var("TC_BENCH_SCALE").as_deref() {
+        Ok("bench") => Scale::Bench,
+        Ok("large") => Scale::Large,
+        _ => Scale::Smoke,
+    }
+}
+
+pub fn seed() -> Seed {
+    SUITE_SEED
+}

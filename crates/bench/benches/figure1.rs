@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 1: CPU vs simulated GPU along the Kronecker
+//! ladder (the scaling series of the paper's log–log plot).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_core::count::{count_triangles, Backend, GpuOptions};
+use tc_gen::suite::kronecker_ladder;
+use tc_simt::DeviceConfig;
+
+fn bench_figure1(c: &mut Criterion) {
+    let ladder = kronecker_ladder(common::scale(), common::seed());
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(10);
+    for item in &ladder {
+        group.bench_with_input(
+            BenchmarkId::new("cpu-forward", &item.name),
+            &item.graph,
+            |b, g| b.iter(|| count_triangles(g, Backend::CpuForward).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sim-gtx980", &item.name),
+            &item.graph,
+            |b, g| {
+                b.iter(|| {
+                    count_triangles(
+                        g,
+                        Backend::Gpu(GpuOptions::new(
+                            DeviceConfig::gtx_980().with_unlimited_memory(),
+                        )),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

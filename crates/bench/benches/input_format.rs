@@ -1,0 +1,32 @@
+//! Criterion bench for §III-A: counting from each input format, plus the
+//! two conversion directions.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tc_core::cpu::{count_forward, count_forward_adjacency};
+use tc_gen::suite::GraphSpec;
+use tc_graph::AdjacencyList;
+
+fn bench_input_format(c: &mut Criterion) {
+    let g = GraphSpec::LiveJournal.generate(common::scale(), common::seed());
+    let adj = AdjacencyList::from_edge_array(&g);
+    let mut group = c.benchmark_group("input-format");
+    group.sample_size(10);
+    group.bench_function("count-from-edge-array", |b| {
+        b.iter(|| count_forward(&g).unwrap())
+    });
+    group.bench_function("count-from-adjacency", |b| {
+        b.iter(|| count_forward_adjacency(&adj))
+    });
+    group.bench_function("convert-edge-to-adjacency", |b| {
+        b.iter(|| AdjacencyList::from_edge_array(&g).num_arcs())
+    });
+    group.bench_function("convert-adjacency-to-edge", |b| {
+        b.iter(|| adj.to_edge_array().num_arcs())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_input_format);
+criterion_main!(benches);

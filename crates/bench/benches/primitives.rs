@@ -1,0 +1,61 @@
+//! Criterion bench for the building blocks: the two-pointer merge variants
+//! (§III-D3, host-side) and the Thrust-substitute device primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_core::cpu::merge::{intersect_count, intersect_count_preliminary};
+use tc_simt::primitives::{exclusive_scan_u32, reduce_sum_u64, sort_u64};
+use tc_simt::{Device, DeviceConfig};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for len in [64usize, 1024, 16384] {
+        let a: Vec<u32> = (0..len as u32).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..len as u32).map(|x| x * 3).collect();
+        group.bench_with_input(BenchmarkId::new("final", len), &len, |bch, _| {
+            bch.iter(|| intersect_count(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("preliminary", len), &len, |bch, _| {
+            bch.iter(|| intersect_count_preliminary(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device-primitives");
+    group.sample_size(10);
+    let n = 100_000usize;
+    group.bench_function("sort_u64", |b| {
+        b.iter_with_setup(
+            || {
+                let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+                dev.preinit_context();
+                let data: Vec<u64> = (0..n as u64).rev().collect();
+                let buf = dev.htod_copy(&data).unwrap();
+                (dev, buf)
+            },
+            |(mut dev, buf)| {
+                sort_u64(&mut dev, &buf, n).unwrap();
+                dev.elapsed()
+            },
+        )
+    });
+    group.bench_function("reduce_sum_u64", |b| {
+        let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        dev.preinit_context();
+        let data: Vec<u64> = (0..n as u64).collect();
+        let buf = dev.htod_copy(&data).unwrap();
+        b.iter(|| reduce_sum_u64(&mut dev, &buf))
+    });
+    group.bench_function("exclusive_scan_u32", |b| {
+        let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        dev.preinit_context();
+        let data: Vec<u32> = vec![1; n];
+        let buf = dev.htod_copy(&data).unwrap();
+        b.iter(|| exclusive_scan_u32(&mut dev, &buf, n))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_primitives);
+criterion_main!(benches);

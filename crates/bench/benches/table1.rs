@@ -1,0 +1,50 @@
+//! Criterion bench for Table I: every backend on a representative subset of
+//! the suite (the full 13-row sweep is the `repro table1` binary).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_core::count::{count_triangles, Backend, GpuOptions};
+use tc_gen::suite::GraphSpec;
+use tc_simt::DeviceConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = common::scale();
+    let seed = common::seed();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for spec in [GraphSpec::LiveJournal, GraphSpec::Kronecker(2), GraphSpec::Citeseer] {
+        let g = spec.generate(scale, seed);
+        let name = spec.name(scale);
+        group.bench_with_input(BenchmarkId::new("cpu-forward", &name), &g, |b, g| {
+            b.iter(|| count_triangles(g, Backend::CpuForward).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cpu-parallel", &name), &g, |b, g| {
+            b.iter(|| count_triangles(g, Backend::CpuParallel).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sim-c2050", &name), &g, |b, g| {
+            b.iter(|| {
+                count_triangles(
+                    g,
+                    Backend::Gpu(GpuOptions::new(
+                        DeviceConfig::tesla_c2050().with_unlimited_memory(),
+                    )),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sim-gtx980", &name), &g, |b, g| {
+            b.iter(|| {
+                count_triangles(
+                    g,
+                    Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

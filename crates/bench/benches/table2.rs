@@ -1,0 +1,55 @@
+//! Criterion bench for Table II: the counting kernel alone (preprocessing
+//! excluded) on the GTX 980 preset — the quantity whose profile the paper's
+//! Table II reports.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_core::count::GpuOptions;
+use tc_core::gpu::count_kernel::{CountKernel, KernelArrays};
+use tc_core::gpu::preprocess::preprocess_full_gpu;
+use tc_gen::suite::GraphSpec;
+use tc_simt::{Device, DeviceConfig};
+
+fn bench_counting_kernel(c: &mut Criterion) {
+    let scale = common::scale();
+    let seed = common::seed();
+    let mut group = c.benchmark_group("table2-kernel");
+    group.sample_size(10);
+    for spec in [
+        GraphSpec::LiveJournal,
+        GraphSpec::BarabasiAlbert,
+        GraphSpec::WattsStrogatz,
+        GraphSpec::Kronecker(2),
+    ] {
+        let g = spec.generate(scale, seed);
+        let name = spec.name(scale);
+        // Preprocess once outside the measurement, like a profiler session.
+        let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        dev.preinit_context();
+        dev.reset_clock();
+        let pre = preprocess_full_gpu(&mut dev, &g, false).unwrap();
+        let opts = GpuOptions::new(DeviceConfig::gtx_980());
+        let lc = dev.config().paper_launch();
+        let total = lc.active_threads(dev.config().warp_size);
+        let result = dev.alloc::<u64>(total).unwrap();
+        group.bench_function(BenchmarkId::new("simulate", &name), |b| {
+            b.iter(|| {
+                let kernel = CountKernel {
+                    arrays: KernelArrays::SoA { nbr: pre.nbr, owner: pre.owner },
+                    node: pre.node,
+                    result,
+                    offset: 0,
+                    count: pre.m,
+                    variant: opts.kernel,
+                    use_texture_cache: true,
+                };
+                dev.launch("CountTriangles", lc, &kernel).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting_kernel);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale smoke|bench|large] [--repeats N]
+//!                    [--seed S] [--csv DIR]
+//!
+//! experiments: table1 | table2 | figure1 | ablations | amdahl |
+//!              input-format | approx | tuning | all
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tc_bench::experiments::{ablations, amdahl, approx_comparison, figure1, input_format, table1, table2, tuning, ExpConfig};
+use tc_bench::report::Table;
+use tc_gen::{Scale, Seed};
+
+struct Args {
+    experiment: String,
+    cfg: ExpConfig,
+    csv_dir: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|all>\n\
+         \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or("missing experiment")?;
+    let mut cfg = ExpConfig::default();
+    let mut csv_dir = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                cfg.scale = match args.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("bench") => Scale::Bench,
+                    Some("large") => Scale::Large,
+                    other => return Err(format!("bad --scale {other:?}")),
+                }
+            }
+            "--repeats" => {
+                cfg.repeats = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --repeats")?;
+            }
+            "--seed" => {
+                cfg.seed = Seed(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --seed")?,
+                );
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(args.next().ok_or("missing --csv dir")?));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args { experiment, cfg, csv_dir })
+}
+
+fn emit(table: Table, csv_dir: &Option<PathBuf>) {
+    print!("{}", table.render());
+    println!();
+    if let Some(dir) = csv_dir {
+        if let Err(e) = table.write_csv(dir) {
+            eprintln!("warning: csv write failed: {e}");
+        }
+    }
+}
+
+fn run_experiment(name: &str, cfg: &ExpConfig, csv_dir: &Option<PathBuf>) -> Result<(), String> {
+    match name {
+        "table1" => emit(table1::render(&table1::run(cfg)), csv_dir),
+        "table2" => emit(table2::render(&table2::run(cfg)), csv_dir),
+        "figure1" => {
+            let points = figure1::run(cfg);
+            emit(figure1::render(&points), csv_dir);
+            println!("{}", figure1::ascii_plot(&points));
+        }
+        "ablations" => emit(ablations::render(&ablations::run(cfg)), csv_dir),
+        "amdahl" => emit(amdahl::render(&amdahl::run(cfg)), csv_dir),
+        "input-format" => emit(input_format::render(&input_format::run(cfg)), csv_dir),
+        "approx" => emit(approx_comparison::render(&approx_comparison::run(cfg)), csv_dir),
+        "tuning" => emit(tuning::render(&tuning::run(cfg)), csv_dir),
+        "all" => {
+            for exp in ["table1", "table2", "figure1", "ablations", "amdahl", "input-format", "approx"] {
+                run_experiment(exp, cfg, csv_dir)?;
+            }
+        }
+        other => return Err(format!("unknown experiment {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let scale = args.cfg.scale;
+    eprintln!(
+        "# scale={scale:?} repeats={} seed={} (times: CPU measured on this host, \
+         GPU simulated — see DESIGN.md)",
+        args.cfg.repeats, args.cfg.seed.0
+    );
+    match run_experiment(&args.experiment, &args.cfg, &args.csv_dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! §V comparison: exact counting vs. the approximation family the paper
+//! cites (\[6\] DOULION, \[7\] wedge sampling). The paper's claim: the
+//! approximations "provide good speedups and usually need little memory,
+//! but … the approximate triangle count can differ from the actual count
+//! usually by a few percent".
+
+use tc_core::approx::{doulion, wedge_sampling};
+use tc_core::cpu::count_forward;
+use tc_gen::suite::{full_suite_seeded, GraphSpec};
+
+use crate::report::Table;
+
+use super::{time_host, ExpConfig};
+
+/// One graph's exact-vs-approximate row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub name: String,
+    pub exact: u64,
+    pub exact_s: f64,
+    pub doulion_estimate: f64,
+    pub doulion_s: f64,
+    pub wedge_estimate: f64,
+    pub wedge_s: f64,
+}
+
+impl Row {
+    pub fn doulion_error(&self) -> f64 {
+        (self.doulion_estimate - self.exact as f64).abs() / self.exact.max(1) as f64
+    }
+    pub fn wedge_error(&self) -> f64 {
+        (self.wedge_estimate - self.exact as f64).abs() / self.exact.max(1) as f64
+    }
+}
+
+const DOULION_P: f64 = 0.3;
+const WEDGE_SAMPLES: usize = 50_000;
+
+/// Run on a triangle-rich subset (estimators are meaningless on rows with
+/// a handful of triangles).
+pub fn run(cfg: &ExpConfig) -> Vec<Row> {
+    let wanted = [
+        GraphSpec::LiveJournal,
+        GraphSpec::Orkut,
+        GraphSpec::Citeseer,
+        GraphSpec::Kronecker(2),
+        GraphSpec::WattsStrogatz,
+    ];
+    full_suite_seeded(cfg.scale, cfg.seed)
+        .into_iter()
+        .filter(|r| wanted.contains(&r.spec))
+        .map(|item| {
+            let g = &item.graph;
+            let mut exact = 0u64;
+            let exact_s = time_host(cfg.repeats, || {
+                exact = count_forward(g).expect("valid graph");
+            });
+            let mut doulion_estimate = 0.0;
+            let doulion_s = time_host(cfg.repeats, || {
+                doulion_estimate = doulion(g, DOULION_P, cfg.seed.0).expect("doulion");
+            });
+            let mut wedge_estimate = 0.0;
+            let wedge_s = time_host(cfg.repeats, || {
+                wedge_estimate =
+                    wedge_sampling(g, WEDGE_SAMPLES, cfg.seed.0).expect("wedge sampling");
+            });
+            Row {
+                name: item.name,
+                exact,
+                exact_s,
+                doulion_estimate,
+                doulion_s,
+                wedge_estimate,
+                wedge_s,
+            }
+        })
+        .collect()
+}
+
+pub fn render(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Section V: exact vs approximate (doulion p={DOULION_P}, wedge samples={WEDGE_SAMPLES})"
+        ),
+        &[
+            "graph", "exact", "exact [ms]", "doulion", "err", "doulion [ms]", "wedge", "err",
+            "wedge [ms]",
+        ],
+    );
+    for r in rows {
+        t.push(vec![
+            r.name.clone(),
+            r.exact.to_string(),
+            format!("{:.2}", r.exact_s * 1e3),
+            format!("{:.0}", r.doulion_estimate),
+            format!("{:.1}%", r.doulion_error() * 100.0),
+            format!("{:.2}", r.doulion_s * 1e3),
+            format!("{:.0}", r.wedge_estimate),
+            format!("{:.1}%", r.wedge_error() * 100.0),
+            format!("{:.2}", r.wedge_s * 1e3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_estimates_are_in_the_ballpark() {
+        let rows = run(&ExpConfig::smoke());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.exact > 0, "{}", r.name);
+            // Smoke graphs are small, so allow generous error bands; the
+            // bench-scale run lands within a few percent.
+            assert!(r.doulion_error() < 0.5, "{}: doulion err {}", r.name, r.doulion_error());
+            assert!(r.wedge_error() < 0.25, "{}: wedge err {}", r.name, r.wedge_error());
+        }
+    }
+}

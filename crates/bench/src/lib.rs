@@ -1,0 +1,17 @@
+//! Benchmark harness: code that regenerates every table and figure of the
+//! paper's evaluation (§IV), plus the §III optimization ablations.
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run -p tc-bench --release --bin repro`)
+//!   prints paper-style tables and optionally CSV files;
+//! * the **Criterion benches** (`cargo bench -p tc-bench`) give
+//!   statistically robust timings for the same experiments.
+//!
+//! Experiment-to-paper mapping lives in DESIGN.md §4; paper-vs-measured
+//! results are recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{ablations, amdahl, approx_comparison, figure1, input_format, table1, table2, tuning};

@@ -1,0 +1,154 @@
+//! Plain-text table and CSV rendering for the `repro` binary.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A rendered table: header row + data rows, all strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Fixed-width rendering (first column left-aligned, the rest right).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Write `title.csv` into `dir`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-");
+        let file = File::create(dir.join(format!("{slug}.csv")))?;
+        let mut out = BufWriter::new(file);
+        writeln!(out, "{}", escape_csv_row(&self.header))?;
+        for row in &self.rows {
+            writeln!(out, "{}", escape_csv_row(row))?;
+        }
+        out.flush()
+    }
+}
+
+fn escape_csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Milliseconds with sensible precision.
+pub fn ms(seconds: f64) -> String {
+    let v = seconds * 1e3;
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A ratio like "12.49".
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Percent with two digits.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["graph", "ms"]);
+        t.push(vec!["a-very-long-name".into(), "1.5".into()]);
+        t.push(vec!["b".into(), "123456".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("CSV Demo", &["a", "b"]);
+        t.push(vec!["x,y".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("tc_bench_report_test");
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("csv-demo.csv")).unwrap();
+        assert_eq!(content, "a,b\n\"x,y\",2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(0.1234), "123");
+        assert_eq!(ms(0.00123), "1.23");
+        assert_eq!(ms(0.000123), "0.123");
+        assert_eq!(ratio(12.488), "12.49");
+        assert_eq!(pct(0.8078), "80.78%");
+    }
+}

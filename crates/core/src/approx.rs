@@ -1,0 +1,185 @@
+//! Approximate triangle counting — the "heuristic approximation" family the
+//! paper positions itself against (§V: "Such algorithms provide good
+//! speedups and usually need little memory, but it comes at the cost of
+//! getting only an approximate triangle count, which can differ from the
+//! actual count usually by a few percent").
+//!
+//! Two classic estimators, both cited by the paper:
+//!
+//! * [`doulion`] — Tsourakakis et al. \[6\]: sparsify by keeping each edge
+//!   with probability `p`, count exactly on the sparsified graph, scale by
+//!   `1/p³`. Unbiased; variance shrinks as `p` grows.
+//! * [`wedge_sampling`] — Seshadhri/Pinar-style: sample wedges uniformly,
+//!   measure the fraction that close, multiply by the global wedge count
+//!   (`triangles = closed_fraction × wedges / 3`).
+
+use tc_graph::{Csr, EdgeArray, GraphError, GraphStats};
+
+use crate::cpu::count_forward;
+
+/// Deterministic local PRNG (SplitMix64) so estimates are reproducible.
+#[derive(Clone)]
+struct Rng(u64);
+
+impl Rng {
+    #[inline]
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        // Bias is negligible for the bounds used here.
+        self.next() % bound.max(1)
+    }
+}
+
+/// DOULION \[6\]: sparsify-and-scale estimate with keep-probability `p`.
+pub fn doulion(g: &EdgeArray, p: f64, seed: u64) -> Result<f64, GraphError> {
+    assert!((0.0..=1.0).contains(&p) && p > 0.0, "keep probability must be in (0, 1]");
+    let mut rng = Rng(seed);
+    let kept: Vec<(u32, u32)> = g
+        .undirected_iter()
+        .filter(|_| rng.uniform() < p)
+        .collect();
+    let sparse = EdgeArray::from_undirected_pairs(kept);
+    let count = count_forward(&sparse)?;
+    Ok(count as f64 / (p * p * p))
+}
+
+/// Wedge-sampling estimate of the triangle count with `samples` wedges.
+///
+/// A wedge is a path `u – v – w` centred at `v`; it "closes" iff `u` and
+/// `w` are adjacent. Sampling centres proportionally to their wedge count
+/// (via a cumulative table) gives a uniform wedge sample; the closed
+/// fraction times the total wedge count is `3 × triangles`.
+pub fn wedge_sampling(g: &EdgeArray, samples: usize, seed: u64) -> Result<f64, GraphError> {
+    assert!(samples > 0);
+    let stats = GraphStats::from_edge_array(g);
+    if stats.wedges == 0 {
+        return Ok(0.0);
+    }
+    let csr = Csr::from_edge_array(g)?;
+    // Cumulative wedge counts per centre.
+    let n = csr.num_nodes();
+    let mut cum = Vec::with_capacity(n + 1);
+    cum.push(0u64);
+    for v in 0..n as u32 {
+        let d = csr.degree(v) as u64;
+        cum.push(cum.last().unwrap() + d * d.saturating_sub(1) / 2);
+    }
+    let total = *cum.last().unwrap();
+    debug_assert_eq!(total, stats.wedges);
+
+    let mut rng = Rng(seed ^ 0xDEAD_BEEF_CAFE_F00D);
+    let mut closed = 0u64;
+    for _ in 0..samples {
+        let target = rng.below(total);
+        // Find the centre whose cumulative range contains `target`.
+        let v = cum.partition_point(|&c| c <= target) - 1;
+        let nb = csr.neighbors(v as u32);
+        let d = nb.len() as u64;
+        // Pick an unordered pair of distinct neighbours uniformly.
+        let i = rng.below(d) as usize;
+        let mut j = rng.below(d - 1) as usize;
+        if j >= i {
+            j += 1;
+        }
+        let (u, w) = (nb[i], nb[j]);
+        if csr.neighbors(u).binary_search(&w).is_ok() {
+            closed += 1;
+        }
+    }
+    let closed_fraction = closed as f64 / samples as f64;
+    Ok(closed_fraction * total as f64 / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_fixture() -> (EdgeArray, u64) {
+        // K20 minus a sparse set of edges; exact count from forward.
+        let mut pairs = Vec::new();
+        for a in 0..20u32 {
+            for b in (a + 1)..20 {
+                if (a + 2 * b) % 7 != 0 {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let exact = count_forward(&g).unwrap();
+        (g, exact)
+    }
+
+    #[test]
+    fn doulion_with_p_one_is_exact() {
+        let (g, exact) = dense_fixture();
+        assert_eq!(doulion(&g, 1.0, 1).unwrap(), exact as f64);
+    }
+
+    #[test]
+    fn doulion_is_roughly_unbiased() {
+        let (g, exact) = dense_fixture();
+        let trials = 60;
+        let mean: f64 =
+            (0..trials).map(|s| doulion(&g, 0.6, s).unwrap()).sum::<f64>() / trials as f64;
+        let rel = (mean - exact as f64).abs() / exact as f64;
+        assert!(rel < 0.15, "mean {mean} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
+    fn doulion_is_deterministic_per_seed() {
+        let (g, _) = dense_fixture();
+        assert_eq!(doulion(&g, 0.5, 7).unwrap(), doulion(&g, 0.5, 7).unwrap());
+    }
+
+    #[test]
+    fn wedge_sampling_close_on_dense_graph() {
+        let (g, exact) = dense_fixture();
+        let est = wedge_sampling(&g, 20_000, 3).unwrap();
+        let rel = (est - exact as f64).abs() / exact as f64;
+        assert!(rel < 0.1, "estimate {est} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
+    fn wedge_sampling_exact_on_complete_graph() {
+        // In K_n every wedge closes: the estimate is exact regardless of
+        // sample count.
+        let mut pairs = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                pairs.push((a, b));
+            }
+        }
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let est = wedge_sampling(&g, 50, 1).unwrap();
+        assert!((est - 120.0).abs() < 1e-9); // C(10,3)
+    }
+
+    #[test]
+    fn estimators_handle_triangle_free_graphs() {
+        let g = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(doulion(&g, 0.9, 2).unwrap(), 0.0);
+        assert_eq!(wedge_sampling(&g, 100, 2).unwrap(), 0.0);
+        let empty = EdgeArray::default();
+        assert_eq!(wedge_sampling(&empty, 10, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep probability")]
+    fn doulion_rejects_zero_p() {
+        let (g, _) = dense_fixture();
+        let _ = doulion(&g, 0.0, 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! The front door: pick a [`Backend`], get a count.
+
+use std::time::Instant;
+
+use tc_graph::EdgeArray;
+use tc_simt::{DeviceConfig, LaunchConfig};
+
+use crate::cpu;
+use crate::error::CoreError;
+use crate::gpu::multi::run_multi_gpu;
+use crate::gpu::pipeline::{run_gpu_pipeline, GpuReport};
+use crate::gpu::{EdgeLayout, LoopVariant};
+
+/// Configuration of a simulated-GPU run: the device preset plus every
+/// §III-D optimization toggle (all default to the paper's published
+/// configuration).
+#[derive(Clone, Debug)]
+pub struct GpuOptions {
+    pub device: DeviceConfig,
+    pub kernel: LoopVariant,
+    pub layout: EdgeLayout,
+    pub use_texture_cache: bool,
+    /// §III-D5 warp-reduction factor (1 = off).
+    pub warp_split: u32,
+    /// Override the launch geometry (`None` = the paper's tuned 64×8/SM).
+    pub launch: Option<LaunchConfig>,
+    /// Pre-create the context before the measured window (§IV).
+    pub preinit_context: bool,
+}
+
+impl GpuOptions {
+    /// The paper's production configuration on the given device.
+    pub fn new(device: DeviceConfig) -> Self {
+        GpuOptions {
+            device,
+            kernel: LoopVariant::FinalReadAvoiding,
+            layout: EdgeLayout::SoA,
+            use_texture_cache: true,
+            warp_split: 1,
+            launch: None,
+            preinit_context: true,
+        }
+    }
+}
+
+/// Which algorithm/hardware counts the triangles.
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// Sequential forward — the paper's CPU baseline.
+    CpuForward,
+    /// Sequential edge-iterator (§II-A reference).
+    CpuEdgeIterator,
+    /// Sequential node-iterator (independent reference).
+    CpuNodeIterator,
+    /// Forward with hashed intersections.
+    CpuForwardHashed,
+    /// Rayon-parallel forward (the §V multi-core comparison point).
+    CpuParallel,
+    /// Hybrid forward + dense high-degree counting (§VI future work);
+    /// `None` picks the √(2m̂) threshold automatically.
+    CpuHybrid { threshold: Option<u32> },
+    /// Single simulated GPU.
+    Gpu(GpuOptions),
+    /// Multi-GPU (§III-E).
+    MultiGpu { options: GpuOptions, devices: usize },
+    /// Partition the graph into vertex ranges and count subproblem-by-
+    /// subproblem within bounded device memory (§VI future work, scheme
+    /// of \[5\]).
+    GpuSplit { options: GpuOptions, parts: usize },
+}
+
+impl Backend {
+    /// Simulated GTX 980 with the paper's defaults.
+    pub fn gpu_gtx980() -> Self {
+        Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980()))
+    }
+
+    /// Simulated Tesla C2050 with the paper's defaults.
+    pub fn gpu_tesla_c2050() -> Self {
+        Backend::Gpu(GpuOptions::new(DeviceConfig::tesla_c2050()))
+    }
+
+    /// Simulated NVS 5200M.
+    pub fn gpu_nvs_5200m() -> Self {
+        Backend::Gpu(GpuOptions::new(DeviceConfig::nvs_5200m()))
+    }
+
+    /// `n` simulated Tesla C2050s (the paper's 4-GPU rig).
+    pub fn multi_gpu_c2050(devices: usize) -> Self {
+        Backend::MultiGpu { options: GpuOptions::new(DeviceConfig::tesla_c2050()), devices }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Backend::CpuForward => "cpu-forward".into(),
+            Backend::CpuEdgeIterator => "cpu-edge-iterator".into(),
+            Backend::CpuNodeIterator => "cpu-node-iterator".into(),
+            Backend::CpuForwardHashed => "cpu-forward-hashed".into(),
+            Backend::CpuParallel => "cpu-parallel".into(),
+            Backend::CpuHybrid { threshold: Some(t) } => format!("cpu-hybrid(tau={t})"),
+            Backend::CpuHybrid { threshold: None } => "cpu-hybrid(auto)".into(),
+            Backend::Gpu(o) => format!("gpu-sim({})", o.device.name),
+            Backend::MultiGpu { options, devices } => {
+                format!("{}x-gpu-sim({})", devices, options.device.name)
+            }
+            Backend::GpuSplit { options, parts } => {
+                format!("gpu-split({}, {} parts)", options.device.name, parts)
+            }
+        }
+    }
+}
+
+/// A count plus where it came from and how long it took.
+#[derive(Clone, Debug)]
+pub struct TriangleCount {
+    pub triangles: u64,
+    pub backend: String,
+    /// Host wall-clock seconds for CPU backends; modeled device wall time
+    /// for simulated-GPU backends.
+    pub seconds: f64,
+    /// Full GPU report when a single simulated GPU ran.
+    pub gpu: Option<GpuReport>,
+}
+
+/// Count the triangles of `g` with the chosen backend.
+///
+/// ```
+/// use tc_core::{count_triangles, Backend};
+/// use tc_graph::EdgeArray;
+///
+/// // Two triangles sharing the edge (1, 2).
+/// let g = EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// assert_eq!(count_triangles(&g, Backend::CpuForward).unwrap(), 2);
+/// assert_eq!(count_triangles(&g, Backend::gpu_gtx980()).unwrap(), 2);
+/// ```
+pub fn count_triangles(g: &EdgeArray, backend: Backend) -> Result<u64, CoreError> {
+    count_triangles_detailed(g, backend).map(|r| r.triangles)
+}
+
+/// Count and report timing/profiling detail.
+pub fn count_triangles_detailed(
+    g: &EdgeArray,
+    backend: Backend,
+) -> Result<TriangleCount, CoreError> {
+    let label = backend.label();
+    match backend {
+        Backend::CpuForward => timed_cpu(label, || cpu::count_forward(g)),
+        Backend::CpuEdgeIterator => timed_cpu(label, || cpu::count_edge_iterator(g)),
+        Backend::CpuNodeIterator => timed_cpu(label, || cpu::count_node_iterator(g)),
+        Backend::CpuForwardHashed => timed_cpu(label, || cpu::count_forward_hashed(g)),
+        Backend::CpuParallel => timed_cpu(label, || cpu::count_forward_parallel(g)),
+        Backend::CpuHybrid { threshold } => timed_cpu(label, || match threshold {
+            Some(t) => cpu::count_hybrid(g, t),
+            None => cpu::count_hybrid_auto(g),
+        }),
+        Backend::Gpu(opts) => {
+            let report = run_gpu_pipeline(g, &opts)?;
+            Ok(TriangleCount {
+                triangles: report.triangles,
+                backend: label,
+                seconds: report.total_s,
+                gpu: Some(report),
+            })
+        }
+        Backend::MultiGpu { options, devices } => {
+            let report = run_multi_gpu(g, &options, devices)?;
+            Ok(TriangleCount {
+                triangles: report.triangles,
+                backend: label,
+                seconds: report.total_s,
+                gpu: None,
+            })
+        }
+        Backend::GpuSplit { options, parts } => {
+            let report = crate::gpu::split::count_split(g, &options, parts)?;
+            Ok(TriangleCount {
+                triangles: report.triangles,
+                backend: label,
+                seconds: report.total_s,
+                gpu: None,
+            })
+        }
+    }
+}
+
+fn timed_cpu<F>(label: String, f: F) -> Result<TriangleCount, CoreError>
+where
+    F: FnOnce() -> Result<u64, tc_graph::GraphError>,
+{
+    let start = Instant::now();
+    let triangles = f()?;
+    Ok(TriangleCount {
+        triangles,
+        backend: label,
+        seconds: start.elapsed().as_secs_f64(),
+        gpu: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> EdgeArray {
+        EdgeArray::from_undirected_pairs([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (4, 2),
+        ])
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let g = fixture();
+        let want = crate::verify::count_brute_force(&g);
+        let backends = [
+            Backend::CpuForward,
+            Backend::CpuHybrid { threshold: None },
+            Backend::CpuHybrid { threshold: Some(3) },
+            Backend::GpuSplit {
+                options: GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory()),
+                parts: 3,
+            },
+            Backend::CpuEdgeIterator,
+            Backend::CpuNodeIterator,
+            Backend::CpuForwardHashed,
+            Backend::CpuParallel,
+            Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())),
+            Backend::MultiGpu {
+                options: GpuOptions::new(DeviceConfig::tesla_c2050().with_unlimited_memory()),
+                devices: 2,
+            },
+        ];
+        for b in backends {
+            let label = b.label();
+            assert_eq!(count_triangles(&g, b).unwrap(), want, "{label}");
+        }
+    }
+
+    #[test]
+    fn detailed_reports_carry_timing() {
+        let g = fixture();
+        let r = count_triangles_detailed(&g, Backend::CpuForward).unwrap();
+        assert!(r.seconds >= 0.0);
+        assert!(r.gpu.is_none());
+        let r = count_triangles_detailed(
+            &g,
+            Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())),
+        )
+        .unwrap();
+        assert!(r.gpu.is_some());
+        assert!(r.seconds > 0.0);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(Backend::CpuForward.label(), "cpu-forward");
+        assert!(Backend::gpu_gtx980().label().contains("GTX 980"));
+        assert!(Backend::multi_gpu_c2050(4).label().starts_with("4x-"));
+    }
+}

@@ -1,0 +1,69 @@
+//! The edge-iterator algorithm (§II-A): for every edge, intersect the *full*
+//! adjacency lists of its endpoints. `O(m · deg_max)` — matches forward on
+//! near-regular graphs, collapses on skewed ones, which is exactly the
+//! comparison Schank–Wagner ran and the reason the paper picks forward.
+
+use tc_graph::{Csr, EdgeArray, GraphError};
+
+use super::merge::intersect_count;
+
+/// Count triangles by iterating undirected edges and intersecting full
+/// neighbour lists. A triangle is seen from each of its three edges (the
+/// intersection at edge `(u, v)` finds the third vertex once), so the raw
+/// total over undirected edges is `3 × triangles`.
+pub fn count_edge_iterator(g: &EdgeArray) -> Result<u64, GraphError> {
+    let csr = Csr::from_edge_array(g)?;
+    let mut total = 0u64;
+    for (u, v) in g.undirected_iter() {
+        total += intersect_count(csr.neighbors(u), csr.neighbors(v));
+    }
+    debug_assert_eq!(total % 3, 0, "each triangle must be counted three times");
+    Ok(total / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_known_fixtures() {
+        let tri = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_edge_iterator(&tri).unwrap(), 1);
+        let k4 = EdgeArray::from_undirected_pairs([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        ]);
+        assert_eq!(count_edge_iterator(&k4).unwrap(), 4);
+        let square = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_edge_iterator(&square).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(count_edge_iterator(&EdgeArray::default()).unwrap(), 0);
+    }
+
+    #[test]
+    fn agrees_with_forward_on_a_messy_graph() {
+        let g = EdgeArray::from_undirected_pairs([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (2, 3),
+            (1, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+        ]);
+        assert_eq!(
+            count_edge_iterator(&g).unwrap(),
+            super::super::forward::count_forward(&g).unwrap()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Forward with hashed membership tests instead of the two-pointer merge.
+//!
+//! Schank–Wagner's survey calls this *forward-hashed*: same orientation,
+//! but the intersection walks the shorter oriented list and probes the
+//! other in O(1). We use a small open-addressing set (power-of-two table,
+//! multiplicative hashing, linear probing) — no dependency and cheap to
+//! rebuild per vertex.
+
+use tc_graph::{EdgeArray, GraphError, Orientation};
+
+/// Minimal open-addressing hash set for `u32` keys (no deletion, no resize
+/// after construction — built once per adjacency list).
+struct FlatSet {
+    slots: Vec<u32>,
+    mask: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl FlatSet {
+    fn build(keys: &[u32]) -> Self {
+        let cap = (keys.len() * 2).next_power_of_two().max(4);
+        let mut set = FlatSet { slots: vec![EMPTY; cap], mask: cap - 1 };
+        for &k in keys {
+            debug_assert_ne!(k, EMPTY, "u32::MAX is the sentinel");
+            set.insert(k);
+        }
+        set
+    }
+
+    #[inline]
+    fn slot(&self, key: u32) -> usize {
+        // Fibonacci hashing spreads consecutive ids well.
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    fn insert(&mut self, key: u32) {
+        let mut i = self.slot(key);
+        loop {
+            if self.slots[i] == EMPTY {
+                self.slots[i] = key;
+                return;
+            }
+            if self.slots[i] == key {
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn contains(&self, key: u32) -> bool {
+        let mut i = self.slot(key);
+        loop {
+            let s = self.slots[i];
+            if s == key {
+                return true;
+            }
+            if s == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// Count triangles with forward orientation and hashed intersections.
+pub fn count_forward_hashed(g: &EdgeArray) -> Result<u64, GraphError> {
+    let orientation = Orientation::forward(g)?;
+    let csr = &orientation.csr;
+    let n = csr.num_nodes() as u32;
+    // One set per vertex's oriented list, built lazily in vertex order: by
+    // the time we scan u's list, v > u in ≺ may not be built yet — so build
+    // all first (total size = m̂, fine).
+    let sets: Vec<FlatSet> = (0..n).map(|v| FlatSet::build(csr.neighbors(v))).collect();
+    let mut total = 0u64;
+    for u in 0..n {
+        let adj_u = csr.neighbors(u);
+        for &v in adj_u {
+            let (walk, probe) = if adj_u.len() <= csr.neighbors(v).len() {
+                (adj_u, &sets[v as usize])
+            } else {
+                (csr.neighbors(v), &sets[u as usize])
+            };
+            total += walk.iter().filter(|&&w| probe.contains(w)).count() as u64;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_set_membership() {
+        let set = FlatSet::build(&[1, 5, 9, 1_000_000]);
+        for k in [1, 5, 9, 1_000_000] {
+            assert!(set.contains(k));
+        }
+        for k in [0, 2, 6, 999_999] {
+            assert!(!set.contains(k));
+        }
+    }
+
+    #[test]
+    fn flat_set_handles_collisions() {
+        // Enough keys to force probing in a minimal table.
+        let keys: Vec<u32> = (0..64).map(|i| i * 16).collect();
+        let set = FlatSet::build(&keys);
+        for &k in &keys {
+            assert!(set.contains(k));
+        }
+        assert!(!set.contains(8));
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = FlatSet::build(&[]);
+        assert!(!set.contains(0));
+    }
+
+    #[test]
+    fn counts_agree_with_forward() {
+        let g = EdgeArray::from_undirected_pairs([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (4, 2),
+            (5, 0),
+            (5, 1),
+        ]);
+        assert_eq!(
+            count_forward_hashed(&g).unwrap(),
+            super::super::forward::count_forward(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(count_forward_hashed(&EdgeArray::default()).unwrap(), 0);
+    }
+}

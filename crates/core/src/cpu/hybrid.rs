@@ -1,0 +1,170 @@
+//! Hybrid counting with dense handling of high-degree vertices — the second
+//! future-work direction of §VI ("it might be beneficial to use a different
+//! counting algorithm for a small subset of vertices with largest degrees;
+//! a natural candidate … is matrix multiplication \[21\]").
+//!
+//! Every triangle is charged to its ≺-minimum corner `u` (the forward
+//! assignment). If `deg(u) < τ` the triangle is found by the ordinary merge
+//! over `u`'s short oriented list. If `deg(u) ≥ τ` then *all three* corners
+//! are ≻ u and therefore heavy, so those triangles live entirely in the
+//! heavy-induced subgraph — which has at most `2m̂/τ` vertices and is
+//! counted densely: one bitset row per heavy vertex, an AND+popcount per
+//! oriented heavy edge (the boolean matrix-multiplication kernel of
+//! Alon–Yuster–Zwick, specialized to counting).
+
+use tc_graph::{EdgeArray, GraphError, Orientation, VertexId};
+
+use super::merge::intersect_count;
+
+/// Dense bitset over the compacted heavy-vertex space.
+#[derive(Clone, Debug)]
+struct BitMatrix {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(rows: usize) -> Self {
+        let words_per_row = rows.div_ceil(64);
+        BitMatrix { words_per_row, bits: vec![0; rows * words_per_row] }
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    #[inline]
+    fn row(&self, row: usize) -> &[u64] {
+        &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    fn and_popcount(&self, a: usize, b: usize) -> u64 {
+        self.row(a)
+            .iter()
+            .zip(self.row(b))
+            .map(|(x, y)| (x & y).count_ones() as u64)
+            .sum()
+    }
+}
+
+/// Count triangles with the hybrid scheme at the given degree threshold.
+pub fn count_hybrid(g: &EdgeArray, threshold: u32) -> Result<u64, GraphError> {
+    let orientation = Orientation::forward(g)?;
+    let csr = &orientation.csr;
+    let degrees = orientation.order.degrees();
+    let n = csr.num_nodes();
+
+    // Compact ids for the heavy vertices.
+    let mut heavy_id = vec![u32::MAX; n];
+    let mut heavies: Vec<VertexId> = Vec::new();
+    for v in 0..n as u32 {
+        if degrees[v as usize] >= threshold {
+            heavy_id[v as usize] = heavies.len() as u32;
+            heavies.push(v);
+        }
+    }
+
+    // Dense oriented adjacency among heavies.
+    let mut dense = BitMatrix::new(heavies.len());
+    for &h in &heavies {
+        for &w in csr.neighbors(h) {
+            let wid = heavy_id[w as usize];
+            if wid != u32::MAX {
+                dense.set(heavy_id[h as usize] as usize, wid as usize);
+            }
+        }
+    }
+
+    let mut total = 0u64;
+    for u in 0..n as u32 {
+        if degrees[u as usize] >= threshold {
+            // Heavy source: all corners heavy; dense AND+popcount per arc.
+            let uid = heavy_id[u as usize] as usize;
+            for &v in csr.neighbors(u) {
+                // v ≻ u, hence deg(v) ≥ deg(u) ≥ τ: v is heavy.
+                debug_assert_ne!(heavy_id[v as usize], u32::MAX);
+                total += dense.and_popcount(uid, heavy_id[v as usize] as usize);
+            }
+        } else {
+            // Light source: the ordinary forward merge.
+            let adj_u = csr.neighbors(u);
+            for &v in adj_u {
+                total += intersect_count(adj_u, csr.neighbors(v));
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Hybrid with the natural threshold `τ = ⌈√(2m̂)⌉` (the degree scale at
+/// which the forward out-degree bound saturates).
+pub fn count_hybrid_auto(g: &EdgeArray) -> Result<u64, GraphError> {
+    let tau = ((2.0 * g.num_edges() as f64).sqrt().ceil() as u32).max(2);
+    count_hybrid(g, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::forward::count_forward;
+
+    fn skewed_graph() -> EdgeArray {
+        // Two hubs in a clique core plus a light fringe.
+        let mut pairs = Vec::new();
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                pairs.push((a, b)); // K12 core: all heavy
+            }
+        }
+        for leaf in 12..200u32 {
+            pairs.push((leaf, leaf % 12));
+            pairs.push((leaf, (leaf + 1) % 12));
+        }
+        EdgeArray::from_undirected_pairs(pairs)
+    }
+
+    #[test]
+    fn matches_forward_across_thresholds() {
+        let g = skewed_graph();
+        let want = count_forward(&g).unwrap();
+        for tau in [1u32, 2, 3, 5, 8, 13, 100, 10_000] {
+            assert_eq!(count_hybrid(&g, tau).unwrap(), want, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn auto_threshold_matches() {
+        let g = skewed_graph();
+        assert_eq!(count_hybrid_auto(&g).unwrap(), count_forward(&g).unwrap());
+    }
+
+    #[test]
+    fn all_heavy_is_pure_dense() {
+        // threshold 1: every non-isolated vertex is heavy.
+        let g = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(count_hybrid(&g, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn all_light_is_pure_merge() {
+        let g = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(count_hybrid(&g, u32::MAX).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(count_hybrid(&EdgeArray::default(), 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn bitmatrix_basics() {
+        let mut m = BitMatrix::new(130);
+        m.set(0, 0);
+        m.set(0, 129);
+        m.set(1, 129);
+        m.set(1, 64);
+        assert_eq!(m.and_popcount(0, 1), 1);
+        assert_eq!(m.and_popcount(0, 0), 2);
+    }
+}

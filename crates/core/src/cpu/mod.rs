@@ -1,0 +1,22 @@
+//! CPU triangle-counting algorithms.
+//!
+//! [`forward`] is the paper's baseline: "our own implementation of the
+//! forward algorithm, … slightly faster than the one provided in \[Latapy\]"
+//! (§IV). The others are the comparison points §II-A surveys
+//! ([`edge_iterator`], [`node_iterator`]), a hashed intersection variant,
+//! and the multi-core counter used to sanity-check the GPU numbers.
+
+pub mod edge_iterator;
+pub mod forward;
+pub mod forward_hashed;
+pub mod hybrid;
+pub mod merge;
+pub mod node_iterator;
+pub mod parallel;
+
+pub use edge_iterator::count_edge_iterator;
+pub use forward::{count_forward, count_forward_adjacency};
+pub use forward_hashed::count_forward_hashed;
+pub use hybrid::{count_hybrid, count_hybrid_auto};
+pub use node_iterator::count_node_iterator;
+pub use parallel::count_forward_parallel;

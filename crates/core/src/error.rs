@@ -1,0 +1,72 @@
+//! Error type for the counting front end.
+
+use std::fmt;
+
+use tc_graph::GraphError;
+use tc_simt::SimtError;
+
+/// Errors surfaced by [`crate::count_triangles`] and the GPU pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The input graph failed validation or indexing.
+    Graph(GraphError),
+    /// The simulated device failed (launch config, stray handle, …).
+    Device(SimtError),
+    /// The graph does not fit on the device even with the §III-D6
+    /// CPU-preprocessing fallback.
+    GraphTooLargeForDevice {
+        required_bytes: u64,
+        capacity_bytes: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Device(e) => write!(f, "device error: {e}"),
+            CoreError::GraphTooLargeForDevice { required_bytes, capacity_bytes } => write!(
+                f,
+                "graph needs {required_bytes} device bytes even with CPU preprocessing; \
+                 device has {capacity_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<SimtError> for CoreError {
+    fn from(e: SimtError) -> Self {
+        CoreError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(GraphError::SelfLoop { vertex: 3 });
+        assert!(e.to_string().contains("self-loop"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::GraphTooLargeForDevice { required_bytes: 10, capacity_bytes: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

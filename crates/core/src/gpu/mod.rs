@@ -1,0 +1,39 @@
+//! The CUDA implementation of the paper, on the simulated device.
+//!
+//! * [`preprocess`] — the eight-step preprocessing phase (§III-B) and the
+//!   CPU fallback for over-capacity graphs (§III-D6);
+//! * [`count_kernel`] — the `CountTriangles` kernel (§III-C) as a SIMT lane
+//!   program, with the §III-D optimization toggles;
+//! * [`pipeline`] — the end-to-end measured run, following the paper's
+//!   protocol (§IV): clock from the host-to-device copy to the final
+//!   device-to-host copy and free;
+//! * [`multi`] — the multi-GPU extension (§III-E).
+
+pub mod count_kernel;
+pub mod multi;
+pub mod pipeline;
+pub mod preprocess;
+pub mod split;
+pub mod warp_centric;
+
+/// Which merge loop the kernel runs (§III-D3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LoopVariant {
+    /// The published kernel: heads kept in registers, one load per
+    /// non-matching iteration.
+    #[default]
+    FinalReadAvoiding,
+    /// The first attempt: reload both heads every iteration (36–48 % slower
+    /// in the paper).
+    Preliminary,
+}
+
+/// Edge-array layout the kernel reads (§III-D1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EdgeLayout {
+    /// Structure of arrays after the unzip step — the published layout.
+    #[default]
+    SoA,
+    /// Array of `(u32, u32)` structs (no unzip) — 13–32 % slower.
+    AoS,
+}

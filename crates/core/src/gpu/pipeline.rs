@@ -1,0 +1,244 @@
+//! The end-to-end single-GPU run, following the paper's measurement
+//! protocol (§IV): pre-initialize the CUDA context, start the clock just
+//! before the host-to-device copy, stop it right after the result comes
+//! back and device memory is freed.
+
+use tc_graph::EdgeArray;
+use tc_simt::primitives::reduce_sum_u64;
+use tc_simt::{Device, KernelStats, LaunchConfig};
+
+use crate::count::GpuOptions;
+use crate::error::CoreError;
+use crate::gpu::count_kernel::{CountKernel, KernelArrays};
+use crate::gpu::preprocess::{free_preprocessed, preprocess_auto};
+use crate::gpu::EdgeLayout;
+
+/// Everything a single-GPU run reports: the count, the paper-style wall
+/// time, the phase breakdown the §III-E Amdahl analysis needs, and the
+/// kernel profile Table II reports.
+#[derive(Clone, Debug)]
+pub struct GpuReport {
+    pub triangles: u64,
+    /// Wall-clock of the measured window, in seconds (simulated device time
+    /// plus measured host time for the fallback path).
+    pub total_s: f64,
+    /// Preprocessing (everything before the counting kernel, including the
+    /// input copy — the paper's preprocessing phase starts at the copy).
+    pub preprocess_s: f64,
+    /// Counting kernel + final reduction.
+    pub count_s: f64,
+    /// Profile of the counting kernel itself.
+    pub kernel: KernelStats,
+    /// Whether §III-D6 CPU preprocessing was needed (a † row).
+    pub used_cpu_fallback: bool,
+    pub m_oriented: usize,
+    pub n: usize,
+    /// Device allocation high-water mark.
+    pub peak_device_bytes: u64,
+    /// Fraction of the run spent preprocessing (the §III-E Amdahl input).
+    pub preprocess_fraction: f64,
+}
+
+/// Run the full pipeline on a fresh simulated device.
+pub fn run_gpu_pipeline(g: &EdgeArray, opts: &GpuOptions) -> Result<GpuReport, CoreError> {
+    run_gpu_pipeline_with_log(g, opts).map(|(report, _)| report)
+}
+
+/// Like [`run_gpu_pipeline`] but also returns the device's operation log —
+/// feed it to [`tc_simt::trace::write_chrome_trace`] to inspect the run in
+/// `chrome://tracing` / Perfetto.
+pub fn run_gpu_pipeline_with_log(
+    g: &EdgeArray,
+    opts: &GpuOptions,
+) -> Result<(GpuReport, Vec<tc_simt::TimedOp>), CoreError> {
+    let mut dev = Device::new(opts.device.clone());
+    if opts.preinit_context {
+        dev.preinit_context();
+    }
+    dev.reset_clock();
+
+    // Launch geometry is fixed up front so preprocessing can reserve room
+    // for the result array in its capacity plan.
+    let lc = opts
+        .launch
+        .unwrap_or_else(|| dev.config().paper_launch());
+    let lc = LaunchConfig {
+        // §III-D5: the reduced-warp trick doubles the launched threads so
+        // the active lane count stays constant.
+        blocks: lc.blocks * opts.warp_split,
+        threads_per_block: lc.threads_per_block,
+        warp_split: opts.warp_split,
+    };
+    let total_threads = lc.active_threads(dev.config().warp_size);
+
+    // ---- preprocessing phase (steps 1–8, §III-B) ----
+    let keep_aos = opts.layout == EdgeLayout::AoS;
+    let pre = preprocess_auto(&mut dev, g, keep_aos, total_threads as u64 * 8)?;
+    let preprocess_s = dev.elapsed() + pre.host_seconds;
+
+    // ---- counting phase (§III-C) ----
+    let result = dev.alloc::<u64>(total_threads)?;
+    dev.poke(&result, &vec![0u64; total_threads]);
+
+    let arrays = match opts.layout {
+        EdgeLayout::SoA => KernelArrays::SoA { nbr: pre.nbr, owner: pre.owner },
+        EdgeLayout::AoS => KernelArrays::AoS {
+            arcs: pre.arcs_aos.expect("AoS layout retains packed arcs"),
+        },
+    };
+    let kernel = CountKernel {
+        arrays,
+        node: pre.node,
+        result,
+        offset: 0,
+        count: pre.m,
+        variant: opts.kernel,
+        use_texture_cache: opts.use_texture_cache,
+    };
+    let kernel_stats = dev.launch("CountTriangles", lc, &kernel)?;
+    let triangles = reduce_sum_u64(&mut dev, &result);
+
+    // ---- teardown inside the measured window, like the paper ----
+    dev.free(result)?;
+    free_preprocessed(&mut dev, &pre)?;
+
+    let total_s = dev.elapsed() + pre.host_seconds;
+    let count_s = total_s - preprocess_s;
+    let report = GpuReport {
+        triangles,
+        total_s,
+        preprocess_s,
+        count_s,
+        kernel: kernel_stats,
+        used_cpu_fallback: pre.used_cpu_fallback,
+        m_oriented: pre.m,
+        n: pre.n,
+        peak_device_bytes: dev.mem_peak(),
+        preprocess_fraction: if total_s > 0.0 { preprocess_s / total_s } else { 0.0 },
+    };
+    Ok((report, dev.time_log().to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::GpuOptions;
+    use crate::cpu::count_forward;
+    use tc_simt::DeviceConfig;
+
+    fn diamond() -> EdgeArray {
+        EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn pipeline_counts_correctly() {
+        let g = diamond();
+        let opts = GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        let report = run_gpu_pipeline(&g, &opts).unwrap();
+        assert_eq!(report.triangles, 2);
+        assert_eq!(report.m_oriented, 5);
+        assert!(!report.used_cpu_fallback);
+        assert!(report.total_s > 0.0);
+        assert!(report.preprocess_s > 0.0);
+        assert!(report.count_s > 0.0);
+        assert!((0.0..=1.0).contains(&report.preprocess_fraction));
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        // A graph with enough structure to stress every code path.
+        let mut pairs = Vec::new();
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                if (a * 7 + b * 13) % 3 != 0 {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let want = count_forward(&g).unwrap();
+        let base = DeviceConfig::gtx_980().with_unlimited_memory();
+        for layout in [EdgeLayout::SoA, EdgeLayout::AoS] {
+            for variant in [
+                crate::gpu::LoopVariant::FinalReadAvoiding,
+                crate::gpu::LoopVariant::Preliminary,
+            ] {
+                for cached in [true, false] {
+                    let mut opts = GpuOptions::new(base.clone());
+                    opts.layout = layout;
+                    opts.kernel = variant;
+                    opts.use_texture_cache = cached;
+                    let report = run_gpu_pipeline(&g, &opts).unwrap();
+                    assert_eq!(
+                        report.triangles, want,
+                        "layout={layout:?} variant={variant:?} cached={cached}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_log_covers_every_phase() {
+        let g = diamond();
+        let opts = GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        let (report, log) = run_gpu_pipeline_with_log(&g, &opts).unwrap();
+        assert_eq!(report.triangles, 2);
+        let labels: Vec<&str> = log.iter().map(|op| op.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.contains("htod")));
+        assert!(labels.iter().any(|l| l.contains("thrust::sort")));
+        assert!(labels.iter().any(|l| l.contains("CountTriangles")));
+        let logged: f64 = log.iter().map(|op| op.seconds).sum();
+        assert!((logged - report.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_split_preserves_the_count() {
+        let g = diamond();
+        let mut opts = GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        opts.warp_split = 2;
+        let report = run_gpu_pipeline(&g, &opts).unwrap();
+        assert_eq!(report.triangles, 2);
+    }
+
+    #[test]
+    fn fallback_path_engages_and_counts() {
+        // Capacity window chosen between the fallback peak and the full
+        // peak, with a small explicit launch so the result array stays
+        // negligible. This reproduces a † row of Table I.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for a in 0..40u32 {
+            for b in (a + 1)..40 {
+                if (a + b) % 4 == 0 {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let big = EdgeArray::from_undirected_pairs(pairs);
+        let full = crate::gpu::preprocess::full_path_peak_bytes(&big);
+        let fallback = crate::gpu::preprocess::fallback_path_peak_bytes(&big);
+        let result_bytes = 2u64 * 64 * 8; // 2 blocks × 64 threads × u64
+        let capacity = (fallback + full) / 2 + result_bytes + 1024;
+        let mut opts = GpuOptions::new(DeviceConfig::gtx_980().with_memory_capacity(capacity));
+        opts.launch = Some(tc_simt::LaunchConfig::new(2, 64));
+        let report = run_gpu_pipeline(&big, &opts).unwrap();
+        assert!(report.used_cpu_fallback, "capacity window must force the fallback");
+        assert_eq!(report.triangles, count_forward(&big).unwrap());
+    }
+
+    #[test]
+    fn device_memory_is_clean_after_run() {
+        // The run frees everything it allocated: a second run succeeds at a
+        // tight capacity that a leaked first run would blow.
+        let g = diamond();
+        let result_bytes = 2u64 * 64 * 8;
+        let cfg = DeviceConfig::gtx_980()
+            .with_memory_capacity(crate::gpu::preprocess::full_path_peak_bytes(&g) + result_bytes + 1024);
+        let mut opts = GpuOptions::new(cfg);
+        opts.launch = Some(tc_simt::LaunchConfig::new(2, 64));
+        let a = run_gpu_pipeline(&g, &opts).unwrap();
+        let b = run_gpu_pipeline(&g, &opts).unwrap();
+        assert_eq!(a.triangles, b.triangles);
+        assert!(a.peak_device_bytes > 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The preprocessing phase (§III-B) and its CPU fallback (§III-D6).
+//!
+//! Eight steps on the device:
+//!
+//! 1. copy the edge array to device memory (arcs packed `(u << 32) | v`;
+//!    the paper packs pairs into 64-bit values too, §III-D2);
+//! 2. vertex count = max identifier + 1, via `thrust::reduce(max)`;
+//! 3. radix-sort the packed arcs — the peak-memory step;
+//! 4. build the node array by boundary detection;
+//! 5. mark arcs going from higher- to lower-degree endpoints (ties on id);
+//! 6. `thrust::remove_if` compacts the forward arcs (exactly m̂ survive);
+//! 7. unzip into structure-of-arrays;
+//! 8. rebuild the node array over the compacted arcs.
+//!
+//! When the device cannot hold the doubled edge array *plus* the sort's
+//! double buffer, [`preprocess_auto`] falls back to §III-D6: the host
+//! computes degrees and drops backward arcs (halving what the device must
+//! hold) and only sorting/unzipping/node-building run on the device. The
+//! host part is charged with a deterministic cost model (a single-threaded
+//! streaming pass at [`HOST_PREPROCESS_NS_PER_ARC`]) rather than a live
+//! stopwatch, so † rows — like all simulated times — are bit-reproducible
+//! across runs and hosts; the paper's observation survives either way (the
+//! fallback "runs slower than on the GPU but halves the input size").
+
+use tc_graph::EdgeArray;
+use tc_simt::primitives::{group_boundaries, reduce_map_max_u64, remove_if_u64, sort_u64, unzip_u64};
+use tc_simt::{Device, DeviceBuffer, SimtError};
+
+use crate::error::CoreError;
+
+/// Output of preprocessing: everything the counting kernel needs.
+#[derive(Clone, Copy, Debug)]
+pub struct Preprocessed {
+    /// Concatenated oriented adjacency lists (second endpoints), length `m`.
+    pub nbr: DeviceBuffer<u32>,
+    /// First endpoints, length `m` (the kernel reads `owner[i]` as `u`).
+    pub owner: DeviceBuffer<u32>,
+    /// Node array, length `n + 1`.
+    pub node: DeviceBuffer<u32>,
+    /// The packed arcs, retained only when the AoS kernel layout is wanted
+    /// (§III-D1 ablation); `None` in the production SoA configuration.
+    pub arcs_aos: Option<DeviceBuffer<u64>>,
+    /// Oriented arc count (= number of undirected edges).
+    pub m: usize,
+    /// Vertex count.
+    pub n: usize,
+    /// Which path ran.
+    pub used_cpu_fallback: bool,
+    /// Host seconds spent when the fallback ran (0 otherwise).
+    pub host_seconds: f64,
+}
+
+/// Conservative device-byte estimate for the full-GPU path: the doubled
+/// packed arcs plus the radix double buffer (peak at step 3).
+pub fn full_path_peak_bytes(g: &EdgeArray) -> u64 {
+    let arcs = g.num_arcs() as u64;
+    2 * arcs * 8
+}
+
+/// Peak for the fallback path: only the oriented half is ever resident.
+pub fn fallback_path_peak_bytes(g: &EdgeArray) -> u64 {
+    let m = g.num_edges() as u64;
+    2 * m * 8
+}
+
+/// Run preprocessing, choosing the path by capacity like the paper: full
+/// GPU when it fits, CPU fallback when only that fits, error otherwise.
+/// `reserve_bytes` is capacity the caller needs *afterwards* (the kernel's
+/// result array), held out of the plan.
+pub fn preprocess_auto(
+    dev: &mut Device,
+    g: &EdgeArray,
+    keep_aos: bool,
+    reserve_bytes: u64,
+) -> Result<Preprocessed, CoreError> {
+    let full = full_path_peak_bytes(g) + node_bytes(g) + reserve_bytes;
+    let fallback = fallback_path_peak_bytes(g) + node_bytes(g) + reserve_bytes;
+    if dev.fits(full) {
+        Ok(preprocess_full_gpu(dev, g, keep_aos)?)
+    } else if dev.fits(fallback) {
+        Ok(preprocess_cpu_fallback(dev, g, keep_aos)?)
+    } else {
+        Err(CoreError::GraphTooLargeForDevice {
+            required_bytes: fallback,
+            capacity_bytes: dev.mem_capacity(),
+        })
+    }
+}
+
+fn node_bytes(g: &EdgeArray) -> u64 {
+    (g.num_nodes() as u64 + 1) * 4
+}
+
+/// The eight-step full-GPU path.
+pub fn preprocess_full_gpu(
+    dev: &mut Device,
+    g: &EdgeArray,
+    keep_aos: bool,
+) -> Result<Preprocessed, SimtError> {
+    // Step 1: copy. Arcs packed (u << 32) | v so u64 order = (u, v) lex.
+    let packed: Vec<u64> = g.arcs().iter().map(|e| e.as_u64_first_major()).collect();
+    let arcs = dev.htod_copy(&packed)?;
+    let total = packed.len();
+    drop(packed);
+
+    // Step 2: number of vertices.
+    let n = if total == 0 {
+        0
+    } else {
+        reduce_map_max_u64(dev, &arcs, |e| (e >> 32).max(e & 0xFFFF_FFFF)) as usize + 1
+    };
+
+    // Step 3: sort (allocates the radix double buffer — the peak).
+    sort_u64(dev, &arcs, total)?;
+
+    // Step 4: node array over the *doubled* arcs.
+    let node_full = group_boundaries(dev, &arcs, total, n, |e| (e >> 32) as u32)?;
+
+    // Steps 5–6: drop backward arcs. Degrees come from the node array.
+    let node_host = dev.peek(&node_full);
+    let degree = move |v: u32| node_host[v as usize + 1] - node_host[v as usize];
+    let m = remove_if_u64(dev, &arcs, total, |e| {
+        let u = (e >> 32) as u32;
+        let v = e as u32;
+        let (du, dv) = (degree(u), degree(v));
+        // Backward: from the ≻ endpoint to the ≺ endpoint.
+        (dv, v) < (du, u)
+    });
+    dev.free(node_full)?;
+    debug_assert_eq!(m, g.num_edges());
+
+    finish(dev, arcs, m, n, keep_aos, false, 0.0)
+}
+
+/// Modeled cost of the host's share of the §III-D6 fallback: the degree
+/// histogram plus the backward-arc filter are two single-threaded streaming
+/// passes over the arc array; ~3 ns per arc per pass matches a mid-2010s
+/// Xeon and keeps the † rows' penalty in the paper's proportions.
+pub const HOST_PREPROCESS_NS_PER_ARC: f64 = 6.0;
+
+/// §III-D6: degrees and orientation on the host, the rest on the device.
+pub fn preprocess_cpu_fallback(
+    dev: &mut Device,
+    g: &EdgeArray,
+    keep_aos: bool,
+) -> Result<Preprocessed, SimtError> {
+    let degrees = g.degrees();
+    let n = g.num_nodes();
+    let oriented: Vec<u64> = g
+        .arcs()
+        .iter()
+        .filter(|e| {
+            let (du, dv) = (degrees[e.u as usize], degrees[e.v as usize]);
+            (du, e.u) < (dv, e.v)
+        })
+        .map(|e| e.as_u64_first_major())
+        .collect();
+    let m = oriented.len();
+    let host_seconds = g.num_arcs() as f64 * HOST_PREPROCESS_NS_PER_ARC * 1e-9;
+
+    let arcs = dev.htod_copy(&oriented)?;
+    drop(oriented);
+    sort_u64(dev, &arcs, m)?;
+    finish(dev, arcs, m, n, keep_aos, true, host_seconds)
+}
+
+/// Steps 7–8, shared by both paths: unzip and rebuild the node array.
+fn finish(
+    dev: &mut Device,
+    arcs: DeviceBuffer<u64>,
+    m: usize,
+    n: usize,
+    keep_aos: bool,
+    used_cpu_fallback: bool,
+    host_seconds: f64,
+) -> Result<Preprocessed, SimtError> {
+    let (nbr, owner) = unzip_u64(dev, &arcs, m)?;
+    let node = group_boundaries(dev, &arcs, m, n, |e| (e >> 32) as u32)?;
+    let arcs_aos = if keep_aos {
+        Some(arcs.slice(0, m))
+    } else {
+        dev.free(arcs)?;
+        None
+    };
+    Ok(Preprocessed { nbr, owner, node, arcs_aos, m, n, used_cpu_fallback, host_seconds })
+}
+
+/// Free every buffer of a [`Preprocessed`] (the paper's measurement window
+/// ends "right after … the GPU memory was freed").
+pub fn free_preprocessed(dev: &mut Device, p: &Preprocessed) -> Result<(), SimtError> {
+    dev.free(p.nbr)?;
+    dev.free(p.owner)?;
+    dev.free(p.node)?;
+    // `arcs_aos` is a slice of the original allocation; freeing by base
+    // address works because slices at offset 0 share it.
+    if let Some(aos) = p.arcs_aos {
+        dev.free(aos)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::Orientation;
+    use tc_simt::DeviceConfig;
+
+    fn device() -> Device {
+        let mut d = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        d.preinit_context();
+        d.reset_clock();
+        d
+    }
+
+    fn diamond() -> EdgeArray {
+        EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    /// The device pipeline must produce exactly the CPU reference
+    /// orientation: same node array, same concatenated lists.
+    fn assert_matches_reference(dev: &Device, p: &Preprocessed, g: &EdgeArray) {
+        let reference = Orientation::forward(g).unwrap();
+        assert_eq!(p.m, g.num_edges());
+        assert_eq!(p.n, g.num_nodes());
+        let node = dev.peek(&p.node);
+        let nbr = dev.peek(&p.nbr);
+        let owner = dev.peek(&p.owner);
+        let ref_offsets: Vec<u32> = reference.csr.offsets().to_vec();
+        assert_eq!(node, ref_offsets, "node array mismatch");
+        assert_eq!(nbr, reference.csr.targets(), "neighbour array mismatch");
+        // owner[i] must be the list owner for every i.
+        for v in 0..p.n as u32 {
+            for i in node[v as usize]..node[v as usize + 1] {
+                assert_eq!(owner[i as usize], v);
+            }
+        }
+    }
+
+    #[test]
+    fn full_gpu_path_matches_cpu_reference() {
+        let g = diamond();
+        let mut dev = device();
+        let p = preprocess_full_gpu(&mut dev, &g, false).unwrap();
+        assert!(!p.used_cpu_fallback);
+        assert_matches_reference(&dev, &p, &g);
+    }
+
+    #[test]
+    fn fallback_path_matches_cpu_reference() {
+        let g = diamond();
+        let mut dev = device();
+        let p = preprocess_cpu_fallback(&mut dev, &g, false).unwrap();
+        assert!(p.used_cpu_fallback);
+        assert_matches_reference(&dev, &p, &g);
+    }
+
+    #[test]
+    fn paths_agree_on_a_random_graph() {
+        let mut pairs = Vec::new();
+        // Deterministic pseudo-random pair soup.
+        let mut x = 12345u64;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x >> 33) % 97;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (x >> 33) % 97;
+            pairs.push((a as u32, b as u32));
+        }
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let mut d1 = device();
+        let mut d2 = device();
+        let p1 = preprocess_full_gpu(&mut d1, &g, false).unwrap();
+        let p2 = preprocess_cpu_fallback(&mut d2, &g, false).unwrap();
+        assert_eq!(d1.peek(&p1.node), d2.peek(&p2.node));
+        assert_eq!(d1.peek(&p1.nbr), d2.peek(&p2.nbr));
+        assert_matches_reference(&d1, &p1, &g);
+    }
+
+    #[test]
+    fn auto_uses_full_path_when_roomy() {
+        let g = diamond();
+        let mut dev = device();
+        let p = preprocess_auto(&mut dev, &g, false, 0).unwrap();
+        assert!(!p.used_cpu_fallback);
+    }
+
+    #[test]
+    fn auto_falls_back_when_tight() {
+        let g = diamond();
+        // Capacity: fits the fallback (2m·8 + node) but not the full path
+        // (2·arcs·8 + node). m = 5 arcs -> fallback ≈ 80 + 20, full ≈ 160+.
+        let cfg = DeviceConfig::gtx_980().with_memory_capacity(140);
+        let mut dev = Device::new(cfg);
+        dev.preinit_context();
+        let p = preprocess_auto(&mut dev, &g, false, 0).unwrap();
+        assert!(p.used_cpu_fallback);
+        assert!(p.host_seconds >= 0.0);
+        assert_matches_reference(&dev, &p, &g);
+    }
+
+    #[test]
+    fn auto_errors_when_nothing_fits() {
+        let g = diamond();
+        let cfg = DeviceConfig::gtx_980().with_memory_capacity(40);
+        let mut dev = Device::new(cfg);
+        dev.preinit_context();
+        match preprocess_auto(&mut dev, &g, false, 0) {
+            Err(CoreError::GraphTooLargeForDevice { .. }) => {}
+            other => panic!("expected too-large error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_aos_retains_packed_arcs() {
+        let g = diamond();
+        let mut dev = device();
+        let p = preprocess_full_gpu(&mut dev, &g, true).unwrap();
+        let aos = p.arcs_aos.expect("requested AoS retention");
+        let packed = dev.peek(&aos);
+        let nbr = dev.peek(&p.nbr);
+        let owner = dev.peek(&p.owner);
+        for i in 0..p.m {
+            assert_eq!(packed[i], ((owner[i] as u64) << 32) | nbr[i] as u64);
+        }
+    }
+
+    #[test]
+    fn free_returns_all_memory() {
+        let g = diamond();
+        let mut dev = device();
+        let before = dev.mem_used();
+        let p = preprocess_full_gpu(&mut dev, &g, false).unwrap();
+        assert!(dev.mem_used() > before);
+        free_preprocessed(&mut dev, &p).unwrap();
+        assert_eq!(dev.mem_used(), before);
+    }
+
+    #[test]
+    fn empty_graph_preprocesses_cleanly() {
+        let g = EdgeArray::default();
+        let mut dev = device();
+        let p = preprocess_full_gpu(&mut dev, &g, false).unwrap();
+        assert_eq!(p.m, 0);
+        assert_eq!(p.n, 0);
+        assert_eq!(dev.peek(&p.node), vec![0]);
+    }
+}

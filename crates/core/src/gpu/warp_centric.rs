@@ -1,0 +1,303 @@
+//! The virtual warp-centric kernel — one of §III-D7's *unsuccessful*
+//! optimization attempts ("we tried the virtual warp-centric method \[10\]…
+//! none of these optimizations increased the performance of our
+//! implementation, probably due to a high overhead compared to possible
+//! gains").
+//!
+//! Instead of one thread per edge, a *virtual warp* of `W` lanes
+//! cooperates on each edge: the lanes stride over the shorter endpoint
+//! list and each tests its elements against the longer list by binary
+//! search. That parallelizes the intersection (the idea Green et al. \[15\]
+//! build on) but replaces the merge's ~1 sequential read per element with
+//! ~log₂(len) scattered reads — exactly the overhead the paper observed.
+//! The kernel exists so the ablation bench can demonstrate the paper's
+//! negative result; counts are exact.
+
+use tc_simt::{DeviceBuffer, Effect, Kernel, Lane, MemView};
+
+/// Virtual-warp-centric triangle counting over the preprocessed SoA arrays.
+#[derive(Clone, Copy, Debug)]
+pub struct WarpCentricKernel {
+    pub nbr: DeviceBuffer<u32>,
+    pub owner: DeviceBuffer<u32>,
+    pub node: DeviceBuffer<u32>,
+    pub result: DeviceBuffer<u64>,
+    /// Edges in the launch (single GPU: the oriented `m`).
+    pub count: usize,
+    /// Virtual warp width `W` (lanes cooperating per edge); must divide the
+    /// physical warp size.
+    pub virtual_warp: u32,
+    pub use_texture_cache: bool,
+}
+
+impl Kernel for WarpCentricKernel {
+    type Lane = WarpCentricLane;
+
+    fn spawn(&self, tid: usize, total: usize) -> WarpCentricLane {
+        let w = self.virtual_warp as usize;
+        WarpCentricLane {
+            k: *self,
+            edge: tid / w,
+            edge_stride: total / w,
+            role: (tid % w) as u32,
+            tid,
+            count: 0,
+            phase: Phase::NextEdge,
+            u: 0,
+            v: 0,
+            short_it: 0,
+            short_end: 0,
+            long_lo: 0,
+            long_hi: 0,
+            needle: 0,
+            bs_lo: 0,
+            bs_hi: 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    NextEdge,
+    LoadEdge2,
+    LoadNodeU,
+    LoadNodeUEnd,
+    LoadNodeV,
+    LoadNodeVEnd,
+    /// Load the lane's next element of the shorter list.
+    LoadNeedle,
+    /// One probe of the binary search over the longer list.
+    Probe,
+    WriteResult,
+    Finished,
+}
+
+/// One lane of a virtual warp.
+pub struct WarpCentricLane {
+    k: WarpCentricKernel,
+    edge: usize,
+    edge_stride: usize,
+    role: u32,
+    tid: usize,
+    count: u64,
+    phase: Phase,
+    u: u32,
+    v: u32,
+    /// Cursor over the shorter list (this lane's stripe).
+    short_it: u32,
+    short_end: u32,
+    /// The longer list's bounds.
+    long_lo: u32,
+    long_hi: u32,
+    /// Current element being searched, and the live binary-search window.
+    needle: u32,
+    bs_lo: u32,
+    bs_hi: u32,
+}
+
+impl WarpCentricLane {
+    #[inline]
+    fn read(&self, addr: u64) -> Effect {
+        Effect::Read { addr, bytes: 4, cached: self.k.use_texture_cache }
+    }
+}
+
+impl Lane for WarpCentricLane {
+    fn step(&mut self, mem: &MemView<'_>) -> Effect {
+        loop {
+            match self.phase {
+                Phase::NextEdge => {
+                    if self.edge >= self.k.count {
+                        self.phase = Phase::WriteResult;
+                        continue;
+                    }
+                    let addr = self.k.owner.addr_of(self.edge);
+                    self.u = mem.read_u32(addr);
+                    self.phase = Phase::LoadEdge2;
+                    return self.read(addr);
+                }
+                Phase::LoadEdge2 => {
+                    let addr = self.k.nbr.addr_of(self.edge);
+                    self.v = mem.read_u32(addr);
+                    self.phase = Phase::LoadNodeU;
+                    return self.read(addr);
+                }
+                Phase::LoadNodeU => {
+                    let addr = self.k.node.addr_of(self.u as usize);
+                    self.short_it = mem.read_u32(addr);
+                    self.phase = Phase::LoadNodeUEnd;
+                    return self.read(addr);
+                }
+                Phase::LoadNodeUEnd => {
+                    let addr = self.k.node.addr_of(self.u as usize + 1);
+                    self.short_end = mem.read_u32(addr);
+                    self.phase = Phase::LoadNodeV;
+                    return self.read(addr);
+                }
+                Phase::LoadNodeV => {
+                    let addr = self.k.node.addr_of(self.v as usize);
+                    self.long_lo = mem.read_u32(addr);
+                    self.phase = Phase::LoadNodeVEnd;
+                    return self.read(addr);
+                }
+                Phase::LoadNodeVEnd => {
+                    let addr = self.k.node.addr_of(self.v as usize + 1);
+                    self.long_hi = mem.read_u32(addr);
+                    // Walk the shorter list, search the longer one.
+                    if self.long_hi - self.long_lo < self.short_end - self.short_it {
+                        std::mem::swap(&mut self.short_it, &mut self.long_lo);
+                        std::mem::swap(&mut self.short_end, &mut self.long_hi);
+                    }
+                    // This lane's stripe of the shorter list.
+                    self.short_it += self.role;
+                    self.phase = Phase::LoadNeedle;
+                    return self.read(addr);
+                }
+                Phase::LoadNeedle => {
+                    if self.short_it >= self.short_end {
+                        self.edge += self.edge_stride;
+                        self.phase = Phase::NextEdge;
+                        continue;
+                    }
+                    let addr = self.k.nbr.addr_of(self.short_it as usize);
+                    self.needle = mem.read_u32(addr);
+                    self.bs_lo = self.long_lo;
+                    self.bs_hi = self.long_hi;
+                    self.phase = Phase::Probe;
+                    return self.read(addr);
+                }
+                Phase::Probe => {
+                    if self.bs_lo >= self.bs_hi {
+                        // Not found; next stripe element.
+                        self.short_it += self.k.virtual_warp;
+                        self.phase = Phase::LoadNeedle;
+                        continue;
+                    }
+                    let mid = self.bs_lo + (self.bs_hi - self.bs_lo) / 2;
+                    let addr = self.k.nbr.addr_of(mid as usize);
+                    let val = mem.read_u32(addr);
+                    match self.needle.cmp(&val) {
+                        std::cmp::Ordering::Equal => {
+                            self.count += 1;
+                            self.short_it += self.k.virtual_warp;
+                            self.phase = Phase::LoadNeedle;
+                        }
+                        std::cmp::Ordering::Less => self.bs_hi = mid,
+                        std::cmp::Ordering::Greater => self.bs_lo = mid + 1,
+                    }
+                    return self.read(addr);
+                }
+                Phase::WriteResult => {
+                    self.phase = Phase::Finished;
+                    return Effect::Write {
+                        addr: self.k.result.addr_of(self.tid),
+                        bytes: 8,
+                        value: self.count,
+                    };
+                }
+                Phase::Finished => return Effect::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::count_kernel::{CountKernel, KernelArrays};
+    use crate::gpu::preprocess::preprocess_full_gpu;
+    use crate::gpu::LoopVariant;
+    use tc_graph::EdgeArray;
+    use tc_simt::{Device, DeviceConfig, LaunchConfig};
+
+    fn run_warp_centric(g: &EdgeArray, w: u32) -> (u64, f64) {
+        let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        dev.preinit_context();
+        dev.reset_clock();
+        let pre = preprocess_full_gpu(&mut dev, g, false).unwrap();
+        let lc = LaunchConfig::new(16, 64);
+        let total = lc.active_threads(32);
+        let result = dev.alloc::<u64>(total).unwrap();
+        dev.poke(&result, &vec![0u64; total]);
+        let kernel = WarpCentricKernel {
+            nbr: pre.nbr,
+            owner: pre.owner,
+            node: pre.node,
+            result,
+            count: pre.m,
+            virtual_warp: w,
+            use_texture_cache: true,
+        };
+        let stats = dev.launch("warp-centric", lc, &kernel).unwrap();
+        (dev.peek(&result).iter().sum(), stats.time_s)
+    }
+
+    fn run_merge(g: &EdgeArray) -> (u64, f64) {
+        let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        dev.preinit_context();
+        dev.reset_clock();
+        let pre = preprocess_full_gpu(&mut dev, g, false).unwrap();
+        let lc = LaunchConfig::new(16, 64);
+        let total = lc.active_threads(32);
+        let result = dev.alloc::<u64>(total).unwrap();
+        dev.poke(&result, &vec![0u64; total]);
+        let kernel = CountKernel {
+            arrays: KernelArrays::SoA { nbr: pre.nbr, owner: pre.owner },
+            node: pre.node,
+            result,
+            offset: 0,
+            count: pre.m,
+            variant: LoopVariant::FinalReadAvoiding,
+            use_texture_cache: true,
+        };
+        let stats = dev.launch("merge", lc, &kernel).unwrap();
+        (dev.peek(&result).iter().sum(), stats.time_s)
+    }
+
+    fn messy_graph() -> EdgeArray {
+        let mut pairs = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..2500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((x >> 33) % 300) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = ((x >> 33) % 300) as u32;
+            pairs.push((a, b));
+        }
+        EdgeArray::from_undirected_pairs(pairs)
+    }
+
+    #[test]
+    fn counts_match_the_merge_kernel() {
+        let g = messy_graph();
+        let (merge_count, _) = run_merge(&g);
+        for w in [1u32, 2, 4, 8] {
+            let (count, _) = run_warp_centric(&g, w);
+            assert_eq!(count, merge_count, "virtual warp {w}");
+        }
+    }
+
+    #[test]
+    fn warp_centric_is_not_faster_here() {
+        // The paper's §III-D7 negative result: the cooperative kernel's
+        // log-factor of extra scattered reads outweighs its intra-edge
+        // parallelism on these workloads.
+        let g = messy_graph();
+        let (_, merge_time) = run_merge(&g);
+        let (_, wc_time) = run_warp_centric(&g, 4);
+        assert!(
+            wc_time > 0.9 * merge_time,
+            "warp-centric {wc_time} unexpectedly beats merge {merge_time} decisively"
+        );
+    }
+
+    #[test]
+    fn works_on_triangle_free_and_tiny_graphs() {
+        let square = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(run_warp_centric(&square, 4).0, 0);
+        let tri = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(run_warp_centric(&tri, 2).0, 1);
+        let empty = EdgeArray::default();
+        assert_eq!(run_warp_centric(&empty, 4).0, 0);
+    }
+}

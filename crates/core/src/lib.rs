@@ -1,0 +1,35 @@
+//! # tc-core — forward-algorithm triangle counting
+//!
+//! The paper's contribution (Polak, *Counting Triangles in Large Graphs on
+//! GPU*, IPDPSW 2016), reproduced end to end:
+//!
+//! * [`cpu`] — the sequential **forward** algorithm (the paper's baseline,
+//!   §II-B), the **edge-iterator** and **node-iterator** references, a
+//!   hashed forward variant, and a rayon-parallel forward counter;
+//! * [`gpu`] — the CUDA implementation (§III) on the [`tc_simt`] simulator:
+//!   the eight-step preprocessing pipeline, the `CountTriangles` kernel in
+//!   both the preliminary and the read-avoiding final form, every §III-D
+//!   optimization toggle, the §III-D6 CPU-preprocessing fallback, and the
+//!   §III-E multi-GPU orchestration;
+//! * [`clustering`] — per-vertex triangle counts, local clustering
+//!   coefficients, and the transitivity ratio (the motivating application,
+//!   §I);
+//! * [`count`] — the one-call front door: [`count_triangles`] with a
+//!   [`Backend`] selector;
+//! * [`approx`] — the approximation alternatives the paper cites (§V):
+//!   DOULION edge sparsification \[6\] and wedge sampling \[7\];
+//! * [`verify`] — brute-force reference counters used by the test suite.
+
+pub mod approx;
+pub mod clustering;
+pub mod count;
+pub mod cpu;
+pub mod error;
+pub mod gpu;
+pub mod truss;
+pub mod verify;
+
+pub use count::{count_triangles, count_triangles_detailed, Backend, GpuOptions, TriangleCount};
+pub use error::CoreError;
+pub use gpu::pipeline::GpuReport;
+pub use gpu::{EdgeLayout, LoopVariant};

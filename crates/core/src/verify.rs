@@ -1,0 +1,88 @@
+//! Brute-force reference counters, for tests only (cubic/quadratic cost).
+//!
+//! Deliberately implemented with none of the machinery the real algorithms
+//! share — an adjacency matrix and three nested loops — so agreement is
+//! meaningful evidence.
+
+use tc_graph::EdgeArray;
+
+/// O(n³/6) triple enumeration over an adjacency matrix. Panics above 2000
+/// vertices to protect tests from accidental quadratic memory.
+pub fn count_brute_force(g: &EdgeArray) -> u64 {
+    let n = g.num_nodes();
+    assert!(n <= 2000, "brute force is for small test graphs (n = {n})");
+    let mut adj = vec![false; n * n];
+    for e in g.arcs() {
+        adj[e.u as usize * n + e.v as usize] = true;
+    }
+    let mut count = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !adj[a * n + b] {
+                continue;
+            }
+            for c in (b + 1)..n {
+                if adj[a * n + c] && adj[b * n + c] {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Per-vertex triangle participation by the same brute force: `t[v]` =
+/// number of triangles containing `v`. `Σ t[v] = 3 × triangles`.
+pub fn per_vertex_brute_force(g: &EdgeArray) -> Vec<u64> {
+    let n = g.num_nodes();
+    assert!(n <= 2000);
+    let mut adj = vec![false; n * n];
+    for e in g.arcs() {
+        adj[e.u as usize * n + e.v as usize] = true;
+    }
+    let mut t = vec![0u64; n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !adj[a * n + b] {
+                continue;
+            }
+            for c in (b + 1)..n {
+                if adj[a * n + c] && adj[b * n + c] {
+                    t[a] += 1;
+                    t[b] += 1;
+                    t[c] += 1;
+                }
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fixtures() {
+        let k4 = EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_brute_force(&k4), 4);
+        assert_eq!(per_vertex_brute_force(&k4), vec![3, 3, 3, 3]);
+        let path = EdgeArray::from_undirected_pairs([(0, 1), (1, 2)]);
+        assert_eq!(count_brute_force(&path), 0);
+    }
+
+    #[test]
+    fn per_vertex_sums_to_three_times_total() {
+        let g = EdgeArray::from_undirected_pairs([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 0),
+        ]);
+        let total = count_brute_force(&g);
+        let pv = per_vertex_brute_force(&g);
+        assert_eq!(pv.iter().sum::<u64>(), 3 * total);
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic classic graph families with known triangle counts — the
+//! ground-truth fixtures of the test suite.
+
+use tc_graph::EdgeArray;
+
+/// Complete graph `K_n`: exactly `C(n, 3)` triangles.
+pub fn complete(n: usize) -> EdgeArray {
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            pairs.push((a, b));
+        }
+    }
+    EdgeArray::from_undirected_pairs(pairs)
+}
+
+/// Triangles in `K_n`.
+pub fn complete_triangles(n: usize) -> u64 {
+    let n = n as u64;
+    if n < 3 {
+        0
+    } else {
+        n * (n - 1) * (n - 2) / 6
+    }
+}
+
+/// Complete bipartite graph `K_{a,b}`: bipartite, hence zero triangles.
+pub fn complete_bipartite(a: usize, b: usize) -> EdgeArray {
+    let mut pairs = Vec::with_capacity(a * b);
+    for x in 0..a as u32 {
+        for y in 0..b as u32 {
+            pairs.push((x, a as u32 + y));
+        }
+    }
+    EdgeArray::from_undirected_pairs(pairs)
+}
+
+/// Cycle `C_n`: zero triangles for `n > 3`, one for `n == 3`.
+pub fn cycle(n: usize) -> EdgeArray {
+    assert!(n >= 3);
+    EdgeArray::from_undirected_pairs((0..n as u32).map(|v| (v, (v + 1) % n as u32)))
+}
+
+/// Path `P_n` on `n` vertices: zero triangles.
+pub fn path(n: usize) -> EdgeArray {
+    EdgeArray::from_undirected_pairs((0..n.saturating_sub(1) as u32).map(|v| (v, v + 1)))
+}
+
+/// Star `S_n`: one hub, `n` leaves, zero triangles. The worst case for
+/// edge-iterator-style algorithms and the motivating case for the degree
+/// orientation.
+pub fn star(leaves: usize) -> EdgeArray {
+    EdgeArray::from_undirected_pairs((1..=leaves as u32).map(|v| (0, v)))
+}
+
+/// Wheel `W_n`: hub joined to a cycle of length `n`; exactly `n` triangles
+/// for `n > 3` (each rim edge closes one with the hub).
+pub fn wheel(rim: usize) -> EdgeArray {
+    assert!(rim >= 3);
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(2 * rim);
+    for v in 0..rim as u32 {
+        pairs.push((0, v + 1));
+        pairs.push((v + 1, (v + 1) % rim as u32 + 1));
+    }
+    EdgeArray::from_undirected_pairs(pairs)
+}
+
+/// Triangles in the wheel `W_n`.
+pub fn wheel_triangles(rim: usize) -> u64 {
+    match rim {
+        3 => 4, // K_4
+        r => r as u64,
+    }
+}
+
+/// 2-D grid graph `a × b` (rook-move neighbours only): bipartite, zero
+/// triangles, regular interior — a cache-friendly counterexample workload.
+pub fn grid(a: usize, b: usize) -> EdgeArray {
+    let id = |x: usize, y: usize| (x * b + y) as u32;
+    let mut pairs = Vec::new();
+    for x in 0..a {
+        for y in 0..b {
+            if x + 1 < a {
+                pairs.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < b {
+                pairs.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    EdgeArray::from_undirected_pairs(pairs)
+}
+
+/// Disjoint union of `count` triangles: exactly `count` triangles, maximally
+/// parallel workload.
+pub fn triangle_soup(count: usize) -> EdgeArray {
+    let mut pairs = Vec::with_capacity(3 * count);
+    for t in 0..count as u32 {
+        let base = 3 * t;
+        pairs.push((base, base + 1));
+        pairs.push((base + 1, base + 2));
+        pairs.push((base, base + 2));
+    }
+    EdgeArray::from_undirected_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_sizes() {
+        let g = complete(6);
+        g.validate().unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(complete_triangles(6), 20);
+        assert_eq!(complete_triangles(2), 0);
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free_by_degrees() {
+        let g = complete_bipartite(3, 4);
+        g.validate().unwrap();
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.num_nodes(), 7);
+    }
+
+    #[test]
+    fn cycle_path_star_shapes() {
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(path(1).num_edges(), 0);
+        let s = star(9);
+        assert_eq!(s.num_edges(), 9);
+        assert_eq!(s.degrees()[0], 9);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(5);
+        g.validate().unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(wheel_triangles(5), 5);
+        assert_eq!(wheel_triangles(3), 4);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        g.validate().unwrap();
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 2 * 12 - 3 - 4); // 2ab - a - b
+    }
+
+    #[test]
+    fn triangle_soup_shape() {
+        let g = triangle_soup(10);
+        g.validate().unwrap();
+        assert_eq!(g.num_nodes(), 30);
+        assert_eq!(g.num_edges(), 30);
+    }
+}

@@ -1,0 +1,148 @@
+//! Erdős–Rényi random graphs, for tests and baselines.
+//!
+//! Two flavours: `G(n, m)` (exactly `m` distinct edges) and `G(n, p)` (each
+//! pair independently with probability `p`, sampled with geometric skips so
+//! sparse graphs cost `O(m)` rather than `O(n²)`).
+
+use tc_graph::EdgeArray;
+
+use crate::rng::{Seed, Xoshiro256};
+
+/// `G(n, m)`: exactly `m` distinct undirected edges, uniform over all such
+/// graphs (rejection sampling; requires `m` ≤ half the number of pairs to
+/// stay fast — asserted).
+pub fn gnm(n: usize, m: usize, seed: Seed) -> EdgeArray {
+    let pairs_total = n as u64 * (n as u64 - 1) / 2;
+    assert!(
+        (m as u64) <= pairs_total / 2,
+        "gnm rejection sampling wants m <= pairs/2 ({m} vs {pairs_total})"
+    );
+    let mut rng = Xoshiro256::new(seed);
+    let mut keys: Vec<u64> = Vec::with_capacity(m + m / 8);
+    // Oversample, dedup, top up until we have m distinct pairs.
+    while keys.len() < m {
+        let need = m - keys.len();
+        for _ in 0..need + need / 4 + 4 {
+            let a = rng.next_below(n as u64) as u32;
+            let b = rng.next_below(n as u64) as u32;
+            if a != b {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                keys.push(((lo as u64) << 32) | hi as u64);
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    keys.truncate(m);
+    EdgeArray::from_undirected_pairs(
+        keys.into_iter().map(|k| ((k >> 32) as u32, k as u32)),
+    )
+}
+
+/// `G(n, p)` via geometric jumps over the ordered pair index space.
+pub fn gnp(n: usize, p: f64, seed: Seed) -> EdgeArray {
+    assert!((0.0..=1.0).contains(&p));
+    if p == 0.0 || n < 2 {
+        return EdgeArray::default();
+    }
+    let mut rng = Xoshiro256::new(seed);
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    if p >= 1.0 {
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                pairs.push((a, b));
+            }
+        }
+        return EdgeArray::from_undirected_pairs(pairs);
+    }
+    let log1mp = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        // Geometric skip: next selected pair index.
+        let r = rng.next_f64().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log1mp).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) if i < total => i,
+            _ => break,
+        };
+        pairs.push(unrank_pair(idx, n as u64));
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+    EdgeArray::from_undirected_pairs(pairs)
+}
+
+/// Map a linear index in `[0, n(n−1)/2)` to the ordered pair `(a, b)`,
+/// `a < b`, in row-major order over the strict upper triangle.
+fn unrank_pair(idx: u64, n: u64) -> (u32, u32) {
+    // Row a contains (n - 1 - a) pairs; find a by solving the prefix sum.
+    // Prefix(a) = a*n - a(a+1)/2. Binary search is simplest and exact.
+    let (mut lo, mut hi) = (0u64, n - 1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let prefix_end = (mid + 1) * n - (mid + 1) * (mid + 2) / 2;
+        if idx < prefix_end {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let a = lo;
+    let prefix = a * n - a * (a + 1) / 2;
+    let b = a + 1 + (idx - prefix);
+    (a as u32, b as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = gnm(100, 300, Seed(1));
+        g.validate().unwrap();
+        assert_eq!(g.num_edges(), 300);
+        assert!(g.num_nodes() <= 100);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm(50, 100, Seed(2)).arcs(), gnm(50, 100, Seed(2)).arcs());
+    }
+
+    #[test]
+    fn gnp_density_is_close_to_p() {
+        let n = 200;
+        let p = 0.1;
+        let g = gnp(n, p, Seed(3));
+        g.validate().unwrap();
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < expected * 0.25, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, Seed(4)).num_edges(), 0);
+        let full = gnp(20, 1.0, Seed(4));
+        assert_eq!(full.num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn unrank_pair_covers_the_triangle() {
+        let n = 7u64;
+        let total = n * (n - 1) / 2;
+        let mut seen = Vec::new();
+        for idx in 0..total {
+            let (a, b) = unrank_pair(idx, n);
+            assert!(a < b && (b as u64) < n);
+            seen.push((a, b));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len() as u64, total);
+    }
+}

@@ -1,0 +1,159 @@
+//! Kronecker R-MAT graphs (Chakrabarti–Zhan–Faloutsos), as used by the 10th
+//! DIMACS Implementation Challenge and the paper's "Kronecker 16…21" rows.
+//!
+//! Each edge is placed by `scale` recursive quadrant choices with
+//! probabilities `(a, b, c, d)`; the DIMACS/Graph500 defaults
+//! `(0.57, 0.19, 0.19, 0.05)` give the heavy-tailed degree distribution and
+//! the very large triangles-to-edges ratio that makes these graphs the
+//! best case for the paper's multi-GPU setup (§III-E).
+
+use rayon::prelude::*;
+use tc_graph::EdgeArray;
+
+use crate::rng::{Seed, Xoshiro256};
+
+/// Builder for an R-MAT graph with `2^scale` vertices.
+#[derive(Clone, Copy, Debug)]
+pub struct Rmat {
+    scale: u32,
+    edge_factor: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl Rmat {
+    /// Start a builder for `2^scale` vertices with DIMACS default quadrant
+    /// probabilities and edge factor 16 (Graph500 convention: the paper's
+    /// Kronecker graphs have ~24·n edges; the suite overrides this).
+    ///
+    /// ```
+    /// use tc_gen::{kronecker::Rmat, Seed};
+    /// let g = Rmat::scale(8).edge_factor(8).generate(Seed(1));
+    /// assert!(g.num_nodes() <= 256);
+    /// assert_eq!(g.arcs(), Rmat::scale(8).edge_factor(8).generate(Seed(1)).arcs());
+    /// ```
+    pub fn scale(scale: u32) -> Self {
+        assert!(scale <= 30, "scale {scale} would overflow u32 vertex ids");
+        Rmat { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Number of undirected edge *attempts* per vertex (duplicates and
+    /// self-loops are removed afterwards, so the final count is slightly
+    /// lower).
+    pub fn edge_factor(mut self, f: usize) -> Self {
+        self.edge_factor = f;
+        self
+    }
+
+    /// Override quadrant probabilities; `d` is implied (`1 − a − b − c`).
+    pub fn probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-12);
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Generate the graph. Edge attempts are produced in parallel chunks,
+    /// each chunk on an independent child seed, so the result is
+    /// deterministic regardless of thread count.
+    pub fn generate(&self, seed: Seed) -> EdgeArray {
+        let attempts = self.num_nodes() * self.edge_factor;
+        let chunk = 1usize << 16;
+        let chunks = attempts.div_ceil(chunk);
+        let pairs: Vec<(u32, u32)> = (0..chunks)
+            .into_par_iter()
+            .flat_map_iter(|ci| {
+                let mut rng = Xoshiro256::new(seed.child(ci as u64));
+                let count = chunk.min(attempts - ci * chunk);
+                let spec = *self;
+                (0..count).map(move |_| spec.one_edge(&mut rng))
+            })
+            .collect();
+        EdgeArray::from_undirected_pairs(pairs)
+    }
+
+    /// One recursive-quadrant edge placement.
+    #[inline]
+    fn one_edge(&self, rng: &mut Xoshiro256) -> (u32, u32) {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..self.scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            if r < self.a {
+                // top-left: no bits set
+            } else if r < self.a + self.b {
+                v |= 1;
+            } else if r < self.a + self.b + self.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::stats::degree_cv;
+
+    #[test]
+    fn generates_valid_graph_of_right_size() {
+        let g = Rmat::scale(10).edge_factor(8).generate(Seed(1));
+        g.validate().unwrap();
+        assert!(g.num_nodes() <= 1 << 10);
+        // Dedup removes some attempts but most survive at this density.
+        let attempts = (1usize << 10) * 8;
+        assert!(g.num_edges() > attempts / 2, "{} edges", g.num_edges());
+        assert!(g.num_edges() <= attempts);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Rmat::scale(8).generate(Seed(7));
+        let b = Rmat::scale(8).generate(Seed(7));
+        assert_eq!(a.arcs(), b.arcs());
+        let c = Rmat::scale(8).generate(Seed(8));
+        assert_ne!(a.arcs(), c.arcs());
+    }
+
+    #[test]
+    fn skewed_probabilities_give_skewed_degrees() {
+        let skewed = Rmat::scale(10).edge_factor(8).generate(Seed(2));
+        let uniform = Rmat::scale(10)
+            .edge_factor(8)
+            .probabilities(0.25, 0.25, 0.25)
+            .generate(Seed(2));
+        assert!(
+            degree_cv(&skewed) > degree_cv(&uniform) * 1.5,
+            "skewed cv {} vs uniform cv {}",
+            degree_cv(&skewed),
+            degree_cv(&uniform)
+        );
+    }
+
+    #[test]
+    fn scale_zero_is_empty() {
+        // One vertex; every attempt is a self-loop and gets dropped.
+        let g = Rmat::scale(0).edge_factor(4).generate(Seed(3));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn determinism_does_not_depend_on_thread_count() {
+        // Run the same generation inside a single-threaded rayon pool.
+        let par = Rmat::scale(9).edge_factor(8).generate(Seed(11));
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seq = pool.install(|| Rmat::scale(9).edge_factor(8).generate(Seed(11)));
+        assert_eq!(par.arcs(), seq.arcs());
+    }
+}

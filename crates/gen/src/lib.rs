@@ -1,0 +1,30 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper's evaluation (§IV) uses five real-world graphs and three
+//! synthetic families. The real datasets are not redistributable, so this
+//! crate provides:
+//!
+//! * the three synthetic families exactly as cited — [`kronecker`] R-MAT
+//!   (10th DIMACS Implementation Challenge), [`barabasi_albert`]
+//!   preferential attachment, and [`watts_strogatz`] small-world rewiring;
+//! * [`copaper`], a clique-union model standing in for the Citeseer/DBLP
+//!   co-paper networks (co-authorship graphs are unions of per-paper cliques,
+//!   which is what makes them triangle-dense);
+//! * [`erdos_renyi`] and [`classic`] families for tests and examples;
+//! * [`suite`], the scaled-down 13-graph evaluation suite mirroring Table I.
+//!
+//! All generators are fully deterministic given a [`Seed`]; the PRNG stack
+//! ([`rng`]) is self-contained (SplitMix64 seeding a Xoshiro256**), so
+//! generated graphs are reproducible across platforms and releases.
+
+pub mod barabasi_albert;
+pub mod classic;
+pub mod copaper;
+pub mod erdos_renyi;
+pub mod kronecker;
+pub mod rng;
+pub mod suite;
+pub mod watts_strogatz;
+
+pub use rng::{Seed, Xoshiro256};
+pub use suite::{GraphSpec, Scale, SuiteGraph};

@@ -1,0 +1,84 @@
+//! Statistical shape tests for the generators: each family must land in
+//! the degree/clustering regime its Table I counterpart occupies.
+
+use tc_gen::barabasi_albert::BarabasiAlbert;
+use tc_gen::copaper::CoPaper;
+use tc_gen::erdos_renyi::{gnm, gnp};
+use tc_gen::kronecker::Rmat;
+use tc_gen::watts_strogatz::WattsStrogatz;
+use tc_gen::Seed;
+use tc_graph::stats::{degree_cv, degree_histogram};
+use tc_graph::GraphStats;
+
+#[test]
+fn rmat_is_heavier_tailed_than_er() {
+    let rmat = Rmat::scale(11).edge_factor(8).generate(Seed(1));
+    let er = gnm(rmat.num_nodes(), rmat.num_edges(), Seed(1));
+    assert!(
+        degree_cv(&rmat) > 2.0 * degree_cv(&er),
+        "rmat cv {} vs er cv {}",
+        degree_cv(&rmat),
+        degree_cv(&er)
+    );
+}
+
+#[test]
+fn ba_max_degree_dwarfs_median() {
+    let g = BarabasiAlbert::new(3_000, 5).generate(Seed(2));
+    let hist = degree_histogram(&g);
+    let max_degree = hist.len() - 1;
+    // Median degree is near m = 5; hubs must be two orders above.
+    assert!(max_degree > 100, "max degree {max_degree}");
+}
+
+#[test]
+fn ws_degrees_stay_concentrated_after_rewiring() {
+    let g = WattsStrogatz::new(4_000, 12, 0.3).generate(Seed(3));
+    assert!(degree_cv(&g) < 0.3, "cv {}", degree_cv(&g));
+}
+
+#[test]
+fn copaper_wedge_density_beats_social_analogs() {
+    let cp = CoPaper::new(1_500, 1_300).author_range(3, 20).generate(Seed(4));
+    let rm = Rmat::scale(11).edge_factor(10).generate(Seed(4));
+    let cps = GraphStats::from_edge_array(&cp);
+    let rms = GraphStats::from_edge_array(&rm);
+    // Wedges per edge is a cheap clustering proxy that does not need a
+    // triangle count.
+    let cp_ratio = cps.wedges as f64 / cps.num_edges as f64;
+    let rm_ratio = rms.wedges as f64 / rms.num_edges as f64;
+    assert!(cp_ratio > 0.5 * rm_ratio, "copaper {cp_ratio} vs rmat {rm_ratio}");
+}
+
+#[test]
+fn gnp_and_gnm_agree_on_expected_density() {
+    let n = 400;
+    let p = 0.05;
+    let expected = (n * (n - 1) / 2) as f64 * p;
+    let a = gnp(n, p, Seed(5));
+    let b = gnm(n, expected as usize, Seed(5));
+    let rel = (a.num_edges() as f64 - b.num_edges() as f64).abs() / expected;
+    assert!(rel < 0.2, "gnp {} vs gnm {}", a.num_edges(), b.num_edges());
+}
+
+#[test]
+fn all_generators_are_seed_deterministic() {
+    assert_eq!(
+        Rmat::scale(9).generate(Seed(7)).arcs(),
+        Rmat::scale(9).generate(Seed(7)).arcs()
+    );
+    assert_eq!(
+        BarabasiAlbert::new(500, 4).generate(Seed(7)).arcs(),
+        BarabasiAlbert::new(500, 4).generate(Seed(7)).arcs()
+    );
+    assert_eq!(
+        WattsStrogatz::new(500, 8, 0.25).generate(Seed(7)).arcs(),
+        WattsStrogatz::new(500, 8, 0.25).generate(Seed(7)).arcs()
+    );
+    assert_eq!(
+        CoPaper::new(300, 250).generate(Seed(7)).arcs(),
+        CoPaper::new(300, 250).generate(Seed(7)).arcs()
+    );
+    assert_eq!(gnm(200, 800, Seed(7)).arcs(), gnm(200, 800, Seed(7)).arcs());
+    assert_eq!(gnp(200, 0.05, Seed(7)).arcs(), gnp(200, 0.05, Seed(7)).arcs());
+}

@@ -1,0 +1,109 @@
+//! Plain adjacency-list representation (`Vec<Vec<u32>>`).
+//!
+//! Kept primarily to reproduce the input-format discussion of §III-A: an
+//! adjacency list converts to an edge array with a cheap single pass, while
+//! the reverse direction requires sorting/grouping and is markedly more
+//! expensive. The CPU baseline optimized for adjacency-list input also runs
+//! on this type.
+
+use crate::{Edge, EdgeArray, VertexId};
+
+/// Adjacency list; `lists[v]` holds the neighbours of `v` (not necessarily
+/// sorted — use [`AdjacencyList::sort_lists`]).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct AdjacencyList {
+    lists: Vec<Vec<VertexId>>,
+}
+
+impl AdjacencyList {
+    pub fn new(lists: Vec<Vec<VertexId>>) -> Self {
+        AdjacencyList { lists }
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.lists.len()
+    }
+
+    pub fn num_arcs(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.lists[v as usize]
+    }
+
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.lists[v as usize].len() as u32
+    }
+
+    /// Sort every neighbour list ascending.
+    pub fn sort_lists(&mut self) {
+        for l in &mut self.lists {
+            l.sort_unstable();
+        }
+    }
+
+    /// Single-pass conversion to an edge array (the cheap direction of
+    /// §III-A).
+    pub fn to_edge_array(&self) -> EdgeArray {
+        let mut arcs = Vec::with_capacity(self.num_arcs());
+        for (u, list) in self.lists.iter().enumerate() {
+            for &v in list {
+                arcs.push(Edge::new(u as u32, v));
+            }
+        }
+        EdgeArray::from_arcs_unchecked(arcs)
+    }
+
+    /// Grouping conversion from an edge array (the expensive direction of
+    /// §III-A — requires a scatter over all arcs plus per-list sorts).
+    pub fn from_edge_array(g: &EdgeArray) -> Self {
+        let n = g.num_nodes();
+        let deg = g.degrees();
+        let mut lists: Vec<Vec<VertexId>> = (0..n)
+            .map(|v| Vec::with_capacity(deg[v] as usize))
+            .collect();
+        for e in g.arcs() {
+            lists[e.u as usize].push(e.v);
+        }
+        let mut adj = AdjacencyList { lists };
+        adj.sort_lists();
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_array() {
+        let g = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let adj = AdjacencyList::from_edge_array(&g);
+        assert_eq!(adj.num_nodes(), 4);
+        assert_eq!(adj.num_arcs(), 8);
+        assert_eq!(adj.neighbors(2), &[0, 1, 3]);
+        let back = adj.to_edge_array();
+        back.validate().unwrap();
+        assert_eq!(back.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn sort_lists_sorts() {
+        let mut adj = AdjacencyList::new(vec![vec![3, 1, 2], vec![]]);
+        adj.sort_lists();
+        assert_eq!(adj.neighbors(0), &[1, 2, 3]);
+        assert_eq!(adj.degree(1), 0);
+    }
+
+    #[test]
+    fn empty() {
+        let adj = AdjacencyList::default();
+        assert_eq!(adj.num_nodes(), 0);
+        assert_eq!(adj.num_arcs(), 0);
+        assert!(adj.to_edge_array().is_empty());
+    }
+}

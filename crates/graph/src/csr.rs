@@ -1,0 +1,190 @@
+//! Compressed sparse row representation: the paper's *node array* over a
+//! sorted edge array (§III-B steps 3–4).
+//!
+//! After preprocessing step 3, the edge array is sorted by first endpoint
+//! (ties by second), which makes it "a concatenated adjacency list of
+//! subsequent vertices, each list sorted". The node array maps vertex `i` to
+//! the index of its first arc; [`Csr`] bundles both.
+
+use crate::{Edge, EdgeArray, GraphError, VertexId};
+
+/// CSR graph: `offsets.len() == num_nodes + 1`, the neighbours of `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`, each neighbour list sorted
+/// ascending.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from an edge array (need not be valid/doubled; any arc list
+    /// works — each arc `u -> v` contributes `v` to `u`'s list).
+    ///
+    /// Runs the counting-sort style construction: degree histogram, exclusive
+    /// scan, scatter, then per-list sort.
+    pub fn from_edge_array(g: &EdgeArray) -> Result<Self, GraphError> {
+        let n = g.num_nodes();
+        let m = g.num_arcs();
+        if m > u32::MAX as usize {
+            return Err(GraphError::TooLarge { what: "arc", count: m as u64 });
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for e in g.arcs() {
+            offsets[e.u as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; m];
+        for e in g.arcs() {
+            let slot = cursor[e.u as usize];
+            targets[slot as usize] = e.v;
+            cursor[e.u as usize] += 1;
+        }
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        Ok(Csr { offsets, targets })
+    }
+
+    /// Wrap prebuilt arrays. `offsets` must be monotone with
+    /// `offsets\[0\] == 0` and `*offsets.last() == targets.len()`; each
+    /// neighbour list must already be sorted.
+    pub fn from_parts(offsets: Vec<u32>, targets: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets }
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`: computed "by subtracting two subsequent cells of the
+    /// node array" (§III-B step 5).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_nodes() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Iterate `(u, v)` over all arcs in CSR order.
+    pub fn arcs(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_nodes() as u32).flat_map(move |u| {
+            self.neighbors(u).iter().map(move |&v| Edge::new(u, v))
+        })
+    }
+
+    /// Flatten back to an edge array in sorted order — the cheap
+    /// adjacency-list → edge-array direction of §III-A.
+    pub fn to_edge_array(&self) -> EdgeArray {
+        EdgeArray::from_arcs_unchecked(self.arcs().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeArray;
+
+    fn diamond() -> EdgeArray {
+        // 0-1, 0-2, 1-2, 1-3, 2-3 : two triangles sharing edge 1-2
+        EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_roundtrip_from_edge_array() {
+        let g = diamond();
+        let csr = Csr::from_edge_array(&g).unwrap();
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_arcs(), 10);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[0, 2, 3]);
+        assert_eq!(csr.neighbors(2), &[0, 1, 3]);
+        assert_eq!(csr.neighbors(3), &[1, 2]);
+        assert_eq!(csr.degree(1), 3);
+        assert_eq!(csr.max_degree(), 3);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_even_from_shuffled_input() {
+        let mut arcs = diamond().into_arcs();
+        arcs.reverse();
+        let csr = Csr::from_edge_array(&EdgeArray::from_arcs_unchecked(arcs)).unwrap();
+        for v in 0..csr.num_nodes() as u32 {
+            let nb = csr.neighbors(v);
+            assert!(nb.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn isolated_trailing_vertices_absent() {
+        // num_nodes comes from max id + 1; vertex 5 exists, 4 is isolated.
+        let g = EdgeArray::from_undirected_pairs([(0, 5)]);
+        let csr = Csr::from_edge_array(&g).unwrap();
+        assert_eq!(csr.num_nodes(), 6);
+        assert_eq!(csr.degree(4), 0);
+        assert!(csr.neighbors(4).is_empty());
+        assert_eq!(csr.neighbors(5), &[0]);
+    }
+
+    #[test]
+    fn to_edge_array_is_sorted_and_equivalent() {
+        let g = diamond();
+        let csr = Csr::from_edge_array(&g).unwrap();
+        let ea = csr.to_edge_array();
+        ea.validate().unwrap();
+        let keys: Vec<u64> = ea.arcs().iter().map(|e| e.as_u64_first_major()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ea.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edge_array(&EdgeArray::default()).unwrap();
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_arcs(), 0);
+        assert_eq!(csr.max_degree(), 0);
+    }
+
+    #[test]
+    fn arcs_iterator_matches_neighbor_lists() {
+        let csr = Csr::from_edge_array(&diamond()).unwrap();
+        let arcs: Vec<Edge> = csr.arcs().collect();
+        assert_eq!(arcs.len(), 10);
+        assert_eq!(arcs[0], Edge::new(0, 1));
+        assert_eq!(arcs[9], Edge::new(3, 2));
+    }
+}

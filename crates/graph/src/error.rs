@@ -1,0 +1,98 @@
+//! Error type shared by the graph crate.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating, or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge connects a vertex to itself. The forward algorithm assumes
+    /// simple graphs (§III-A: "no self-loops nor multiple edges").
+    SelfLoop { vertex: u32 },
+    /// The same undirected edge appears more than twice (or the same arc
+    /// appears more than once).
+    DuplicateEdge { u: u32, v: u32 },
+    /// An arc `(u, v)` is present without its reverse `(v, u)`. A valid edge
+    /// array stores every undirected edge once in each direction.
+    MissingReverse { u: u32, v: u32 },
+    /// The graph has more vertices or edges than the `u32` index space.
+    TooLarge { what: &'static str, count: u64 },
+    /// A line of a text edge list could not be parsed.
+    Parse { line: u64, message: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A binary edge-list file has a length that is not a whole number of
+    /// `(u32, u32)` records.
+    TruncatedBinary { len: u64 },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::MissingReverse { u, v } => {
+                write!(f, "arc ({u}, {v}) has no reverse arc ({v}, {u})")
+            }
+            GraphError::TooLarge { what, count } => {
+                write!(f, "{what} count {count} exceeds u32 index space")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::TruncatedBinary { len } => {
+                write!(f, "binary edge list of {len} bytes is not a multiple of 8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::SelfLoop { vertex: 7 }, "self-loop"),
+            (GraphError::DuplicateEdge { u: 1, v: 2 }, "duplicate"),
+            (GraphError::MissingReverse { u: 3, v: 4 }, "reverse"),
+            (
+                GraphError::TooLarge { what: "edge", count: 1 << 40 },
+                "exceeds",
+            ),
+            (
+                GraphError::Parse { line: 12, message: "bad token".into() },
+                "line 12",
+            ),
+            (GraphError::TruncatedBinary { len: 9 }, "multiple of 8"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err = GraphError::from(io);
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Edge-list I/O.
+//!
+//! Two on-disk formats:
+//!
+//! * **Text** — SNAP-style: one `u v` pair per line, `#`-prefixed comment
+//!   lines ignored, whitespace-separated. Pairs are treated as *undirected*
+//!   edges; self-loops and duplicates are cleaned up on load (SNAP dumps
+//!   contain both directions already, which the dedup handles).
+//! * **Binary** — little-endian `(u32, u32)` records of the *directed* edge
+//!   array, a faithful dump of the in-memory input format.
+//! * **METIS** — the adjacency format of the 10th DIMACS Implementation
+//!   Challenge (the source of the paper's Citeseer/DBLP/Kronecker graphs):
+//!   a header `n m [fmt]`, then line `i` lists the 1-indexed neighbours of
+//!   vertex `i`.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Edge, EdgeArray, GraphError};
+
+/// Read a SNAP-style text edge list into a valid [`EdgeArray`].
+pub fn read_text(path: impl AsRef<Path>) -> Result<EdgeArray, GraphError> {
+    let file = File::open(path)?;
+    read_text_from(BufReader::new(file))
+}
+
+/// Read a text edge list from any buffered reader.
+pub fn read_text_from(reader: impl BufRead) -> Result<EdgeArray, GraphError> {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut line_no = 0u64;
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u = parse_field(it.next(), line_no, "missing first endpoint")?;
+        let v = parse_field(it.next(), line_no, "missing second endpoint")?;
+        if it.next().is_some() {
+            // Extra columns (weights, timestamps) are tolerated and ignored,
+            // as is conventional for SNAP dumps.
+        }
+        pairs.push((u, v));
+    }
+    Ok(EdgeArray::from_undirected_pairs(pairs))
+}
+
+fn parse_field(field: Option<&str>, line: u64, missing: &str) -> Result<u32, GraphError> {
+    let tok = field.ok_or_else(|| GraphError::Parse { line, message: missing.to_string() })?;
+    tok.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad vertex id {tok:?}: {e}"),
+    })
+}
+
+/// Write a text edge list: each undirected edge once (`u < v`), with a
+/// header comment.
+pub fn write_text(g: &EdgeArray, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.undirected_iter() {
+        writeln!(out, "{u}\t{v}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write the directed edge array as little-endian `(u32, u32)` records.
+pub fn write_binary(g: &EdgeArray, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    for e in g.arcs() {
+        out.write_all(&e.u.to_le_bytes())?;
+        out.write_all(&e.v.to_le_bytes())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a binary edge array written by [`write_binary`]. No cleanup is
+/// performed — the file is trusted to contain a valid doubled edge array;
+/// call [`EdgeArray::validate`] if the provenance is doubtful.
+pub fn read_binary(path: impl AsRef<Path>) -> Result<EdgeArray, GraphError> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() % 8 != 0 {
+        return Err(GraphError::TruncatedBinary { len: bytes.len() as u64 });
+    }
+    let mut arcs = Vec::with_capacity(bytes.len() / 8);
+    for rec in bytes.chunks_exact(8) {
+        let u = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        let v = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+        arcs.push(Edge::new(u, v));
+    }
+    Ok(EdgeArray::from_arcs_unchecked(arcs))
+}
+
+/// Read a METIS/DIMACS-challenge adjacency file.
+///
+/// Only the unweighted variant (`fmt` absent or `0`/`00`/`000`) is
+/// supported — that is what the 10th DIMACS graphs the paper uses are
+/// distributed as. Comment lines start with `%`.
+pub fn read_metis(path: impl AsRef<Path>) -> Result<EdgeArray, GraphError> {
+    let file = File::open(path)?;
+    read_metis_from(BufReader::new(file))
+}
+
+/// Read METIS adjacency data from any buffered reader.
+pub fn read_metis_from(reader: impl BufRead) -> Result<EdgeArray, GraphError> {
+    let mut lines = reader.lines();
+    let mut line_no = 0u64;
+
+    // Header: n m [fmt]
+    let header = loop {
+        line_no += 1;
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break t.to_string();
+                }
+            }
+            None => {
+                return Err(GraphError::Parse { line: line_no, message: "missing header".into() })
+            }
+        }
+    };
+    let mut head = header.split_whitespace();
+    let n: usize = head
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| GraphError::Parse { line: line_no, message: "bad vertex count".into() })?;
+    let m_declared: usize = head
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| GraphError::Parse { line: line_no, message: "bad edge count".into() })?;
+    if let Some(fmt) = head.next() {
+        if fmt.chars().any(|c| c != '0') {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("weighted METIS format {fmt:?} not supported"),
+            });
+        }
+    }
+
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(m_declared);
+    let mut vertex = 0u32;
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        vertex += 1;
+        if vertex as usize > n {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("more than {n} adjacency lines"),
+            });
+        }
+        for tok in t.split_whitespace() {
+            let nb: u32 = tok.parse().map_err(|e| GraphError::Parse {
+                line: line_no,
+                message: format!("bad neighbour {tok:?}: {e}"),
+            })?;
+            if nb == 0 || nb as usize > n {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("neighbour {nb} out of range 1..={n}"),
+                });
+            }
+            pairs.push((vertex - 1, nb - 1)); // to 0-indexed
+        }
+    }
+    Ok(EdgeArray::from_undirected_pairs(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> EdgeArray {
+        EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0), (3, 1)])
+    }
+
+    #[test]
+    fn text_roundtrip_through_memory() {
+        let g = sample();
+        let mut buf = Vec::new();
+        writeln!(buf, "# a comment").unwrap();
+        for (u, v) in g.undirected_iter() {
+            writeln!(buf, "{u} {v}").unwrap();
+        }
+        let h = read_text_from(Cursor::new(buf)).unwrap();
+        h.validate().unwrap();
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert_eq!(h.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn text_reader_handles_comments_blanks_doubled_arcs_and_extra_columns() {
+        let text = "# comment\n% other comment\n\n0 1 999\n1 0\n1\t2\n";
+        let g = read_text_from(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 2); // 0-1 (deduped) and 1-2
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn text_reader_rejects_garbage() {
+        let err = read_text_from(Cursor::new("0 x\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+        let err = read_text_from(Cursor::new("\n\n7\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrips() {
+        let dir = std::env::temp_dir().join("tc_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+
+        let tpath = dir.join("g.txt");
+        write_text(&g, &tpath).unwrap();
+        let ht = read_text(&tpath).unwrap();
+        assert_eq!(ht.num_edges(), g.num_edges());
+
+        let bpath = dir.join("g.bin");
+        write_binary(&g, &bpath).unwrap();
+        let hb = read_binary(&bpath).unwrap();
+        assert_eq!(hb.arcs(), g.arcs());
+        hb.validate().unwrap();
+    }
+
+    #[test]
+    fn binary_reader_rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("tc_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.bin");
+        std::fs::write(&path, [0u8; 9]).unwrap();
+        assert!(matches!(
+            read_binary(&path),
+            Err(GraphError::TruncatedBinary { len: 9 })
+        ));
+    }
+
+    #[test]
+    fn metis_reads_the_dimacs_example() {
+        // A triangle plus a pendant vertex, in 1-indexed METIS adjacency.
+        let text = "% a comment\n4 4\n2 3\n1 3 4\n1 2\n2\n";
+        let g = read_metis_from(Cursor::new(text)).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn metis_accepts_unweighted_fmt_flag_and_rejects_weighted() {
+        let ok = "2 1 0\n2\n1\n";
+        assert_eq!(read_metis_from(Cursor::new(ok)).unwrap().num_edges(), 1);
+        let weighted = "2 1 1\n2 5\n1 5\n";
+        assert!(matches!(
+            read_metis_from(Cursor::new(weighted)),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn metis_rejects_bad_headers_and_out_of_range() {
+        assert!(read_metis_from(Cursor::new("")).is_err());
+        assert!(read_metis_from(Cursor::new("x y\n")).is_err());
+        let out_of_range = "2 1\n3\n\n";
+        assert!(matches!(
+            read_metis_from(Cursor::new(out_of_range)),
+            Err(GraphError::Parse { .. })
+        ));
+        let too_many_lines = "1 0\n\n\n\n";
+        assert!(read_metis_from(Cursor::new(too_many_lines)).is_err());
+    }
+
+    #[test]
+    fn metis_isolated_vertices_keep_their_ids() {
+        // Vertex 2 has no neighbours (empty line).
+        let text = "3 1\n3\n\n1\n";
+        let g = read_metis_from(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_text("/definitely/not/here.txt"),
+            Err(GraphError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph data structures for triangle counting.
+//!
+//! This crate provides the host-side graph representations used by the
+//! reproduction of Polak's *Counting Triangles in Large Graphs on GPU*
+//! (IPDPSW 2016):
+//!
+//! * [`EdgeArray`] — the paper's input format (§III-A): an array of directed
+//!   arcs in which every undirected edge appears exactly twice, once per
+//!   direction, with no self-loops and no multi-edges, in no particular order.
+//! * [`EdgeSoA`] — the "unzipped" structure-of-arrays layout produced by
+//!   preprocessing step 7 (§III-B).
+//! * [`Csr`] — a compressed sparse row view (the paper's *node array* plus the
+//!   sorted edge array; §III-B steps 3–4).
+//! * [`AdjacencyList`] — a plain adjacency-list representation, used to
+//!   reproduce the input-format comparison of §III-A.
+//! * [`order`] — the degree-based total order ≺ and the *forward orientation*
+//!   that keeps only edges from lower-degree to higher-degree endpoints
+//!   (§II-B).
+//! * [`io`] — SNAP-style text and raw binary edge-list readers/writers.
+//!
+//! Vertex identifiers are `u32`, matching the `int` identifiers of the paper's
+//! CUDA implementation; edge counts fit in `u32` as well (the largest paper
+//! graph has 234 M directed arcs).
+
+pub mod adjacency;
+pub mod convert;
+pub mod cores;
+pub mod csr;
+pub mod edge_array;
+pub mod error;
+pub mod io;
+pub mod order;
+pub mod stats;
+
+pub use adjacency::AdjacencyList;
+pub use csr::Csr;
+pub use edge_array::{Edge, EdgeArray, EdgeSoA};
+pub use error::GraphError;
+pub use order::{DegreeOrder, Orientation};
+pub use stats::GraphStats;
+
+/// Vertex identifier. The paper's implementation uses C `int`; all graphs in
+/// the evaluation have < 2^31 vertices, so `u32` is faithful and halves the
+/// memory traffic relative to `u64`.
+pub type VertexId = u32;

@@ -1,0 +1,342 @@
+//! The degree order ≺ and the forward orientation (paper §II-B).
+//!
+//! The forward algorithm fixes a total order ≺ on vertices consistent with
+//! degrees — `deg(u) < deg(v)` implies `u ≺ v`, ties broken by identifier
+//! (§III-B step 5) — and keeps only the arcs that go *forward* in that order.
+//! Each undirected edge thus becomes one arc from its lower-degree endpoint
+//! to its higher-degree endpoint, every triangle is counted exactly once, and
+//! no oriented adjacency list is longer than √(2m̂) where m̂ is the number of
+//! undirected edges (Schank–Wagner / Latapy).
+
+use rayon::prelude::*;
+
+use crate::{Csr, Edge, EdgeArray, GraphError, VertexId};
+
+/// The total order ≺: degree-major, vertex-id minor.
+#[derive(Clone, Debug)]
+pub struct DegreeOrder {
+    degrees: Vec<u32>,
+}
+
+impl DegreeOrder {
+    /// Compute the order from an edge array (one pass over the arcs).
+    pub fn from_edge_array(g: &EdgeArray) -> Self {
+        DegreeOrder { degrees: g.degrees() }
+    }
+
+    /// Wrap precomputed degrees.
+    pub fn from_degrees(degrees: Vec<u32>) -> Self {
+        DegreeOrder { degrees }
+    }
+
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.degrees[v as usize]
+    }
+
+    #[inline]
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Does `u ≺ v`?
+    #[inline]
+    pub fn precedes(&self, u: VertexId, v: VertexId) -> bool {
+        let (du, dv) = (self.degrees[u as usize], self.degrees[v as usize]);
+        du < dv || (du == dv && u < v)
+    }
+
+    /// Is the arc `e.u -> e.v` a *backward* arc (one the preprocessing marks
+    /// for removal in step 5)?
+    #[inline]
+    pub fn is_backward(&self, e: Edge) -> bool {
+        self.precedes(e.v, e.u)
+    }
+}
+
+/// A forward-oriented graph: the compacted arc set plus its node array.
+#[derive(Clone, Debug)]
+pub struct Orientation {
+    /// CSR over the *oriented* arcs: `csr.neighbors(v)` are the forward
+    /// neighbours of `v`, sorted ascending by identifier (the "arbitrary,
+    /// previously fixed, linear order" the paper sorts lists by).
+    pub csr: Csr,
+    /// The order used, so callers can re-check invariants.
+    pub order: DegreeOrder,
+}
+
+impl Orientation {
+    /// Orient an edge array forward: drop backward arcs, then build the node
+    /// array over what remains. This is the CPU reference for preprocessing
+    /// steps 5–8 (the GPU pipeline in `tc-core` must produce identical
+    /// output).
+    pub fn forward(g: &EdgeArray) -> Result<Self, GraphError> {
+        let order = DegreeOrder::from_edge_array(g);
+        let kept: Vec<Edge> = g
+            .arcs()
+            .iter()
+            .copied()
+            .filter(|&e| !order.is_backward(e))
+            .collect();
+        let mut oriented = EdgeArray::from_arcs_unchecked(kept);
+        // Preserve the original vertex-id space even if the top-ordered
+        // vertices lost all outgoing arcs.
+        let n = g.num_nodes();
+        let csr = csr_with_nodes(&mut oriented, n)?;
+        Ok(Orientation { csr, order })
+    }
+
+    /// Orient forward in an arbitrary rank order: keep arc `(u, v)` iff
+    /// `(ranks[u], u) < (ranks[v], v)`. With `ranks = degrees` this is
+    /// [`Orientation::forward`]; with the degeneracy peel positions it is
+    /// the degeneracy orientation (see [`crate::cores`]). The stored
+    /// [`DegreeOrder`] wraps the ranks, so `order.precedes` answers the
+    /// rank order used.
+    pub fn forward_with_ranks(g: &EdgeArray, ranks: &[u32]) -> Result<Self, GraphError> {
+        assert!(ranks.len() >= g.num_nodes(), "rank table too short");
+        let order = DegreeOrder::from_degrees(ranks.to_vec());
+        let kept: Vec<Edge> = g
+            .arcs()
+            .iter()
+            .copied()
+            .filter(|&e| !order.is_backward(e))
+            .collect();
+        let mut oriented = EdgeArray::from_arcs_unchecked(kept);
+        let n = g.num_nodes();
+        let csr = csr_with_nodes(&mut oriented, n)?;
+        Ok(Orientation { csr, order })
+    }
+
+    /// Fully parallel orientation (rayon): parallel degree histogram,
+    /// parallel backward-arc filter, parallel sort of the packed arcs, then
+    /// boundary detection — the same steps the GPU preprocessing runs, on
+    /// the host. Produces output identical to [`Orientation::forward`].
+    pub fn forward_parallel(g: &EdgeArray) -> Result<Self, GraphError> {
+        let n = g.num_nodes();
+        let m = g.num_arcs();
+        if m > u32::MAX as usize {
+            return Err(GraphError::TooLarge { what: "arc", count: m as u64 });
+        }
+        // Parallel degree histogram: per-chunk local counts, tree-merged.
+        let degrees = g
+            .arcs()
+            .par_chunks(64 * 1024)
+            .map(|chunk| {
+                let mut local = vec![0u32; n];
+                for e in chunk {
+                    local[e.u as usize] += 1;
+                }
+                local
+            })
+            .reduce(
+                || vec![0u32; n],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        let order = DegreeOrder::from_degrees(degrees);
+        // Parallel filter + pack, parallel sort (the host analog of
+        // preprocessing steps 3–6).
+        let mut keys: Vec<u64> = g
+            .arcs()
+            .par_iter()
+            .filter(|&&e| !order.is_backward(e))
+            .map(|e| e.as_u64_first_major())
+            .collect();
+        keys.par_sort_unstable();
+        // Boundary detection into the node array.
+        let mut offsets = vec![0u32; n + 1];
+        offsets[n] = keys.len() as u32;
+        // Sequential boundary pass (cheap: one compare per arc).
+        let mut prev = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            let u = (k >> 32) as usize;
+            while prev <= u {
+                offsets[prev] = i as u32;
+                prev += 1;
+            }
+        }
+        while prev <= n {
+            offsets[prev] = keys.len() as u32;
+            prev += 1;
+        }
+        let targets: Vec<u32> = keys.par_iter().map(|&k| k as u32).collect();
+        Ok(Orientation { csr: Csr::from_parts(offsets, targets), order })
+    }
+
+    /// Number of oriented arcs — exactly the number of undirected edges for a
+    /// valid input.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.csr.num_arcs()
+    }
+
+    /// Maximum forward out-degree. The forward algorithm's complexity bound
+    /// rests on this being ≤ √(2·num_edges).
+    pub fn max_out_degree(&self) -> u32 {
+        self.csr.max_degree()
+    }
+}
+
+/// Build a CSR over `g` forcing `num_nodes` (so trailing vertices with no
+/// outgoing arcs still get (empty) rows).
+fn csr_with_nodes(g: &mut EdgeArray, num_nodes: usize) -> Result<Csr, GraphError> {
+    let m = g.num_arcs();
+    if m > u32::MAX as usize {
+        return Err(GraphError::TooLarge { what: "arc", count: m as u64 });
+    }
+    let mut offsets = vec![0u32; num_nodes + 1];
+    for e in g.arcs() {
+        offsets[e.u as usize + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0u32; m];
+    for e in g.arcs() {
+        let slot = cursor[e.u as usize] as usize;
+        targets[slot] = e.v;
+        cursor[e.u as usize] += 1;
+    }
+    for v in 0..num_nodes {
+        let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+        targets[lo..hi].sort_unstable();
+    }
+    Ok(Csr::from_parts(offsets, targets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_plus_triangle() -> EdgeArray {
+        // vertex 0 is a hub (degree 4); triangle 1-2-3 hangs off it.
+        EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (1, 3)])
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let g = star_plus_triangle();
+        let ord = DegreeOrder::from_edge_array(&g);
+        let n = g.num_nodes() as u32;
+        for u in 0..n {
+            assert!(!ord.precedes(u, u));
+            for v in 0..n {
+                if u != v {
+                    assert_ne!(ord.precedes(u, v), ord.precedes(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_consistent_with_degrees() {
+        let g = star_plus_triangle();
+        let ord = DegreeOrder::from_edge_array(&g);
+        // vertex 4 has degree 1, vertex 0 degree 4: 4 ≺ 0.
+        assert!(ord.precedes(4, 0));
+        assert!(!ord.precedes(0, 4));
+        // equal degrees tie-break on id: deg(1) == deg(2) == deg(3) == 3.
+        assert!(ord.precedes(1, 2));
+        assert!(ord.precedes(2, 3));
+    }
+
+    #[test]
+    fn orientation_halves_the_arcs() {
+        let g = star_plus_triangle();
+        let orient = Orientation::forward(&g).unwrap();
+        assert_eq!(orient.num_arcs(), g.num_edges());
+        // Every oriented arc goes forward in ≺.
+        for e in orient.csr.arcs() {
+            assert!(orient.order.precedes(e.u, e.v), "arc {e:?} is backward");
+        }
+    }
+
+    #[test]
+    fn orientation_is_acyclic_by_construction() {
+        // ≺ is a total order, so forward arcs form a DAG; spot-check there is
+        // no 2-cycle.
+        let g = star_plus_triangle();
+        let orient = Orientation::forward(&g).unwrap();
+        for e in orient.csr.arcs() {
+            assert!(!orient
+                .csr
+                .neighbors(e.v)
+                .contains(&e.u));
+        }
+    }
+
+    #[test]
+    fn oriented_lists_sorted_by_vertex_id() {
+        let g = star_plus_triangle();
+        let orient = Orientation::forward(&g).unwrap();
+        for v in 0..orient.csr.num_nodes() as u32 {
+            let nb = orient.csr.neighbors(v);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn hub_has_no_outgoing_arcs() {
+        let g = star_plus_triangle();
+        let orient = Orientation::forward(&g).unwrap();
+        // vertex 0 has the highest degree: everything points at it.
+        assert_eq!(orient.csr.degree(0), 0);
+        // but the node array still covers it.
+        assert_eq!(orient.csr.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn out_degree_bound_holds() {
+        let g = star_plus_triangle();
+        let orient = Orientation::forward(&g).unwrap();
+        let bound = (2.0 * g.num_edges() as f64).sqrt().ceil() as u32;
+        assert!(orient.max_out_degree() <= bound);
+    }
+
+    #[test]
+    fn empty_graph_orients_to_empty() {
+        let orient = Orientation::forward(&EdgeArray::default()).unwrap();
+        assert_eq!(orient.num_arcs(), 0);
+        assert_eq!(orient.csr.num_nodes(), 0);
+        let par = Orientation::forward_parallel(&EdgeArray::default()).unwrap();
+        assert_eq!(par.num_arcs(), 0);
+    }
+
+    #[test]
+    fn parallel_orientation_matches_sequential() {
+        // Deterministic pseudo-random graph with isolated vertices, hubs,
+        // and ties.
+        let mut pairs = Vec::new();
+        let mut x = 1u64;
+        for _ in 0..800 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((x >> 33) % 150) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = ((x >> 33) % 150) as u32;
+            pairs.push((a, b));
+        }
+        pairs.push((0, 200)); // trailing isolated range up to 200
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let seq = Orientation::forward(&g).unwrap();
+        let par = Orientation::forward_parallel(&g).unwrap();
+        assert_eq!(par.csr, seq.csr);
+    }
+
+    #[test]
+    fn parallel_orientation_on_small_fixtures() {
+        for g in [
+            star_plus_triangle(),
+            EdgeArray::from_undirected_pairs([(0, 1)]),
+            EdgeArray::from_undirected_pairs([(5, 9)]),
+        ] {
+            let seq = Orientation::forward(&g).unwrap();
+            let par = Orientation::forward_parallel(&g).unwrap();
+            assert_eq!(par.csr, seq.csr);
+        }
+    }
+}

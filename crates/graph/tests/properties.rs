@@ -1,0 +1,95 @@
+//! Property tests for the graph crate's own invariants.
+
+use proptest::prelude::*;
+
+use tc_graph::{AdjacencyList, Csr, EdgeArray, Orientation};
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..60, 0u32..60), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn constructor_output_always_validates(pairs in arb_pairs()) {
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn degrees_sum_to_arc_count(pairs in arb_pairs()) {
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let total: u64 = g.degrees().iter().map(|&d| d as u64).sum();
+        prop_assert_eq!(total, g.num_arcs() as u64);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_arcs(pairs in arb_pairs()) {
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let csr = Csr::from_edge_array(&g).unwrap();
+        prop_assert_eq!(csr.num_arcs(), g.num_arcs());
+        let back = csr.to_edge_array();
+        let mut a: Vec<u64> = g.arcs().iter().map(|e| e.as_u64_first_major()).collect();
+        let mut b: Vec<u64> = back.arcs().iter().map(|e| e.as_u64_first_major()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csr_neighbor_lists_sorted_and_complete(pairs in arb_pairs()) {
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let csr = Csr::from_edge_array(&g).unwrap();
+        for v in 0..csr.num_nodes() as u32 {
+            let nb = csr.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(nb.len() as u32, csr.degree(v));
+            // Symmetry: u in N(v) <=> v in N(u).
+            for &u in nb {
+                prop_assert!(csr.neighbors(u).binary_search(&v).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_roundtrip(pairs in arb_pairs()) {
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let adj = AdjacencyList::from_edge_array(&g);
+        let back = adj.to_edge_array();
+        prop_assert_eq!(back.num_arcs(), g.num_arcs());
+        prop_assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn orientation_is_a_partition_of_edges(pairs in arb_pairs()) {
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let orientation = Orientation::forward(&g).unwrap();
+        // Every undirected edge appears exactly once, in exactly one
+        // direction.
+        let mut oriented: Vec<(u32, u32)> = orientation
+            .csr
+            .arcs()
+            .map(|e| if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) })
+            .collect();
+        oriented.sort_unstable();
+        let mut undirected: Vec<(u32, u32)> = g.undirected_iter().collect();
+        undirected.sort_unstable();
+        prop_assert_eq!(oriented, undirected);
+    }
+
+    #[test]
+    fn text_io_roundtrip(pairs in arb_pairs()) {
+        let g = EdgeArray::from_undirected_pairs(pairs);
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            use std::io::Write;
+            for (u, v) in g.undirected_iter() {
+                writeln!(buf, "{u} {v}").unwrap();
+            }
+        }
+        let h = tc_graph::io::read_text_from(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,319 @@
+//! Device memory: a flat arena with capacity accounting.
+//!
+//! Allocation is a 256-byte-aligned bump with explicit free. Freed bytes
+//! return to the capacity budget (so repeated pipelines don't leak), but
+//! address space is never reused within one device lifetime — that keeps
+//! buffer handles unambiguous and makes the cache simulation's address→set
+//! mapping stable. The backing host `Vec` grows on demand; the *simulated*
+//! capacity is enforced by the byte budget, which is what the §III-D6
+//! "graph too large to fit" logic keys off.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use crate::error::SimtError;
+
+/// Scalar types that can live in device memory.
+pub trait DeviceScalar: Copy + Send + Sync + 'static {
+    const BYTES: usize;
+    fn write_le(self, out: &mut [u8]);
+    fn read_le(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl DeviceScalar for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out[..Self::BYTES].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(src: &[u8]) -> Self {
+                let mut b = [0u8; std::mem::size_of::<$t>()];
+                b.copy_from_slice(&src[..Self::BYTES]);
+                <$t>::from_le_bytes(b)
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u32, i32, u64, i64);
+
+/// Typed handle to a device allocation. Copyable; freeing is done through
+/// the owning [`crate::Device`].
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    addr: u64,
+    len: usize,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DeviceBuffer<T> {}
+
+impl<T: DeviceScalar> DeviceBuffer<T> {
+    pub(crate) fn new(addr: u64, len: usize) -> Self {
+        DeviceBuffer { addr, len, _t: PhantomData }
+    }
+
+    /// Base device address.
+    #[inline]
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes occupied.
+    #[inline]
+    pub fn byte_len(&self) -> u64 {
+        (self.len * T::BYTES) as u64
+    }
+
+    /// Device address of element `i`.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> u64 {
+        debug_assert!(i <= self.len);
+        self.addr + (i * T::BYTES) as u64
+    }
+
+    /// A sub-range view `[from, to)` of this buffer (no new allocation).
+    pub fn slice(&self, from: usize, to: usize) -> DeviceBuffer<T> {
+        assert!(from <= to && to <= self.len, "slice {from}..{to} of len {}", self.len);
+        DeviceBuffer { addr: self.addr_of(from), len: to - from, _t: PhantomData }
+    }
+}
+
+/// The flat device memory arena.
+#[derive(Debug)]
+pub struct Arena {
+    data: Vec<u8>,
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    next: u64,
+    live: BTreeMap<u64, u64>,
+}
+
+const ALIGN: u64 = 256;
+
+impl Arena {
+    pub fn new(capacity: u64) -> Self {
+        Arena { data: Vec::new(), capacity, used: 0, peak: 0, next: 0, live: BTreeMap::new() }
+    }
+
+    /// Allocate `bytes`; fails like `cudaMalloc` when the budget is blown.
+    pub fn alloc(&mut self, bytes: u64) -> Result<u64, SimtError> {
+        if self.used.saturating_add(bytes) > self.capacity {
+            return Err(SimtError::OutOfMemory {
+                requested: bytes,
+                available: self.capacity - self.used,
+            });
+        }
+        let addr = self.next;
+        // Zero-byte allocations still get a distinct address (CUDA returns
+        // distinct non-null pointers too); without this, two empty buffers
+        // would alias and double-free.
+        let span = bytes.div_ceil(ALIGN).max(1) * ALIGN;
+        self.next += span;
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        // Keep 8 guard bytes past the last allocation: faithful kernels may
+        // issue a benign one-past-the-end load (the paper's merge loop reads
+        // `edge[++u_it]` with `u_it == u_end` on its final iteration), and
+        // the functional view must not panic on it.
+        let end = (addr + span) as usize + 8;
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.live.insert(addr, bytes);
+        Ok(addr)
+    }
+
+    /// Release an allocation made by [`Arena::alloc`].
+    pub fn free(&mut self, addr: u64) -> Result<(), SimtError> {
+        match self.live.remove(&addr) {
+            Some(bytes) => {
+                self.used -= bytes;
+                Ok(())
+            }
+            None => Err(SimtError::InvalidBuffer { addr }),
+        }
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark of allocated bytes.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Would an additional allocation of `bytes` fit right now?
+    #[inline]
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.used.saturating_add(bytes) <= self.capacity
+    }
+
+    /// Raw backing bytes (for the executor's functional memory view).
+    #[inline]
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Write a typed slice at a buffer's location.
+    pub fn write_slice<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, src: &[T]) {
+        assert!(src.len() <= buf.len(), "write of {} into buffer of {}", src.len(), buf.len());
+        let base = buf.addr() as usize;
+        for (i, &v) in src.iter().enumerate() {
+            v.write_le(&mut self.data[base + i * T::BYTES..]);
+        }
+    }
+
+    /// Read a typed buffer back out.
+    pub fn read_slice<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let base = buf.addr() as usize;
+        (0..buf.len()).map(|i| T::read_le(&self.data[base + i * T::BYTES..])).collect()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn read_at<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>, i: usize) -> T {
+        assert!(i < buf.len());
+        T::read_le(&self.data[buf.addr_of(i) as usize..])
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn write_at<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) {
+        assert!(i < buf.len());
+        v.write_le(&mut self.data[buf.addr_of(i) as usize..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut a = Arena::new(1024);
+        let b1 = a.alloc(400).unwrap();
+        assert_eq!(a.used(), 400);
+        let b2 = a.alloc(600).unwrap();
+        assert_eq!(a.used(), 1000);
+        assert_eq!(a.peak(), 1000);
+        assert!(a.alloc(100).is_err());
+        a.free(b1).unwrap();
+        assert_eq!(a.used(), 600);
+        let _b3 = a.alloc(100).unwrap();
+        assert_eq!(a.peak(), 1000);
+        a.free(b2).unwrap();
+    }
+
+    #[test]
+    fn oom_reports_headroom() {
+        let mut a = Arena::new(100);
+        a.alloc(60).unwrap();
+        match a.alloc(60) {
+            Err(SimtError::OutOfMemory { requested: 60, available: 40 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut a = Arena::new(100);
+        let b = a.alloc(10).unwrap();
+        a.free(b).unwrap();
+        assert!(matches!(a.free(b), Err(SimtError::InvalidBuffer { .. })));
+    }
+
+    #[test]
+    fn addresses_are_aligned_and_disjoint() {
+        let mut a = Arena::new(1 << 20);
+        let x = a.alloc(10).unwrap();
+        let y = a.alloc(10).unwrap();
+        assert_eq!(x % ALIGN, 0);
+        assert_eq!(y % ALIGN, 0);
+        assert!(y >= x + ALIGN);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let mut a = Arena::new(1 << 20);
+        let addr = a.alloc(4 * 8).unwrap();
+        let buf: DeviceBuffer<u64> = DeviceBuffer::new(addr, 4);
+        a.write_slice(&buf, &[1, 2, 3, u64::MAX]);
+        assert_eq!(a.read_slice(&buf), vec![1, 2, 3, u64::MAX]);
+        a.write_at(&buf, 1, 99);
+        assert_eq!(a.read_at(&buf, 1), 99);
+    }
+
+    #[test]
+    fn buffer_slicing() {
+        let buf: DeviceBuffer<u32> = DeviceBuffer::new(256, 10);
+        let s = buf.slice(2, 7);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.addr(), 256 + 8);
+        assert_eq!(s.addr_of(0), buf.addr_of(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice")]
+    fn out_of_range_slice_panics() {
+        let buf: DeviceBuffer<u32> = DeviceBuffer::new(0, 4);
+        let _ = buf.slice(2, 9);
+    }
+
+    #[test]
+    fn zero_byte_allocations_get_distinct_addresses() {
+        let mut a = Arena::new(1 << 20);
+        let x = a.alloc(0).unwrap();
+        let y = a.alloc(0).unwrap();
+        assert_ne!(x, y);
+        a.free(x).unwrap();
+        a.free(y).unwrap();
+    }
+
+    #[test]
+    fn fits_matches_alloc_outcome() {
+        let mut a = Arena::new(100);
+        assert!(a.fits(100));
+        a.alloc(80).unwrap();
+        assert!(a.fits(20));
+        assert!(!a.fits(21));
+    }
+
+    #[test]
+    fn i32_scalar_roundtrip() {
+        let mut a = Arena::new(1024);
+        let addr = a.alloc(8).unwrap();
+        let buf: DeviceBuffer<i32> = DeviceBuffer::new(addr, 2);
+        a.write_slice(&buf, &[-5, i32::MAX]);
+        assert_eq!(a.read_slice(&buf), vec![-5, i32::MAX]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Warp-level memory coalescing.
+//!
+//! The memory system serves line-sized transactions. When the lanes of a
+//! warp issue loads in the same step, accesses falling in the same line are
+//! merged into one transaction — the classic coalescing rule. The counting
+//! kernel's outer loop (consecutive lanes read consecutive edge slots)
+//! coalesces perfectly; the inner merge loop (each lane walks a different
+//! adjacency list) mostly does not, which is precisely why the paper's
+//! kernel is texture-cache-bound.
+
+/// Collect the distinct line base addresses touched by a set of `(addr,
+/// bytes)` accesses. Order of first touch is preserved (deterministic
+/// timing), and a scratch buffer is reused by the caller to avoid per-step
+/// allocation.
+pub fn coalesce_into(
+    accesses: &[(u64, u32)],
+    line_bytes: u32,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    let shift = line_bytes.trailing_zeros();
+    for &(addr, bytes) in accesses {
+        debug_assert!(bytes > 0);
+        let first = addr >> shift;
+        let last = (addr + bytes as u64 - 1) >> shift;
+        for line in first..=last {
+            let base = line << shift;
+            // Warps have ≤ 32 lanes: linear containment check beats hashing.
+            if !out.contains(&base) {
+                out.push(base);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coalesce(accesses: &[(u64, u32)], line: u32) -> Vec<u64> {
+        let mut out = Vec::new();
+        coalesce_into(accesses, line, &mut out);
+        out
+    }
+
+    #[test]
+    fn perfectly_coalesced_warp_is_a_few_transactions() {
+        // 32 lanes reading consecutive u32s: 128 bytes = 4 lines of 32 B.
+        let accesses: Vec<(u64, u32)> = (0..32).map(|i| (i * 4, 4)).collect();
+        assert_eq!(coalesce(&accesses, 32).len(), 4);
+    }
+
+    #[test]
+    fn scattered_warp_is_one_transaction_per_lane() {
+        let accesses: Vec<(u64, u32)> = (0..32).map(|i| (i * 4096, 4)).collect();
+        assert_eq!(coalesce(&accesses, 32).len(), 32);
+    }
+
+    #[test]
+    fn same_address_merges() {
+        let accesses = vec![(100, 4), (100, 4), (96, 4)];
+        assert_eq!(coalesce(&accesses, 32).len(), 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        // 8-byte read at offset 28 crosses the 32 B boundary.
+        assert_eq!(coalesce(&[(28, 8)], 32), vec![0, 32]);
+    }
+
+    #[test]
+    fn preserves_first_touch_order() {
+        assert_eq!(coalesce(&[(64, 4), (0, 4), (65, 4)], 32), vec![64, 0]);
+    }
+}

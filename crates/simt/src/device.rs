@@ -1,0 +1,284 @@
+//! The simulated device: arena + clock + launch front-end.
+//!
+//! A [`Device`] owns its memory arena and a simulated wall clock. Every
+//! operation — context creation, host↔device copies, primitive calls,
+//! kernel launches — advances the clock by the modeled cost and appends to
+//! a time log, which is how the end-to-end pipeline reproduces the paper's
+//! measurement protocol ("we started each measurement just before the edge
+//! array is copied … finished right after the final result was copied back
+//! and the GPU memory was freed", §IV).
+
+use crate::arena::{Arena, DeviceBuffer, DeviceScalar};
+use crate::config::DeviceConfig;
+use crate::error::SimtError;
+use crate::executor::{simulate, KernelStats, LaunchConfig};
+use crate::kernel::Kernel;
+
+/// One entry of the device time log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedOp {
+    pub label: String,
+    pub seconds: f64,
+}
+
+/// A simulated GPU.
+///
+/// ```
+/// use tc_simt::{Device, DeviceConfig};
+/// let mut dev = Device::new(DeviceConfig::gtx_980());
+/// dev.preinit_context();           // the paper's cudaFree(NULL) trick
+/// dev.reset_clock();
+/// let buf = dev.htod_copy(&[1u32, 2, 3]).unwrap();
+/// assert_eq!(dev.dtoh(&buf), vec![1, 2, 3]);
+/// assert!(dev.elapsed() > 0.0);    // PCIe transfers cost simulated time
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    cfg: DeviceConfig,
+    arena: Arena,
+    now_s: f64,
+    context_ready: bool,
+    log: Vec<TimedOp>,
+}
+
+impl Device {
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let arena = Arena::new(cfg.memory_capacity);
+        Device { cfg, arena, now_s: 0.0, context_ready: false, log: Vec::new() }
+    }
+
+    #[inline]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Simulated seconds elapsed since construction or the last
+    /// [`Device::reset_clock`].
+    #[inline]
+    pub fn elapsed(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Zero the clock and the time log (the paper resets its stopwatch after
+    /// pre-initializing the context).
+    pub fn reset_clock(&mut self) {
+        self.now_s = 0.0;
+        self.log.clear();
+    }
+
+    /// The operations charged so far.
+    pub fn time_log(&self) -> &[TimedOp] {
+        &self.log
+    }
+
+    /// Pre-create the CUDA context (the paper's `cudaFree(NULL)` trick):
+    /// pays the ~100 ms once, so the first real allocation doesn't.
+    pub fn preinit_context(&mut self) {
+        if !self.context_ready {
+            let cost = self.cfg.context_init_ms * 1e-3;
+            self.advance("context-init", cost);
+            self.context_ready = true;
+        }
+    }
+
+    fn ensure_context(&mut self) {
+        if !self.context_ready {
+            let cost = self.cfg.context_init_ms * 1e-3;
+            self.advance("context-init (lazy, first malloc)", cost);
+            self.context_ready = true;
+        }
+    }
+
+    pub(crate) fn advance(&mut self, label: &str, seconds: f64) {
+        self.now_s += seconds;
+        self.log.push(TimedOp { label: label.to_string(), seconds });
+    }
+
+    /// Allocate a typed device buffer (`cudaMalloc`).
+    pub fn alloc<T: DeviceScalar>(&mut self, len: usize) -> Result<DeviceBuffer<T>, SimtError> {
+        self.ensure_context();
+        let addr = self.arena.alloc((len * T::BYTES) as u64)?;
+        Ok(DeviceBuffer::new(addr, len))
+    }
+
+    /// Free a buffer (`cudaFree`).
+    pub fn free<T: DeviceScalar>(&mut self, buf: DeviceBuffer<T>) -> Result<(), SimtError> {
+        self.arena.free(buf.addr())
+    }
+
+    /// Allocate and fill from host data, charging the PCIe transfer.
+    pub fn htod_copy<T: DeviceScalar>(&mut self, src: &[T]) -> Result<DeviceBuffer<T>, SimtError> {
+        let buf = self.alloc::<T>(src.len())?;
+        self.htod_write(&buf, src)?;
+        Ok(buf)
+    }
+
+    /// Overwrite an existing buffer from host data, charging PCIe time.
+    pub fn htod_write<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        src: &[T],
+    ) -> Result<(), SimtError> {
+        if src.len() != buf.len() {
+            return Err(SimtError::LengthMismatch { expected: buf.len(), got: src.len() });
+        }
+        self.arena.write_slice(buf, src);
+        let secs = buf.byte_len() as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
+        self.advance("htod", secs);
+        Ok(())
+    }
+
+    /// Copy a buffer back to the host, charging PCIe time.
+    pub fn dtoh<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let out = self.arena.read_slice(buf);
+        let secs = buf.byte_len() as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
+        self.advance("dtoh", secs);
+        out
+    }
+
+    /// Host-side debug read without timing (not part of the measured
+    /// protocol; tests use it to inspect device state).
+    pub fn peek<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        self.arena.read_slice(buf)
+    }
+
+    /// Host-side debug write without timing.
+    pub fn poke<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, src: &[T]) {
+        self.arena.write_slice(buf, src)
+    }
+
+    /// Launch a kernel under cycle simulation; commits its stores and
+    /// advances the clock by the simulated kernel time.
+    pub fn launch<K: Kernel>(
+        &mut self,
+        label: &str,
+        lc: LaunchConfig,
+        kernel: &K,
+    ) -> Result<KernelStats, SimtError> {
+        self.ensure_context();
+        let (stats, writes) = simulate(&self.cfg, &self.arena, lc, kernel)?;
+        for w in writes {
+            commit_write(&mut self.arena, w.addr, w.bytes, w.value);
+        }
+        self.advance(label, stats.time_s);
+        Ok(stats)
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn mem_used(&self) -> u64 {
+        self.arena.used()
+    }
+
+    /// Peak allocation high-water mark.
+    pub fn mem_peak(&self) -> u64 {
+        self.arena.peak()
+    }
+
+    pub fn mem_capacity(&self) -> u64 {
+        self.arena.capacity()
+    }
+
+    /// Would `bytes` more fit right now? (§III-D6 capacity planning.)
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.arena.fits(bytes)
+    }
+
+}
+
+fn commit_write(arena: &mut Arena, addr: u64, bytes: u32, value: u64) {
+    // Stores are 4 or 8 bytes in our kernels.
+    match bytes {
+        4 => {
+            let buf = DeviceBuffer::<u32>::new(addr, 1);
+            arena.write_slice(&buf, &[value as u32]);
+        }
+        8 => {
+            let buf = DeviceBuffer::<u64>::new(addr, 1);
+            arena.write_slice(&buf, &[value]);
+        }
+        other => panic!("unsupported store width {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_roundtrip_and_charge_time() {
+        let mut dev = Device::new(DeviceConfig::gtx_980());
+        dev.preinit_context();
+        dev.reset_clock();
+        let data: Vec<u32> = (0..1000).collect();
+        let buf = dev.htod_copy(&data).unwrap();
+        let t_after_up = dev.elapsed();
+        assert!(t_after_up > 0.0);
+        let back = dev.dtoh(&buf);
+        assert_eq!(back, data);
+        assert!(dev.elapsed() > t_after_up);
+        assert_eq!(dev.time_log().len(), 2);
+    }
+
+    #[test]
+    fn lazy_context_init_charges_100ms_once() {
+        let mut dev = Device::new(DeviceConfig::gtx_980());
+        let _ = dev.alloc::<u32>(16).unwrap();
+        assert!(dev.elapsed() >= 0.1, "first malloc must pay context init");
+        let t = dev.elapsed();
+        let _ = dev.alloc::<u32>(16).unwrap();
+        assert_eq!(dev.elapsed(), t, "second malloc is free of context cost");
+    }
+
+    #[test]
+    fn preinit_moves_cost_out_of_the_measured_window() {
+        let mut dev = Device::new(DeviceConfig::gtx_980());
+        dev.preinit_context();
+        dev.reset_clock();
+        let _ = dev.alloc::<u32>(16).unwrap();
+        assert!(dev.elapsed() < 1e-3);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let cfg = DeviceConfig::gtx_980().with_memory_capacity(1024);
+        let mut dev = Device::new(cfg);
+        assert!(dev.alloc::<u32>(200).is_ok());
+        assert!(matches!(
+            dev.alloc::<u32>(200),
+            Err(SimtError::OutOfMemory { .. })
+        ));
+        assert!(dev.fits(100));
+        assert!(!dev.fits(1000));
+    }
+
+    #[test]
+    fn free_returns_budget() {
+        let cfg = DeviceConfig::gtx_980().with_memory_capacity(1024);
+        let mut dev = Device::new(cfg);
+        let b = dev.alloc::<u32>(200).unwrap();
+        dev.free(b).unwrap();
+        assert!(dev.alloc::<u32>(200).is_ok());
+        assert_eq!(dev.mem_peak(), 800);
+    }
+
+    #[test]
+    fn mismatched_write_is_rejected() {
+        let mut dev = Device::new(DeviceConfig::gtx_980());
+        let buf = dev.alloc::<u32>(4).unwrap();
+        assert!(matches!(
+            dev.htod_write(&buf, &[1, 2, 3]),
+            Err(SimtError::LengthMismatch { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn peek_and_poke_do_not_advance_clock() {
+        let mut dev = Device::new(DeviceConfig::gtx_980());
+        dev.preinit_context();
+        dev.reset_clock();
+        let buf = dev.alloc::<u32>(4).unwrap();
+        dev.poke(&buf, &[9, 8, 7, 6]);
+        assert_eq!(dev.peek(&buf), vec![9, 8, 7, 6]);
+        assert_eq!(dev.elapsed(), 0.0);
+    }
+}

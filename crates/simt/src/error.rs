@@ -1,0 +1,51 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimtError {
+    /// `cudaMalloc` failed: the requested allocation does not fit in the
+    /// device's remaining capacity. Carries the request and the headroom so
+    /// callers (the §III-D6 fallback) can plan.
+    OutOfMemory { requested: u64, available: u64 },
+    /// A typed buffer operation used mismatched lengths.
+    LengthMismatch { expected: usize, got: usize },
+    /// A buffer handle was used after being freed or on the wrong device.
+    InvalidBuffer { addr: u64 },
+    /// A launch configuration was degenerate (zero blocks/threads, or a warp
+    /// split that does not divide the warp).
+    BadLaunch { message: &'static str },
+}
+
+impl fmt::Display for SimtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimtError::OutOfMemory { requested, available } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            SimtError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            SimtError::InvalidBuffer { addr } => write!(f, "invalid buffer handle @{addr:#x}"),
+            SimtError::BadLaunch { message } => write!(f, "bad launch config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_numbers() {
+        let e = SimtError::OutOfMemory { requested: 100, available: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+        let e = SimtError::LengthMismatch { expected: 4, got: 5 };
+        assert!(e.to_string().contains("expected 4"));
+    }
+}

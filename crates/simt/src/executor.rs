@@ -1,0 +1,650 @@
+//! Cycle-level SIMT execution: warps in lockstep, divergence serialization,
+//! per-SM issue and memory pipelines, latency hiding across resident warps.
+//!
+//! ## Timing model
+//!
+//! Each SM owns two pipelines and a set of resident warps:
+//!
+//! * the **issue pipeline** starts `issue_width` instruction groups per
+//!   cycle; a warp step whose lanes diverge into `g` distinct effect kinds
+//!   occupies `g` issue slots (SIMT serialization);
+//! * the **memory pipeline** starts `mem_txn_per_cycle` line transactions
+//!   per cycle; a warp's loads are coalesced into line transactions first;
+//! * a warp that issued a step may not issue again until the step's
+//!   **latency** (worst transaction latency, or the compute latency) has
+//!   elapsed — but *other* resident warps may issue meanwhile. That is the
+//!   latency hiding that makes occupancy matter and is what the paper's
+//!   §III-D5 warp-size experiment manipulates.
+//!
+//! SMs share nothing but DRAM: the per-SM texture cache is private and the
+//! device L2 is address-sliced, so SMs simulate in parallel (rayon) and the
+//! kernel's time is the slowest SM's cycle count — then clamped from below
+//! by total DRAM traffic over peak DRAM bandwidth (a bandwidth-saturation
+//! model).
+
+use rayon::prelude::*;
+
+use crate::arena::Arena;
+use crate::cache::{Cache, CacheStats};
+use crate::coalesce::coalesce_into;
+use crate::config::DeviceConfig;
+use crate::error::SimtError;
+use crate::kernel::{Effect, Kernel, Lane, MemView};
+
+/// Grid dimensions for a launch, in the paper's terms (§III-C): number of
+/// blocks and threads per block. `warp_split` simulates the reduced-warp
+/// trick of §III-D5: with split `s`, only `warp_size / s` lanes of each
+/// warp do real work (the caller launches `s`× more blocks to compensate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    pub blocks: u32,
+    pub threads_per_block: u32,
+    pub warp_split: u32,
+}
+
+impl LaunchConfig {
+    pub fn new(blocks: u32, threads_per_block: u32) -> Self {
+        LaunchConfig { blocks, threads_per_block, warp_split: 1 }
+    }
+
+    /// Active (working) threads in the grid.
+    pub fn active_threads(&self, warp_size: u32) -> usize {
+        let warps = self.blocks as usize * (self.threads_per_block / warp_size) as usize;
+        warps * (warp_size / self.warp_split) as usize
+    }
+
+    fn validate(&self, cfg: &DeviceConfig) -> Result<(), SimtError> {
+        if self.blocks == 0 || self.threads_per_block == 0 {
+            return Err(SimtError::BadLaunch { message: "zero blocks or threads" });
+        }
+        if !self.threads_per_block.is_multiple_of(cfg.warp_size) {
+            return Err(SimtError::BadLaunch {
+                message: "threads per block must be a multiple of the warp size",
+            });
+        }
+        if self.warp_split == 0 || !cfg.warp_size.is_multiple_of(self.warp_split) {
+            return Err(SimtError::BadLaunch {
+                message: "warp split must divide the warp size",
+            });
+        }
+        if self.threads_per_block > cfg.max_threads_per_sm {
+            return Err(SimtError::BadLaunch { message: "block exceeds SM thread capacity" });
+        }
+        Ok(())
+    }
+}
+
+/// A store buffered during simulation, committed after the kernel retires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingWrite {
+    pub addr: u64,
+    pub bytes: u32,
+    pub value: u64,
+}
+
+/// Aggregated observable results of one kernel launch — the quantities
+/// Table II reports, plus enough detail for the ablation benches.
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// Slowest SM's pipeline time in cycles.
+    pub sm_cycles: f64,
+    /// Wall-clock seconds the launch took on the simulated device
+    /// (pipeline time vs. DRAM-bandwidth bound, plus launch overhead).
+    pub time_s: f64,
+    /// Lane steps executed (≈ dynamic instruction count).
+    pub lane_steps: u64,
+    /// Warp scheduling events.
+    pub warp_steps: u64,
+    /// Warp steps whose lanes diverged into more than one effect group.
+    pub divergent_steps: u64,
+    /// Read-only (texture) cache statistics — Table II's "cache hit rate".
+    pub tex: CacheStats,
+    /// L2 slice statistics.
+    pub l2: CacheStats,
+    /// Line transactions issued to the memory pipeline.
+    pub transactions: u64,
+    /// Bytes that had to come from / go to DRAM.
+    pub dram_bytes: u64,
+    /// `dram_bytes / time_s` — Table II's "bandwidth" column.
+    pub achieved_bandwidth_gbs: f64,
+}
+
+/// Simulate a kernel launch against an arena snapshot. Returns the stats and
+/// the buffered stores; the caller (the [`crate::Device`]) commits the
+/// stores and advances the device clock.
+pub fn simulate<K: Kernel>(
+    cfg: &DeviceConfig,
+    arena: &Arena,
+    lc: LaunchConfig,
+    kernel: &K,
+) -> Result<(KernelStats, Vec<PendingWrite>), SimtError> {
+    lc.validate(cfg)?;
+    let warps_per_block = lc.threads_per_block / cfg.warp_size;
+    let lanes_per_warp = (cfg.warp_size / lc.warp_split) as usize;
+    let total_active = lc.active_threads(cfg.warp_size);
+    let resident_blocks = cfg.resident_blocks(lc.threads_per_block);
+
+    // Round-robin block → SM assignment.
+    let num_sms = cfg.num_sms as usize;
+    let mut sm_blocks: Vec<Vec<u32>> = vec![Vec::new(); num_sms];
+    for b in 0..lc.blocks {
+        sm_blocks[(b as usize) % num_sms].push(b);
+    }
+
+    let mem = MemView::new(arena.bytes());
+    let results: Vec<SmResult> = sm_blocks
+        .par_iter()
+        .map(|blocks| {
+            simulate_sm(
+                cfg,
+                mem,
+                kernel,
+                blocks,
+                warps_per_block,
+                lanes_per_warp,
+                total_active,
+                resident_blocks as usize,
+            )
+        })
+        .collect();
+
+    let mut stats = KernelStats::default();
+    let mut writes = Vec::new();
+    for r in results {
+        stats.sm_cycles = stats.sm_cycles.max(r.end_cycle);
+        stats.lane_steps += r.lane_steps;
+        stats.warp_steps += r.warp_steps;
+        stats.divergent_steps += r.divergent_steps;
+        stats.transactions += r.transactions;
+        stats.dram_bytes += r.dram_bytes;
+        stats.tex.merge(r.tex);
+        stats.l2.merge(r.l2);
+        writes.extend(r.writes);
+    }
+    let pipeline_time = stats.sm_cycles * cfg.cycle_seconds();
+    let dram_time = stats.dram_bytes as f64 / (cfg.dram_bandwidth_gbs * 1e9);
+    stats.time_s = pipeline_time.max(dram_time) + cfg.launch_overhead_us * 1e-6;
+    stats.achieved_bandwidth_gbs = stats.dram_bytes as f64 / stats.time_s / 1e9;
+    Ok((stats, writes))
+}
+
+struct SmResult {
+    end_cycle: f64,
+    lane_steps: u64,
+    warp_steps: u64,
+    divergent_steps: u64,
+    transactions: u64,
+    dram_bytes: u64,
+    tex: CacheStats,
+    l2: CacheStats,
+    writes: Vec<PendingWrite>,
+}
+
+struct WarpSim<L> {
+    lanes: Vec<L>,
+    active: Vec<bool>,
+    live: usize,
+    ready_at: f64,
+    block_slot: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_sm<K: Kernel>(
+    cfg: &DeviceConfig,
+    mem: MemView<'_>,
+    kernel: &K,
+    blocks: &[u32],
+    warps_per_block: u32,
+    lanes_per_warp: usize,
+    total_active: usize,
+    resident_blocks: usize,
+) -> SmResult {
+    let mut tex = Cache::new(cfg.tex_cache_bytes, cfg.tex_cache_ways, cfg.line_bytes);
+    let l2_slice = (cfg.l2_cache_bytes / cfg.num_sms).max(cfg.line_bytes * cfg.l2_cache_ways);
+    let mut l2 = Cache::new(l2_slice, cfg.l2_cache_ways, cfg.line_bytes);
+
+    let spawn_block = |block: u32, at: f64, slot: usize| -> Vec<WarpSim<K::Lane>> {
+        (0..warps_per_block)
+            .map(|w| {
+                let global_warp = block as usize * warps_per_block as usize + w as usize;
+                let lanes: Vec<K::Lane> = (0..lanes_per_warp)
+                    .map(|l| kernel.spawn(global_warp * lanes_per_warp + l, total_active))
+                    .collect();
+                WarpSim {
+                    active: vec![true; lanes.len()],
+                    live: lanes.len(),
+                    lanes,
+                    ready_at: at,
+                    block_slot: slot,
+                }
+            })
+            .collect()
+    };
+
+    // Admit the initial resident set.
+    let mut next_block = 0usize;
+    let mut warps: Vec<WarpSim<K::Lane>> = Vec::new();
+    let mut block_live_warps: Vec<u32> = Vec::new();
+    while next_block < blocks.len() && block_live_warps.len() < resident_blocks {
+        let slot = block_live_warps.len();
+        warps.extend(spawn_block(blocks[next_block], 0.0, slot));
+        block_live_warps.push(warps_per_block);
+        next_block += 1;
+    }
+
+    let mut alu_clock = 0f64;
+    let mut mem_clock = 0f64;
+    let mut end_cycle = 0f64;
+    let mut lane_steps = 0u64;
+    let mut warp_steps = 0u64;
+    let mut divergent_steps = 0u64;
+    let mut transactions = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut writes: Vec<PendingWrite> = Vec::new();
+
+    let mut effects: Vec<Effect> = Vec::with_capacity(lanes_per_warp);
+    let mut reads_cached: Vec<(u64, u32)> = Vec::with_capacity(lanes_per_warp);
+    let mut reads_uncached: Vec<(u64, u32)> = Vec::with_capacity(lanes_per_warp);
+    let mut lines: Vec<u64> = Vec::with_capacity(lanes_per_warp * 2);
+
+    loop {
+        // Pick the ready warp with the earliest ready time (stable tie-break
+        // on index keeps the simulation deterministic).
+        let mut chosen: Option<usize> = None;
+        for (i, w) in warps.iter().enumerate() {
+            if w.live > 0 && chosen.is_none_or(|c| w.ready_at < warps[c].ready_at) {
+                chosen = Some(i);
+            }
+        }
+        let Some(wi) = chosen else {
+            break; // every admitted warp retired, and admission is eager
+        };
+
+        let now = warps[wi].ready_at.max(alu_clock);
+        warp_steps += 1;
+
+        // Lockstep: step every active lane once.
+        effects.clear();
+        reads_cached.clear();
+        reads_uncached.clear();
+        let mut write_txns = 0u64;
+        let mut compute_latency = 0u32;
+        let mut kinds_seen = [false; 5];
+        {
+            let w = &mut warps[wi];
+            for li in 0..w.lanes.len() {
+                if !w.active[li] {
+                    continue;
+                }
+                let eff = w.lanes[li].step(&mem);
+                lane_steps += 1;
+                kinds_seen[eff.kind() as usize] = true;
+                match eff {
+                    Effect::Read { addr, bytes, cached } => {
+                        if cached {
+                            reads_cached.push((addr, bytes));
+                        } else {
+                            reads_uncached.push((addr, bytes));
+                        }
+                    }
+                    Effect::Write { addr, bytes, value } => {
+                        writes.push(PendingWrite { addr, bytes, value });
+                        write_txns += 1;
+                        dram_bytes += bytes as u64; // write-through
+                    }
+                    Effect::Compute { cycles } => {
+                        compute_latency = compute_latency.max(cycles);
+                    }
+                    Effect::Done => {
+                        w.active[li] = false;
+                        w.live -= 1;
+                    }
+                }
+            }
+        }
+
+        // Issue cost: one slot per distinct effect kind (Done issues nothing).
+        let groups = kinds_seen[..4].iter().filter(|&&k| k).count() as u32;
+        if kinds_seen[..4].iter().filter(|&&k| k).count() > 1 {
+            divergent_steps += 1;
+        }
+        alu_clock = now + groups as f64 / cfg.issue_width as f64;
+
+        // Memory cost: coalesce, probe caches, charge the memory pipeline.
+        let mut latency = compute_latency as f64;
+        let mut txns = write_txns;
+        if !reads_cached.is_empty() {
+            coalesce_into(&reads_cached, cfg.line_bytes, &mut lines);
+            txns += lines.len() as u64;
+            for &line in &lines {
+                let lat = if tex.access(line) {
+                    cfg.tex_hit_latency
+                } else if l2.access(line) {
+                    cfg.l2_hit_latency
+                } else {
+                    dram_bytes += cfg.dram_fetch_bytes as u64;
+                    cfg.dram_latency
+                };
+                latency = latency.max(lat as f64);
+            }
+        }
+        if !reads_uncached.is_empty() {
+            coalesce_into(&reads_uncached, cfg.line_bytes, &mut lines);
+            txns += lines.len() as u64;
+            for &line in &lines {
+                let lat = if l2.access(line) {
+                    cfg.l2_hit_latency
+                } else {
+                    dram_bytes += cfg.dram_fetch_bytes as u64;
+                    cfg.dram_latency
+                };
+                latency = latency.max(lat as f64);
+            }
+        }
+        transactions += txns;
+
+        let mut completion = alu_clock;
+        if txns > 0 {
+            mem_clock = mem_clock.max(now) + txns as f64 / cfg.mem_txn_per_cycle;
+            completion = completion.max(mem_clock);
+        }
+        completion += latency;
+        end_cycle = end_cycle.max(completion);
+
+        // Retire and admit.
+        if warps[wi].live == 0 {
+            let slot = warps[wi].block_slot;
+            block_live_warps[slot] -= 1;
+            if block_live_warps[slot] == 0 && next_block < blocks.len() {
+                warps.extend(spawn_block(blocks[next_block], completion, slot));
+                block_live_warps[slot] = warps_per_block;
+                next_block += 1;
+            }
+        } else {
+            warps[wi].ready_at = completion;
+        }
+    }
+
+    SmResult {
+        end_cycle: end_cycle.max(alu_clock).max(mem_clock),
+        lane_steps,
+        warp_steps,
+        divergent_steps,
+        transactions,
+        dram_bytes,
+        tex: tex.stats(),
+        l2: l2.stats(),
+        writes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::DeviceBuffer;
+
+    /// Kernel: each lane reads `input[tid]`, doubles it, writes `output[tid]`.
+    struct DoubleKernel {
+        input: DeviceBuffer<u32>,
+        output: DeviceBuffer<u32>,
+        n: usize,
+    }
+
+    enum DoubleState {
+        Load,
+        Store(u32),
+        Finished,
+    }
+
+    struct DoubleLane {
+        stride: usize,
+        i: usize,
+        n: usize,
+        input: DeviceBuffer<u32>,
+        output: DeviceBuffer<u32>,
+        state: DoubleState,
+        pending: u32,
+    }
+
+    impl Lane for DoubleLane {
+        fn step(&mut self, mem: &MemView<'_>) -> Effect {
+            match self.state {
+                DoubleState::Load => {
+                    if self.i >= self.n {
+                        self.state = DoubleState::Finished;
+                        return Effect::Done;
+                    }
+                    let addr = self.input.addr_of(self.i);
+                    self.pending = mem.read_u32(addr);
+                    self.state = DoubleState::Store(self.pending * 2);
+                    Effect::Read { addr, bytes: 4, cached: true }
+                }
+                DoubleState::Store(v) => {
+                    let addr = self.output.addr_of(self.i);
+                    self.i += self.stride;
+                    self.state = DoubleState::Load;
+                    Effect::Write { addr, bytes: 4, value: v as u64 }
+                }
+                DoubleState::Finished => Effect::Done,
+            }
+        }
+    }
+
+    impl Kernel for DoubleKernel {
+        type Lane = DoubleLane;
+        fn spawn(&self, tid: usize, total: usize) -> DoubleLane {
+            DoubleLane {
+                stride: total,
+                i: tid,
+                n: self.n,
+                input: self.input,
+                output: self.output,
+                state: DoubleState::Load,
+                pending: 0,
+            }
+        }
+    }
+
+    fn setup(n: usize) -> (DeviceConfig, Arena, DeviceBuffer<u32>, DeviceBuffer<u32>) {
+        let cfg = DeviceConfig::gtx_980().with_unlimited_memory();
+        let mut arena = Arena::new(u64::MAX);
+        let in_addr = arena.alloc((n * 4) as u64).unwrap();
+        let out_addr = arena.alloc((n * 4) as u64).unwrap();
+        let input = DeviceBuffer::<u32>::new(in_addr, n);
+        let output = DeviceBuffer::<u32>::new(out_addr, n);
+        let data: Vec<u32> = (0..n as u32).collect();
+        arena.write_slice(&input, &data);
+        (cfg, arena, input, output)
+    }
+
+    fn run_double(n: usize, lc: LaunchConfig) -> (KernelStats, Vec<u32>) {
+        let (cfg, mut arena, input, output) = setup(n);
+        let kernel = DoubleKernel { input, output, n };
+        let (stats, writes) = simulate(&cfg, &arena, lc, &kernel).unwrap();
+        for w in writes {
+            let i = ((w.addr - output.addr()) / 4) as usize;
+            arena.write_at(&output, i, w.value as u32);
+        }
+        (stats, arena.read_slice(&output))
+    }
+
+    #[test]
+    fn functional_result_is_exact() {
+        let (stats, out) = run_double(1000, LaunchConfig::new(8, 64));
+        assert_eq!(out, (0..1000u32).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(stats.lane_steps >= 2000, "{}", stats.lane_steps);
+        assert!(stats.time_s > 0.0);
+        assert!(stats.sm_cycles > 0.0);
+    }
+
+    #[test]
+    fn grid_stride_handles_more_threads_than_work() {
+        let (_, out) = run_double(10, LaunchConfig::new(64, 256));
+        assert_eq!(out, (0..10u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coalesced_streaming_kernel_has_few_transactions_and_no_reuse() {
+        let (stats, _) = run_double(100_000, LaunchConfig::new(128, 64));
+        // Consecutive lanes read consecutive words, so a warp's 32 loads
+        // coalesce into 4 line transactions — but a pure streaming sweep
+        // never revisits a line, so the cache hit rate is ~0. (High hit
+        // rates come from *walk* patterns; see the counting-kernel tests in
+        // tc-core.)
+        assert!(stats.tex.hit_rate() < 0.05, "hit rate {}", stats.tex.hit_rate());
+        let loads = stats.tex.accesses;
+        // ~1/8 of the per-lane u32 loads become transactions.
+        assert!(
+            loads as f64 <= 0.15 * stats.lane_steps as f64,
+            "{loads} transactions for {} lane steps",
+            stats.lane_steps
+        );
+        assert!(stats.dram_bytes > 0);
+        assert!(stats.achieved_bandwidth_gbs > 0.0);
+    }
+
+    #[test]
+    fn stats_are_deterministic() {
+        let (a, _) = run_double(5000, LaunchConfig::new(32, 64));
+        let (b, _) = run_double(5000, LaunchConfig::new(32, 64));
+        assert_eq!(a.sm_cycles, b.sm_cycles);
+        assert_eq!(a.dram_bytes, b.dram_bytes);
+        assert_eq!(a.tex, b.tex);
+    }
+
+    #[test]
+    fn more_blocks_spread_work() {
+        // Same total work on 1 block vs 128 blocks: the wide launch must be
+        // far faster in simulated cycles.
+        let (narrow, _) = run_double(100_000, LaunchConfig::new(1, 64));
+        let (wide, _) = run_double(100_000, LaunchConfig::new(128, 64));
+        assert!(
+            narrow.sm_cycles > 4.0 * wide.sm_cycles,
+            "narrow {} vs wide {}",
+            narrow.sm_cycles,
+            wide.sm_cycles
+        );
+    }
+
+    #[test]
+    fn warp_split_halves_active_lanes() {
+        let lc = LaunchConfig { blocks: 8, threads_per_block: 64, warp_split: 2 };
+        let cfg = DeviceConfig::gtx_980();
+        assert_eq!(lc.active_threads(cfg.warp_size), 8 * 2 * 16);
+        let (_, out) = run_double(777, lc);
+        assert_eq!(out, (0..777u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bad_launches_are_rejected() {
+        let cfg = DeviceConfig::gtx_980();
+        let arena = Arena::new(1024);
+        let kernel = DoubleKernel {
+            input: DeviceBuffer::new(0, 0),
+            output: DeviceBuffer::new(0, 0),
+            n: 0,
+        };
+        for lc in [
+            LaunchConfig::new(0, 64),
+            LaunchConfig::new(8, 48),
+            LaunchConfig { blocks: 8, threads_per_block: 64, warp_split: 5 },
+            LaunchConfig::new(1, 4096),
+        ] {
+            assert!(simulate(&cfg, &arena, lc, &kernel).is_err(), "{lc:?}");
+        }
+    }
+
+    #[test]
+    fn latency_hiding_occupancy_helps() {
+        // Same work split over 1 warp/block vs 8 warps/block on a single
+        // block-slot-limited device: more resident warps hide memory
+        // latency, so 64 blocks x 64 threads should beat 256 blocks x 32
+        // threads... Simplest robust comparison: one block of 32 vs one
+        // block of 512 threads covering the same array; per-thread work
+        // shrinks 16x but cycles must shrink far less than 16x without
+        // latency hiding — assert they shrink at least 4x (hiding works).
+        let (cfg, arena, input, output) = setup(65536);
+        let kernel = DoubleKernel { input, output, n: 65536 };
+        let (narrow, _) = simulate(&cfg, &arena, LaunchConfig::new(1, 32), &kernel).unwrap();
+        let (wide, _) = simulate(&cfg, &arena, LaunchConfig::new(1, 512), &kernel).unwrap();
+        assert!(
+            wide.sm_cycles * 4.0 < narrow.sm_cycles,
+            "wide {} vs narrow {}",
+            wide.sm_cycles,
+            narrow.sm_cycles
+        );
+    }
+
+    #[test]
+    fn divergence_is_detected_and_serialized() {
+        /// Lanes alternate: even lanes compute, odd lanes read — permanent
+        /// two-way divergence.
+        struct DivergentKernel {
+            input: DeviceBuffer<u32>,
+        }
+        struct DivergentLane {
+            even: bool,
+            remaining: u32,
+            addr: u64,
+        }
+        impl Lane for DivergentLane {
+            fn step(&mut self, _mem: &MemView<'_>) -> Effect {
+                if self.remaining == 0 {
+                    return Effect::Done;
+                }
+                self.remaining -= 1;
+                if self.even {
+                    Effect::Compute { cycles: 2 }
+                } else {
+                    Effect::Read { addr: self.addr, bytes: 4, cached: true }
+                }
+            }
+        }
+        impl Kernel for DivergentKernel {
+            type Lane = DivergentLane;
+            fn spawn(&self, tid: usize, _total: usize) -> DivergentLane {
+                DivergentLane {
+                    even: tid.is_multiple_of(2),
+                    remaining: 16,
+                    addr: self.input.addr_of(tid % self.input.len()),
+                }
+            }
+        }
+        let (cfg, arena, input, _) = setup(1024);
+        let kernel = DivergentKernel { input };
+        let (stats, _) = simulate(&cfg, &arena, LaunchConfig::new(2, 64), &kernel).unwrap();
+        // Every working step has two effect groups.
+        assert!(
+            stats.divergent_steps as f64 > 0.8 * stats.warp_steps as f64,
+            "{} divergent of {}",
+            stats.divergent_steps,
+            stats.warp_steps
+        );
+    }
+
+    #[test]
+    fn uniform_kernel_does_not_diverge() {
+        let (cfg, arena, input, output) = setup(4096);
+        let kernel = DoubleKernel { input, output, n: 4096 };
+        let (stats, _) = simulate(&cfg, &arena, LaunchConfig::new(8, 64), &kernel).unwrap();
+        // Lanes stay in lockstep through identical phases; divergence only
+        // appears at the ragged tail when some lanes run out of work.
+        assert!(
+            (stats.divergent_steps as f64) < 0.2 * stats.warp_steps as f64,
+            "{} divergent of {}",
+            stats.divergent_steps,
+            stats.warp_steps
+        );
+    }
+
+    #[test]
+    fn zero_work_kernel_costs_only_overhead() {
+        let (cfg, arena, input, output) = setup(0);
+        let kernel = DoubleKernel { input, output, n: 0 };
+        let (stats, writes) =
+            simulate(&cfg, &arena, LaunchConfig::new(8, 64), &kernel).unwrap();
+        assert!(writes.is_empty());
+        assert_eq!(stats.dram_bytes, 0);
+        assert!(stats.time_s >= cfg.launch_overhead_us * 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+//! The kernel programming model: per-thread resumable state machines.
+//!
+//! A simulated kernel is a [`Kernel`] that spawns one [`Lane`] per thread.
+//! Each scheduling event, the warp executor calls [`Lane::step`] on every
+//! active lane in lockstep; the lane performs the *functional* part of one
+//! instruction (reading device memory through the [`MemView`], updating its
+//! private state) and returns the [`Effect`] to charge for *timing* —
+//! exactly the split a cycle-level simulator needs. Divergence appears
+//! naturally when lanes of one warp return different effect kinds.
+
+/// What one lane did in one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// A global-memory load. `cached` marks loads issued through the
+    /// read-only/texture path (`const __restrict__` pointers, §III-D4);
+    /// uncached loads bypass the per-SM cache and go straight to L2.
+    Read { addr: u64, bytes: u32, cached: bool },
+    /// A global-memory store. The value is buffered by the executor and
+    /// committed when the kernel completes (our kernels only write
+    /// lane-private slots, so ordering is immaterial).
+    Write { addr: u64, bytes: u32, value: u64 },
+    /// Pure ALU work.
+    Compute { cycles: u32 },
+    /// Lane finished; it will not be stepped again.
+    Done,
+}
+
+impl Effect {
+    /// Discriminant used for divergence grouping.
+    #[inline]
+    pub(crate) fn kind(&self) -> u8 {
+        match self {
+            Effect::Read { cached: true, .. } => 0,
+            Effect::Read { cached: false, .. } => 1,
+            Effect::Write { .. } => 2,
+            Effect::Compute { .. } => 3,
+            Effect::Done => 4,
+        }
+    }
+}
+
+/// Read-only functional view of device memory, handed to lanes.
+#[derive(Clone, Copy)]
+pub struct MemView<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> MemView<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        MemView { data }
+    }
+
+    /// Load a little-endian `u32` at a device address.
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let i = addr as usize;
+        u32::from_le_bytes([self.data[i], self.data[i + 1], self.data[i + 2], self.data[i + 3]])
+    }
+
+    /// Load a little-endian `i32`.
+    #[inline]
+    pub fn read_i32(&self, addr: u64) -> i32 {
+        self.read_u32(addr) as i32
+    }
+
+    /// Load a little-endian `u64`.
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let lo = self.read_u32(addr) as u64;
+        let hi = self.read_u32(addr + 4) as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// One simulated thread.
+pub trait Lane: Send {
+    /// Execute the next instruction. Must return [`Effect::Done`] forever
+    /// once finished.
+    fn step(&mut self, mem: &MemView<'_>) -> Effect;
+}
+
+/// A launchable kernel: a lane factory.
+pub trait Kernel: Sync {
+    type Lane: Lane;
+
+    /// Create the lane for global thread `tid` of `total` (`total` is the
+    /// active thread count — the grid-stride denominator).
+    fn spawn(&self, tid: usize, total: usize) -> Self::Lane;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memview_reads_little_endian() {
+        let bytes = [0x01, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0x7F];
+        let mv = MemView::new(&bytes);
+        assert_eq!(mv.read_u32(0), 1);
+        assert_eq!(mv.read_u32(4), 0x7FFF_FFFF);
+        assert_eq!(mv.read_i32(4), i32::MAX);
+        assert_eq!(mv.read_u64(0), 0x7FFF_FFFF_0000_0001);
+    }
+
+    #[test]
+    fn effect_kinds_separate_cached_and_uncached_reads() {
+        let a = Effect::Read { addr: 0, bytes: 4, cached: true };
+        let b = Effect::Read { addr: 0, bytes: 4, cached: false };
+        assert_ne!(a.kind(), b.kind());
+        assert_ne!(Effect::Done.kind(), Effect::Compute { cycles: 1 }.kind());
+    }
+}

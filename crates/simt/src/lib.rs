@@ -1,0 +1,47 @@
+//! # tc-simt — a SIMT GPU simulator
+//!
+//! This crate stands in for the CUDA devices of the paper (see DESIGN.md §2).
+//! It is *not* a general-purpose GPU simulator; it models exactly the
+//! features the paper's evaluation exercises:
+//!
+//! * **Execution**: streaming multiprocessors (SMs) holding resident thread
+//!   blocks; warps executed in lockstep with divergence serialization; an
+//!   in-order issue pipeline per SM with multiple issue slots; latency
+//!   hiding across resident warps ([`executor`]).
+//! * **Memory**: a device-wide arena with capacity accounting ([`arena`] —
+//!   §III-D6's "graph too large to fit" path), per-SM read-only/texture
+//!   caches and address-sliced L2 ([`cache`] — §III-D4), warp-level
+//!   coalescing into 32 B transactions ([`coalesce`]), DRAM bandwidth
+//!   accounting (Table II), and a PCIe transfer model (the paper measures
+//!   wall time from the host-to-device copy).
+//! * **Device primitives**: functional equivalents of the Thrust routines
+//!   the preprocessing phase uses — reduce, scan, radix sort, stream
+//!   compaction, transform/unzip ([`primitives`]) — with analytic,
+//!   bandwidth-derived timing.
+//! * **Kernels**: user-defined per-thread state machines ([`kernel`]) whose
+//!   memory traffic is simulated cycle-by-cycle. The triangle-counting
+//!   kernel in `tc-core` is written against this interface.
+//!
+//! Simulated time is deterministic: the same kernel on the same device
+//! preset always reports the same cycle count, cache hit rate, and DRAM
+//! traffic.
+
+pub mod arena;
+pub mod cache;
+pub mod coalesce;
+pub mod config;
+pub mod device;
+pub mod error;
+pub mod executor;
+pub mod kernel;
+pub mod multi;
+pub mod primitives;
+pub mod trace;
+
+pub use arena::{DeviceBuffer, DeviceScalar};
+pub use config::DeviceConfig;
+pub use device::{Device, TimedOp};
+pub use error::SimtError;
+pub use executor::{KernelStats, LaunchConfig};
+pub use kernel::{Effect, Kernel, Lane, MemView};
+pub use multi::DeviceGroup;

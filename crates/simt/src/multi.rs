@@ -1,0 +1,143 @@
+//! Multi-device groups (paper §III-E).
+//!
+//! The paper's multi-GPU scheme: preprocess on one device, copy the edge
+//! and node arrays to the rest, let each device count its stripe of edges,
+//! and sum. [`DeviceGroup`] provides the device collection and the
+//! broadcast; the orchestration lives in `tc-core::gpu::multi`.
+
+use crate::arena::{DeviceBuffer, DeviceScalar};
+use crate::config::DeviceConfig;
+use crate::device::Device;
+use crate::error::SimtError;
+
+/// A set of simulated devices on one host.
+#[derive(Debug)]
+pub struct DeviceGroup {
+    devices: Vec<Device>,
+}
+
+impl DeviceGroup {
+    /// `count` identical devices.
+    pub fn homogeneous(cfg: DeviceConfig, count: usize) -> Self {
+        assert!(count >= 1);
+        DeviceGroup { devices: (0..count).map(|_| Device::new(cfg.clone())).collect() }
+    }
+
+    pub fn heterogeneous(cfgs: Vec<DeviceConfig>) -> Self {
+        assert!(!cfgs.is_empty());
+        DeviceGroup { devices: cfgs.into_iter().map(Device::new).collect() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    #[inline]
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    #[inline]
+    pub fn device_mut(&mut self, i: usize) -> &mut Device {
+        &mut self.devices[i]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// Pre-create every context (done before the measured window, like the
+    /// paper's `cudaFree(NULL)`).
+    pub fn preinit_all(&mut self) {
+        for d in &mut self.devices {
+            d.preinit_context();
+        }
+    }
+
+    pub fn reset_clocks(&mut self) {
+        for d in &mut self.devices {
+            d.reset_clock();
+        }
+    }
+
+    /// Copy `buf` on device `from` to every other device. Returns one buffer
+    /// handle per device (`result[from]` is the original). Transfers to
+    /// distinct devices ride distinct PCIe links, so each target is charged
+    /// its own copy time; the group-level wall clock is the max of the
+    /// per-device clocks.
+    pub fn broadcast<T: DeviceScalar>(
+        &mut self,
+        from: usize,
+        buf: &DeviceBuffer<T>,
+    ) -> Result<Vec<DeviceBuffer<T>>, SimtError> {
+        let data = self.devices[from].peek(buf);
+        let mut out = Vec::with_capacity(self.devices.len());
+        for (i, dev) in self.devices.iter_mut().enumerate() {
+            if i == from {
+                out.push(*buf);
+            } else {
+                out.push(dev.htod_copy(&data)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The group's wall-clock: the slowest device.
+    pub fn elapsed_max(&self) -> f64 {
+        self.devices.iter().map(Device::elapsed).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_replicates_data() {
+        let mut group =
+            DeviceGroup::homogeneous(DeviceConfig::tesla_c2050().with_unlimited_memory(), 4);
+        group.preinit_all();
+        group.reset_clocks();
+        let data: Vec<u32> = (0..256).collect();
+        let src = group.device_mut(0).htod_copy(&data).unwrap();
+        let bufs = group.broadcast(0, &src).unwrap();
+        assert_eq!(bufs.len(), 4);
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(group.device(i).peek(b), data, "device {i}");
+        }
+        // Targets were charged copy time; the source only its own upload.
+        assert!(group.device(1).elapsed() > 0.0);
+        assert!(group.elapsed_max() >= group.device(0).elapsed());
+    }
+
+    #[test]
+    fn heterogeneous_groups() {
+        let group = DeviceGroup::heterogeneous(vec![
+            DeviceConfig::gtx_980(),
+            DeviceConfig::tesla_c2050(),
+        ]);
+        assert_eq!(group.len(), 2);
+        assert_eq!(group.device(0).config().name, "GTX 980");
+        assert_eq!(group.device(1).config().name, "Tesla C2050");
+    }
+
+    #[test]
+    fn broadcast_propagates_oom() {
+        let tiny = DeviceConfig::tesla_c2050().with_memory_capacity(64);
+        let roomy = DeviceConfig::tesla_c2050().with_unlimited_memory();
+        let mut group = DeviceGroup::heterogeneous(vec![roomy, tiny]);
+        group.preinit_all();
+        let data: Vec<u32> = (0..256).collect();
+        let src = group.device_mut(0).htod_copy(&data).unwrap();
+        assert!(matches!(
+            group.broadcast(0, &src),
+            Err(SimtError::OutOfMemory { .. })
+        ));
+    }
+}

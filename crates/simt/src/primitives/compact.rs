@@ -1,0 +1,77 @@
+//! Stream compaction (`thrust::remove_if`, §III-B step 6).
+
+use crate::arena::DeviceBuffer;
+use crate::device::Device;
+
+use super::charge_pass;
+
+/// Remove the elements of `buf[..len]` for which `pred` holds, compacting
+/// the survivors to the front in their original order (stable, like
+/// `thrust::remove_if`). Returns the new logical length. Charged as two
+/// passes: the predicate/mark pass (the paper's step 5 kernel) and the
+/// scatter pass.
+pub fn remove_if_u64<P>(dev: &mut Device, buf: &DeviceBuffer<u64>, len: usize, pred: P) -> usize
+where
+    P: Fn(u64) -> bool + Sync,
+{
+    assert!(len <= buf.len());
+    let view = buf.slice(0, len);
+    let data = dev.peek(&view);
+    let kept: Vec<u64> = data.iter().copied().filter(|&x| !pred(x)).collect();
+    let new_len = kept.len();
+    dev.poke(&buf.slice(0, new_len), &kept);
+    let bytes = len as u64 * 8;
+    charge_pass(dev, "mark-backward kernel", bytes + len as u64); // read + flag write
+    charge_pass(dev, "thrust::remove_if", bytes + new_len as u64 * 8);
+    new_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn device() -> Device {
+        let mut d = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        d.preinit_context();
+        d.reset_clock();
+        d
+    }
+
+    #[test]
+    fn removes_and_preserves_order() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[10u64, 3, 8, 1, 6, 7]).unwrap();
+        let n = remove_if_u64(&mut dev, &buf, 6, |x| x % 2 == 0);
+        assert_eq!(n, 3);
+        assert_eq!(dev.peek(&buf.slice(0, n)), vec![3, 1, 7]);
+    }
+
+    #[test]
+    fn remove_nothing_and_everything() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[1u64, 2, 3]).unwrap();
+        assert_eq!(remove_if_u64(&mut dev, &buf, 3, |_| false), 3);
+        assert_eq!(dev.peek(&buf), vec![1, 2, 3]);
+        assert_eq!(remove_if_u64(&mut dev, &buf, 3, |_| true), 0);
+    }
+
+    #[test]
+    fn respects_len_prefix() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[2u64, 4, 99]).unwrap();
+        let n = remove_if_u64(&mut dev, &buf, 2, |x| x % 2 == 0);
+        assert_eq!(n, 0);
+        // The tail element beyond len is untouched.
+        assert_eq!(dev.peek(&buf)[2], 99);
+    }
+
+    #[test]
+    fn charges_two_passes() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&vec![1u64; 1000]).unwrap();
+        let logged = dev.time_log().len();
+        remove_if_u64(&mut dev, &buf, 1000, |x| x == 0);
+        assert_eq!(dev.time_log().len(), logged + 2);
+    }
+}

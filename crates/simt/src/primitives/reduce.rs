@@ -1,0 +1,69 @@
+//! `thrust::reduce` equivalents.
+
+use rayon::prelude::*;
+
+use crate::arena::DeviceBuffer;
+use crate::device::Device;
+
+use super::charge_pass;
+
+/// Sum-reduce a `u64` buffer (the paper's final step: summing the per-thread
+/// `result` array). One read pass.
+pub fn reduce_sum_u64(dev: &mut Device, buf: &DeviceBuffer<u64>) -> u64 {
+    let data = dev.peek(buf);
+    charge_pass(dev, "thrust::reduce(sum)", buf.byte_len());
+    data.par_iter().sum()
+}
+
+/// Max-reduce after applying `map` to each element — used by preprocessing
+/// step 2 (largest vertex identifier across both ends of all edges) with a
+/// map extracting `max(hi, lo)` from each packed edge. One read pass.
+pub fn reduce_map_max_u64<F>(dev: &mut Device, buf: &DeviceBuffer<u64>, map: F) -> u64
+where
+    F: Fn(u64) -> u64 + Sync,
+{
+    let data = dev.peek(buf);
+    charge_pass(dev, "thrust::reduce(max)", buf.byte_len());
+    data.par_iter().map(|&x| map(x)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn device() -> Device {
+        let mut d = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        d.preinit_context();
+        d.reset_clock();
+        d
+    }
+
+    #[test]
+    fn sum_is_exact_and_charges_time() {
+        let mut dev = device();
+        let data: Vec<u64> = (1..=1000).collect();
+        let buf = dev.htod_copy(&data).unwrap();
+        let before = dev.elapsed();
+        assert_eq!(reduce_sum_u64(&mut dev, &buf), 500_500);
+        assert!(dev.elapsed() > before);
+    }
+
+    #[test]
+    fn mapped_max_finds_packed_vertex_ids() {
+        let mut dev = device();
+        // Edges (3, 9) and (7, 2) packed first-major.
+        let data = vec![(3u64 << 32) | 9, (7u64 << 32) | 2];
+        let buf = dev.htod_copy(&data).unwrap();
+        let max = reduce_map_max_u64(&mut dev, &buf, |e| (e >> 32).max(e & 0xFFFF_FFFF));
+        assert_eq!(max, 9);
+    }
+
+    #[test]
+    fn empty_buffer_reduces_to_identity() {
+        let mut dev = device();
+        let buf = dev.alloc::<u64>(0).unwrap();
+        assert_eq!(reduce_sum_u64(&mut dev, &buf), 0);
+        assert_eq!(reduce_map_max_u64(&mut dev, &buf, |x| x), 0);
+    }
+}

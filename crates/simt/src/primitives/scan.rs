@@ -1,0 +1,89 @@
+//! Prefix sums (`thrust::exclusive_scan` / `inclusive_scan`).
+//!
+//! Not used directly by the eight preprocessing steps (the node array is
+//! built by boundary detection instead), but scans underpin the stream
+//! compaction of step 6 and are part of the Thrust surface the paper's
+//! pipeline "makes heavy use of", so they are provided and tested for
+//! parity.
+
+use crate::arena::DeviceBuffer;
+use crate::device::Device;
+
+use super::charge_pass;
+
+/// In-place exclusive prefix sum over the first `len` elements. Returns the
+/// total (the value that would follow the last element).
+pub fn exclusive_scan_u32(dev: &mut Device, buf: &DeviceBuffer<u32>, len: usize) -> u64 {
+    assert!(len <= buf.len());
+    let mut data = dev.peek(&buf.slice(0, len));
+    let mut acc: u64 = 0;
+    for v in data.iter_mut() {
+        let next = acc + *v as u64;
+        *v = acc as u32;
+        acc = next;
+    }
+    dev.poke(&buf.slice(0, len), &data);
+    charge_pass(dev, "thrust::exclusive_scan", 2 * (len as u64) * 4);
+    acc
+}
+
+/// In-place inclusive prefix sum. Returns the total.
+pub fn inclusive_scan_u32(dev: &mut Device, buf: &DeviceBuffer<u32>, len: usize) -> u64 {
+    assert!(len <= buf.len());
+    let mut data = dev.peek(&buf.slice(0, len));
+    let mut acc: u64 = 0;
+    for v in data.iter_mut() {
+        acc += *v as u64;
+        *v = acc as u32;
+    }
+    dev.poke(&buf.slice(0, len), &data);
+    charge_pass(dev, "thrust::inclusive_scan", 2 * (len as u64) * 4);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn device() -> Device {
+        let mut d = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        d.preinit_context();
+        d.reset_clock();
+        d
+    }
+
+    #[test]
+    fn exclusive_scan_matches_reference() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[3u32, 1, 4, 1, 5]).unwrap();
+        let total = exclusive_scan_u32(&mut dev, &buf, 5);
+        assert_eq!(dev.peek(&buf), vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn inclusive_scan_matches_reference() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[3u32, 1, 4, 1, 5]).unwrap();
+        let total = inclusive_scan_u32(&mut dev, &buf, 5);
+        assert_eq!(dev.peek(&buf), vec![3, 4, 8, 9, 14]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn partial_scan_leaves_tail_untouched() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[1u32, 1, 1, 7, 7]).unwrap();
+        exclusive_scan_u32(&mut dev, &buf, 3);
+        assert_eq!(dev.peek(&buf), vec![0, 1, 2, 7, 7]);
+    }
+
+    #[test]
+    fn empty_scan_is_zero() {
+        let mut dev = device();
+        let buf = dev.alloc::<u32>(0).unwrap();
+        assert_eq!(exclusive_scan_u32(&mut dev, &buf, 0), 0);
+        assert_eq!(inclusive_scan_u32(&mut dev, &buf, 0), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! `thrust::sort` equivalents (§III-B step 3, §III-D2).
+//!
+//! `thrust::sort` on integer keys is an LSD radix sort. The cost model
+//! charges one read+write streaming pass per radix digit (8-bit digits, so
+//! 8 passes for `u64`), plus a histogram pass, and allocates the temporary
+//! double buffer radix sort needs — **the peak-memory moment of the whole
+//! pipeline**, which is exactly what overflows device memory for the paper's
+//! † graphs and triggers the §III-D6 CPU fallback.
+//!
+//! [`sort_pairs_baseline`] models the unoptimized alternative the paper
+//! measured: sorting an array of `(u32, u32)` structs goes through Thrust's
+//! comparison path, about 5× slower.
+
+use crate::arena::DeviceBuffer;
+use crate::device::Device;
+use crate::error::SimtError;
+
+use super::charge_pass;
+
+const U64_RADIX_PASSES: u64 = 8;
+/// The paper reports pair-struct sort ≈ 5× slower than u64 radix (§III-D2).
+const PAIR_SORT_FACTOR: u64 = 5;
+
+/// Radix-sort the first `len` packed keys ascending, in place. Allocates
+/// (and frees) the radix double buffer; fails with `OutOfMemory` when that
+/// temporary does not fit — callers translate this into the §III-D6
+/// fallback.
+pub fn sort_u64(dev: &mut Device, buf: &DeviceBuffer<u64>, len: usize) -> Result<(), SimtError> {
+    assert!(len <= buf.len());
+    // The double buffer must be allocated before we touch the data, like
+    // thrust does: OOM must happen *before* any work.
+    let temp = dev.alloc::<u64>(len)?;
+    let view = buf.slice(0, len);
+    let mut data = dev.peek(&view);
+    data.sort_unstable();
+    dev.poke(&view, &data);
+    // Histogram pass + one read/write pass per digit.
+    let bytes = len as u64 * 8;
+    charge_pass(dev, "thrust::sort(u64) histogram", bytes);
+    for pass in 0..U64_RADIX_PASSES {
+        charge_pass(dev, &format!("thrust::sort(u64) pass {pass}"), 2 * bytes);
+    }
+    dev.free(temp)?;
+    Ok(())
+}
+
+/// Baseline comparison sort of `(u32, u32)` structs, for the §III-D2
+/// ablation: functionally identical ordering (lexicographic on the packed
+/// key) but charged at the comparison-sort rate. Uses the same double
+/// buffer.
+pub fn sort_pairs_baseline(
+    dev: &mut Device,
+    buf: &DeviceBuffer<u64>,
+    len: usize,
+) -> Result<(), SimtError> {
+    assert!(len <= buf.len());
+    let temp = dev.alloc::<u64>(len)?;
+    let view = buf.slice(0, len);
+    let mut data = dev.peek(&view);
+    data.sort_unstable();
+    dev.poke(&view, &data);
+    // A comparison merge sort launches ~log2(n) passes, each moving the
+    // whole array; the per-element constant is what makes it ~5× the radix
+    // cost at the paper's sizes.
+    let bytes = len as u64 * 8;
+    let total = PAIR_SORT_FACTOR * (2 * bytes * U64_RADIX_PASSES + bytes);
+    let passes = (usize::BITS - len.next_power_of_two().leading_zeros()).max(1) as u64;
+    for pass in 0..passes {
+        charge_pass(
+            dev,
+            &format!("thrust::sort(pair structs) merge pass {pass}"),
+            total / passes,
+        );
+    }
+    dev.free(temp)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn device() -> Device {
+        let mut d = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        d.preinit_context();
+        d.reset_clock();
+        d
+    }
+
+    #[test]
+    fn sorts_ascending() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[5u64, 3, 9, 1, 1, 0]).unwrap();
+        sort_u64(&mut dev, &buf, 6).unwrap();
+        assert_eq!(dev.peek(&buf), vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn partial_sort_respects_len() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[5u64, 3, 9, 0]).unwrap();
+        sort_u64(&mut dev, &buf, 3).unwrap();
+        assert_eq!(dev.peek(&buf), vec![3, 5, 9, 0]);
+    }
+
+    #[test]
+    fn pair_baseline_is_about_five_times_slower() {
+        // Large enough that per-pass launch overheads are negligible, as in
+        // the paper's (multi-million-edge) measurements.
+        let data: Vec<u64> = (0..1_000_000u64).rev().collect();
+
+        let mut dev = device();
+        let buf = dev.htod_copy(&data).unwrap();
+        let t0 = dev.elapsed();
+        sort_u64(&mut dev, &buf, data.len()).unwrap();
+        let fast = dev.elapsed() - t0;
+
+        let mut dev2 = device();
+        let buf2 = dev2.htod_copy(&data).unwrap();
+        let t0 = dev2.elapsed();
+        sort_pairs_baseline(&mut dev2, &buf2, data.len()).unwrap();
+        let slow = dev2.elapsed() - t0;
+
+        assert_eq!(dev.peek(&buf), dev2.peek(&buf2));
+        let ratio = slow / fast;
+        assert!((4.0..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sort_temp_buffer_can_oom() {
+        // Capacity fits the data but not data + double buffer.
+        let cfg = DeviceConfig::gtx_980().with_memory_capacity(12 * 1024);
+        let mut dev = Device::new(cfg);
+        dev.preinit_context();
+        let data: Vec<u64> = (0..1024u64).rev().collect(); // 8 KiB
+        let buf = dev.htod_copy(&data).unwrap();
+        match sort_u64(&mut dev, &buf, data.len()) {
+            Err(SimtError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // And the data was not touched.
+        assert_eq!(dev.peek(&buf), data);
+    }
+
+    #[test]
+    fn sort_frees_its_temporary() {
+        let mut dev = device();
+        let data: Vec<u64> = (0..512u64).rev().collect();
+        let buf = dev.htod_copy(&data).unwrap();
+        let used_before = dev.mem_used();
+        sort_u64(&mut dev, &buf, data.len()).unwrap();
+        assert_eq!(dev.mem_used(), used_before);
+        assert!(dev.mem_peak() >= used_before + 512 * 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Transform passes: unzipping (§III-B step 7 / §III-D1) and node-array
+//! construction (steps 4 and 8).
+
+use crate::arena::DeviceBuffer;
+use crate::device::Device;
+use crate::error::SimtError;
+
+use super::charge_pass;
+
+/// Split `len` packed `u64`s into their low and high `u32` halves —
+/// the array-of-structures → structure-of-arrays "unzip". Allocates the two
+/// output arrays. "Conversion … is very fast" (§III-D1): one read + write
+/// pass.
+pub fn unzip_u64(
+    dev: &mut Device,
+    buf: &DeviceBuffer<u64>,
+    len: usize,
+) -> Result<(DeviceBuffer<u32>, DeviceBuffer<u32>), SimtError> {
+    assert!(len <= buf.len());
+    let lo_buf = dev.alloc::<u32>(len)?;
+    let hi_buf = dev.alloc::<u32>(len)?;
+    let data = dev.peek(&buf.slice(0, len));
+    let lo: Vec<u32> = data.iter().map(|&x| x as u32).collect();
+    let hi: Vec<u32> = data.iter().map(|&x| (x >> 32) as u32).collect();
+    dev.poke(&lo_buf, &lo);
+    dev.poke(&hi_buf, &hi);
+    charge_pass(dev, "unzip", len as u64 * 16);
+    Ok((lo_buf, hi_buf))
+}
+
+/// Build the node array over a sorted, grouped key sequence (§III-B step 4):
+/// `group(key)` extracts the grouping vertex from each packed element;
+/// result `node` has `n + 1` entries with `node[v] ..  node[v+1]` spanning
+/// the elements grouped under `v`. Mirrors the paper's construction —
+/// "running m−1 threads, thread k examines elements k and k+1; if their
+/// first vertices differ it writes k+1", including the multi-cell fill for
+/// empty adjacency lists. One read pass plus the (small) node-array write.
+pub fn group_boundaries<F>(
+    dev: &mut Device,
+    buf: &DeviceBuffer<u64>,
+    len: usize,
+    n: usize,
+    group: F,
+) -> Result<DeviceBuffer<u32>, SimtError>
+where
+    F: Fn(u64) -> u32,
+{
+    assert!(len <= buf.len());
+    assert!(len <= u32::MAX as usize);
+    let node_buf = dev.alloc::<u32>(n + 1)?;
+    let data = dev.peek(&buf.slice(0, len));
+    let mut node = vec![0u32; n + 1];
+    // Thread 0's special case: groups before the first element are empty.
+    if len > 0 {
+        let first = group(data[0]) as usize;
+        for slot in node.iter_mut().take(first + 1).skip(1) {
+            // node[1..=first] = 0 already; written explicitly in hardware.
+            *slot = 0;
+        }
+        for k in 0..len - 1 {
+            let a = group(data[k]) as usize;
+            let b = group(data[k + 1]) as usize;
+            if a != b {
+                debug_assert!(a < b, "keys must be grouped/sorted");
+                for slot in node.iter_mut().take(b + 1).skip(a + 1) {
+                    *slot = (k + 1) as u32;
+                }
+            }
+        }
+        let last = group(data[len - 1]) as usize;
+        for slot in node.iter_mut().take(n + 1).skip(last + 1) {
+            *slot = len as u32;
+        }
+    }
+    dev.poke(&node_buf, &node);
+    charge_pass(dev, "node-array kernel", len as u64 * 8 + (n as u64 + 1) * 4);
+    Ok(node_buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn device() -> Device {
+        let mut d = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        d.preinit_context();
+        d.reset_clock();
+        d
+    }
+
+    #[test]
+    fn unzip_splits_halves() {
+        let mut dev = device();
+        let buf = dev.htod_copy(&[(1u64 << 32) | 2, (3u64 << 32) | 4]).unwrap();
+        let (lo, hi) = unzip_u64(&mut dev, &buf, 2).unwrap();
+        assert_eq!(dev.peek(&lo), vec![2, 4]);
+        assert_eq!(dev.peek(&hi), vec![1, 3]);
+    }
+
+    #[test]
+    fn boundaries_of_grouped_keys() {
+        let mut dev = device();
+        // Elements grouped under vertices: 0, 0, 2, 2, 2, 4  (n = 5)
+        let keys: Vec<u64> = [0u64, 0, 2, 2, 2, 4].iter().map(|&v| v << 32).collect();
+        let buf = dev.htod_copy(&keys).unwrap();
+        let node = group_boundaries(&mut dev, &buf, 6, 5, |k| (k >> 32) as u32).unwrap();
+        assert_eq!(dev.peek(&node), vec![0, 2, 2, 5, 5, 6]);
+    }
+
+    #[test]
+    fn empty_groups_at_both_ends() {
+        let mut dev = device();
+        // Only vertex 2 of n = 5 has elements.
+        let keys: Vec<u64> = [2u64, 2].iter().map(|&v| v << 32).collect();
+        let buf = dev.htod_copy(&keys).unwrap();
+        let node = group_boundaries(&mut dev, &buf, 2, 5, |k| (k >> 32) as u32).unwrap();
+        assert_eq!(dev.peek(&node), vec![0, 0, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_input_gives_all_zero_node_array() {
+        let mut dev = device();
+        let buf = dev.alloc::<u64>(0).unwrap();
+        let node = group_boundaries(&mut dev, &buf, 0, 3, |k| (k >> 32) as u32).unwrap();
+        assert_eq!(dev.peek(&node), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn node_array_spans_index_ranges() {
+        let mut dev = device();
+        let keys: Vec<u64> = [0u64, 1, 1, 3].iter().map(|&v| v << 32).collect();
+        let buf = dev.htod_copy(&keys).unwrap();
+        let node = group_boundaries(&mut dev, &buf, 4, 4, |k| (k >> 32) as u32).unwrap();
+        let node = dev.peek(&node);
+        // vertex 0: [0,1), vertex 1: [1,3), vertex 2: [3,3), vertex 3: [3,4)
+        assert_eq!(node, vec![0, 1, 3, 3, 4]);
+    }
+}

@@ -1,0 +1,43 @@
+//! A miniature of the paper's Figure 1: time vs. graph size on a ladder of
+//! Kronecker R-MAT graphs, CPU baseline against the simulated GTX 980.
+//!
+//! ```text
+//! cargo run --release --example kronecker_scaling
+//! ```
+
+use std::time::Instant;
+
+use triangles::core::count::{count_triangles_detailed, Backend};
+use triangles::core::cpu::count_forward;
+use triangles::gen::kronecker::Rmat;
+use triangles::gen::Seed;
+
+fn main() {
+    println!(
+        "{:>6} {:>9} {:>11} {:>12} {:>13} {:>9}",
+        "scale", "nodes", "edges", "cpu [ms]", "gtx980 [ms]", "speedup"
+    );
+    for scale in 8..=13u32 {
+        let graph = Rmat::scale(scale).edge_factor(20).generate(Seed(1));
+
+        let start = Instant::now();
+        let cpu_triangles = count_forward(&graph).expect("cpu");
+        let cpu_s = start.elapsed().as_secs_f64();
+
+        let gpu = count_triangles_detailed(&graph, Backend::gpu_gtx980()).expect("gpu");
+        assert_eq!(gpu.triangles, cpu_triangles);
+
+        println!(
+            "{:>6} {:>9} {:>11} {:>12.2} {:>13.3} {:>8.1}x",
+            scale,
+            graph.num_nodes(),
+            graph.num_edges(),
+            cpu_s * 1e3,
+            gpu.seconds * 1e3,
+            cpu_s / gpu.seconds
+        );
+    }
+    println!("\nBoth series grow near-linearly in m (the forward algorithm is");
+    println!("O(m^1.5) worst case but R-MAT graphs stay far from the bound);");
+    println!("the GPU stays an order of magnitude below the CPU — Figure 1's shape.");
+}

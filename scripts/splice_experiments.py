@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Splice the `repro all` output into EXPERIMENTS.md.
+
+Usage: python3 scripts/splice_experiments.py [repro_output.txt]
+
+Replaces the `<!-- SECTION -->` placeholders (or previously spliced fenced
+blocks that follow them) with fenced code blocks containing the matching
+section of the repro output, so EXPERIMENTS.md always reflects one concrete
+measured run.
+"""
+
+import re
+import sys
+
+MARKERS = {
+    "TABLE1": "== Table I:",
+    "TABLE2": "== Table II:",
+    "FIGURE1": "== Figure 1:",
+    "ABLATIONS": "== Section III-D",
+    "AMDAHL": "== Section III-E",
+    "INPUT_FORMAT": "== Section III-A",
+    "APPROX": "== Section V:",
+    "TUNING": "== Section III-C:",
+}
+
+
+def split_sections(text: str) -> dict:
+    sections = {}
+    current_key, current_lines = None, []
+    for line in text.splitlines():
+        if line.startswith("== "):
+            if current_key:
+                sections[current_key] = "\n".join(current_lines).rstrip()
+            current_key, current_lines = line, [line]
+        elif current_key:
+            current_lines.append(line)
+    if current_key:
+        sections[current_key] = "\n".join(current_lines).rstrip()
+    return sections
+
+
+def main() -> int:
+    srcs = sys.argv[1:] if len(sys.argv) > 1 else ["repro_output.txt"]
+    sections = {}
+    for src in srcs:
+        sections.update(split_sections(open(src).read()))
+    doc = open("EXPERIMENTS.md").read()
+
+    for name, prefix in MARKERS.items():
+        body = next((v for k, v in sections.items() if k.startswith(prefix)), None)
+        if body is None:
+            print(f"warning: no section starting with {prefix!r} in {srcs}")
+            continue
+        block = f"<!-- {name} -->\n```text\n{body}\n```"
+        # Replace the marker plus any previously spliced fenced block.
+        pattern = re.compile(rf"<!-- {name} -->(?:\n```text\n.*?\n```)?", re.DOTALL)
+        if not pattern.search(doc):
+            print(f"warning: no marker for {name} in EXPERIMENTS.md")
+            continue
+        doc = pattern.sub(lambda _: block, doc, count=1)
+
+    open("EXPERIMENTS.md", "w").write(doc)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+//! `tcount` — count triangles in a graph file.
+//!
+//! ```text
+//! tcount <path> [--format text|binary|metis] [--backend NAME]
+//!               [--clustering] [--validate] [--trace FILE]
+//!
+//! backends: forward (default) | edge-iterator | node-iterator | hashed |
+//!           parallel | hybrid | gtx980 | c2050 | nvs5200m | 4xc2050
+//! ```
+//!
+//! `--trace FILE` (simulated single-GPU backends only) writes a Chrome
+//! Trace Event file of the device's phases, viewable in `chrome://tracing`
+//! or Perfetto.
+//!
+//! Reads an edge list (SNAP-style text by default), counts its triangles
+//! with the chosen backend, and optionally reports clustering statistics —
+//! the workflow the paper's introduction motivates.
+
+use std::process::ExitCode;
+
+use triangles::core::clustering::{average_clustering, transitivity};
+use triangles::core::count::{count_triangles_detailed, Backend};
+use triangles::graph::{io, EdgeArray, GraphStats};
+
+struct Args {
+    path: String,
+    format: Format,
+    backend: Backend,
+    clustering: bool,
+    validate: bool,
+    trace: Option<String>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Binary,
+    Metis,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tcount <path> [--format text|binary|metis] [--backend NAME]\n\
+         \x20             [--clustering] [--validate] [--trace FILE]\n\
+         backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
+         \x20         hybrid | gtx980 | c2050 | nvs5200m | 4xc2050"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_backend(name: &str) -> Option<Backend> {
+    Some(match name {
+        "forward" => Backend::CpuForward,
+        "edge-iterator" => Backend::CpuEdgeIterator,
+        "node-iterator" => Backend::CpuNodeIterator,
+        "hashed" => Backend::CpuForwardHashed,
+        "parallel" => Backend::CpuParallel,
+        "hybrid" => Backend::CpuHybrid { threshold: None },
+        "gtx980" => Backend::gpu_gtx980(),
+        "c2050" => Backend::gpu_tesla_c2050(),
+        "nvs5200m" => Backend::gpu_nvs_5200m(),
+        "4xc2050" => Backend::multi_gpu_c2050(4),
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().ok_or("missing input path")?;
+    if path == "-h" || path == "--help" {
+        return Err(String::new());
+    }
+    let mut parsed = Args {
+        path,
+        format: Format::Text,
+        backend: Backend::CpuForward,
+        clustering: false,
+        validate: false,
+        trace: None,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--format" => {
+                parsed.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("binary") => Format::Binary,
+                    Some("metis") => Format::Metis,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
+            "--backend" => {
+                let name = args.next().ok_or("missing backend name")?;
+                parsed.backend =
+                    parse_backend(&name).ok_or_else(|| format!("unknown backend {name:?}"))?;
+            }
+            "--clustering" => parsed.clustering = true,
+            "--validate" => parsed.validate = true,
+            "--trace" => parsed.trace = Some(args.next().ok_or("missing trace path")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let graph: EdgeArray = match args.format {
+        Format::Text => io::read_text(&args.path),
+        Format::Binary => io::read_binary(&args.path),
+        Format::Metis => io::read_metis(&args.path),
+    }
+    .map_err(|e| format!("loading {}: {e}", args.path))?;
+
+    if args.validate {
+        graph.validate().map_err(|e| format!("validation: {e}"))?;
+        println!("validation: ok");
+    }
+
+    let stats = GraphStats::from_edge_array(&graph);
+    println!(
+        "graph: {} nodes, {} edges, max degree {}, avg degree {:.2}",
+        stats.num_nodes, stats.num_edges, stats.max_degree, stats.avg_degree
+    );
+
+    // A trace request routes single-GPU backends through the logging
+    // pipeline variant.
+    let result = if let (Some(trace_path), Backend::Gpu(opts)) = (&args.trace, &args.backend) {
+        let (report, log) =
+            triangles::core::gpu::pipeline::run_gpu_pipeline_with_log(&graph, opts)
+                .map_err(|e| format!("counting: {e}"))?;
+        triangles::simt::trace::write_chrome_trace(
+            &[(opts.device.name, &log)],
+            trace_path,
+        )
+        .map_err(|e| format!("writing trace: {e}"))?;
+        println!("trace written to {trace_path}");
+        triangles::core::count::TriangleCount {
+            triangles: report.triangles,
+            backend: args.backend.label(),
+            seconds: report.total_s,
+            gpu: Some(report),
+        }
+    } else {
+        if args.trace.is_some() {
+            return Err("--trace requires a single simulated-GPU backend".into());
+        }
+        count_triangles_detailed(&graph, args.backend).map_err(|e| format!("counting: {e}"))?
+    };
+    println!(
+        "triangles: {} ({} in {:.3} ms)",
+        result.triangles,
+        result.backend,
+        result.seconds * 1e3
+    );
+    if let Some(report) = &result.gpu {
+        println!(
+            "  gpu: kernel {:.3} ms, tex hit {:.1}%, {:.1} GB/s, preprocessing fraction {:.2}{}",
+            report.kernel.time_s * 1e3,
+            report.kernel.tex.hit_rate() * 100.0,
+            report.kernel.achieved_bandwidth_gbs,
+            report.preprocess_fraction,
+            if report.used_cpu_fallback { " (CPU-preprocessing fallback)" } else { "" }
+        );
+    }
+
+    if args.clustering {
+        let avg = average_clustering(&graph).map_err(|e| e.to_string())?;
+        let t = transitivity(&graph).map_err(|e| e.to_string())?;
+        println!("average clustering coefficient: {avg:.6}");
+        println!("transitivity ratio:             {t:.6}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage()
+        }
+    }
+}

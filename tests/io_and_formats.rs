@@ -1,0 +1,67 @@
+//! Integration tests for graph I/O and format conversions: counts survive
+//! round trips through every on-disk and in-memory representation.
+
+use triangles::core::count::{count_triangles, Backend};
+use triangles::gen::{erdos_renyi, Seed};
+use triangles::graph::{io, AdjacencyList, Csr, EdgeArray};
+
+fn fixture() -> EdgeArray {
+    erdos_renyi::gnm(120, 600, Seed(9))
+}
+
+#[test]
+fn count_survives_text_roundtrip() {
+    let g = fixture();
+    let expected = count_triangles(&g, Backend::CpuForward).unwrap();
+    let dir = std::env::temp_dir().join("tc_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.txt");
+    io::write_text(&g, &path).unwrap();
+    let h = io::read_text(&path).unwrap();
+    assert_eq!(count_triangles(&h, Backend::CpuForward).unwrap(), expected);
+    assert_eq!(h.num_edges(), g.num_edges());
+}
+
+#[test]
+fn count_survives_binary_roundtrip() {
+    let g = fixture();
+    let expected = count_triangles(&g, Backend::CpuForward).unwrap();
+    let dir = std::env::temp_dir().join("tc_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.bin");
+    io::write_binary(&g, &path).unwrap();
+    let h = io::read_binary(&path).unwrap();
+    h.validate().unwrap();
+    assert_eq!(count_triangles(&h, Backend::CpuForward).unwrap(), expected);
+}
+
+#[test]
+fn count_survives_representation_conversions() {
+    let g = fixture();
+    let expected = count_triangles(&g, Backend::CpuForward).unwrap();
+
+    // edge array -> adjacency list -> edge array
+    let adj = AdjacencyList::from_edge_array(&g);
+    let back = adj.to_edge_array();
+    assert_eq!(count_triangles(&back, Backend::CpuForward).unwrap(), expected);
+
+    // edge array -> CSR -> edge array
+    let csr = Csr::from_edge_array(&g).unwrap();
+    let back = csr.to_edge_array();
+    assert_eq!(count_triangles(&back, Backend::CpuForward).unwrap(), expected);
+}
+
+#[test]
+fn malformed_inputs_produce_typed_errors() {
+    use triangles::graph::GraphError;
+    let dir = std::env::temp_dir().join("tc_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let bad_text = dir.join("bad.txt");
+    std::fs::write(&bad_text, "0 1\nnot numbers\n").unwrap();
+    assert!(matches!(io::read_text(&bad_text), Err(GraphError::Parse { line: 2, .. })));
+
+    let bad_bin = dir.join("bad.bin");
+    std::fs::write(&bad_bin, [1u8, 2, 3]).unwrap();
+    assert!(matches!(io::read_binary(&bad_bin), Err(GraphError::TruncatedBinary { len: 3 })));
+}

@@ -1,0 +1,99 @@
+//! End-to-end tests of the `tcount` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use triangles::gen::{erdos_renyi, Seed};
+use triangles::graph::io;
+
+fn tcount_bin() -> PathBuf {
+    // Cargo puts integration-test binaries under target/<profile>/deps.
+    let mut path = std::env::current_exe().unwrap();
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push(format!("tcount{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn fixture_file() -> (PathBuf, u64) {
+    let g = erdos_renyi::gnm(100, 600, Seed(42));
+    let expected =
+        triangles::core::count_triangles(&g, triangles::core::Backend::CpuForward).unwrap();
+    let dir = std::env::temp_dir().join("tcount_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fixture.txt");
+    io::write_text(&g, &path).unwrap();
+    (path, expected)
+}
+
+#[test]
+fn counts_a_text_file() {
+    let (path, expected) = fixture_file();
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "forward", "--validate"])
+        .output()
+        .expect("tcount must be built (cargo test builds workspace bins)");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&format!("triangles: {expected}")), "{stdout}");
+    assert!(stdout.contains("validation: ok"));
+}
+
+#[test]
+fn gpu_backend_reports_profile() {
+    let (path, expected) = fixture_file();
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "gtx980", "--clustering"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&format!("triangles: {expected}")), "{stdout}");
+    assert!(stdout.contains("tex hit"));
+    assert!(stdout.contains("transitivity ratio"));
+}
+
+#[test]
+fn trace_flag_writes_a_chrome_trace() {
+    let (path, expected) = fixture_file();
+    let trace = std::env::temp_dir().join("tcount_cli_test").join("trace.json");
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "gtx980", "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&format!("triangles: {expected}")));
+    let content = std::fs::read_to_string(&trace).unwrap();
+    assert!(content.contains("CountTriangles"));
+    assert!(content.trim_end().ends_with(']'));
+
+    // Trace with a CPU backend is rejected.
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "forward", "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = Command::new(tcount_bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(tcount_bin())
+        .args(["/nonexistent/file.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let (path, _) = fixture_file();
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "quantum"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
