@@ -13,7 +13,11 @@ fn bench_table1(c: &mut Criterion) {
     let seed = common::seed();
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
-    for spec in [GraphSpec::LiveJournal, GraphSpec::Kronecker(2), GraphSpec::Citeseer] {
+    for spec in [
+        GraphSpec::LiveJournal,
+        GraphSpec::Kronecker(2),
+        GraphSpec::Citeseer,
+    ] {
         let g = spec.generate(scale, seed);
         let name = spec.name(scale);
         group.bench_with_input(BenchmarkId::new("cpu-forward", &name), &g, |b, g| {
@@ -37,7 +41,9 @@ fn bench_table1(c: &mut Criterion) {
             b.iter(|| {
                 count_triangles(
                     g,
-                    Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())),
+                    Backend::Gpu(GpuOptions::new(
+                        DeviceConfig::gtx_980().with_unlimited_memory(),
+                    )),
                 )
                 .unwrap()
             })

@@ -36,7 +36,10 @@ fn bench_counting_kernel(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("simulate", &name), |b| {
             b.iter(|| {
                 let kernel = CountKernel {
-                    arrays: KernelArrays::SoA { nbr: pre.nbr, owner: pre.owner },
+                    arrays: KernelArrays::SoA {
+                        nbr: pre.nbr,
+                        owner: pre.owner,
+                    },
                     node: pre.node,
                     result,
                     offset: 0,

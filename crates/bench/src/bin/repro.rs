@@ -5,13 +5,20 @@
 //!                    [--seed S] [--csv DIR]
 //!
 //! experiments: table1 | table2 | figure1 | ablations | amdahl |
-//!              input-format | approx | tuning | all
+//!              input-format | approx | tuning | profile | all
 //! ```
+//!
+//! `profile` prints the counting-kernel hardware counters for every suite
+//! graph (Table II's nvprof columns plus divergence/stall/occupancy) and
+//! the per-phase breakdown of the first graph's run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tc_bench::experiments::{ablations, amdahl, approx_comparison, figure1, input_format, table1, table2, tuning, ExpConfig};
+use tc_bench::experiments::{
+    ablations, amdahl, approx_comparison, figure1, input_format, profile, table1, table2, tuning,
+    ExpConfig,
+};
 use tc_bench::report::Table;
 use tc_gen::{Scale, Seed};
 
@@ -23,7 +30,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|all>\n\
+        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|all>\n\
          \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR]"
     );
     ExitCode::from(2)
@@ -63,7 +70,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args { experiment, cfg, csv_dir })
+    Ok(Args {
+        experiment,
+        cfg,
+        csv_dir,
+    })
 }
 
 fn emit(table: Table, csv_dir: &Option<PathBuf>) {
@@ -88,10 +99,30 @@ fn run_experiment(name: &str, cfg: &ExpConfig, csv_dir: &Option<PathBuf>) -> Res
         "ablations" => emit(ablations::render(&ablations::run(cfg)), csv_dir),
         "amdahl" => emit(amdahl::render(&amdahl::run(cfg)), csv_dir),
         "input-format" => emit(input_format::render(&input_format::run(cfg)), csv_dir),
-        "approx" => emit(approx_comparison::render(&approx_comparison::run(cfg)), csv_dir),
+        "approx" => emit(
+            approx_comparison::render(&approx_comparison::run(cfg)),
+            csv_dir,
+        ),
         "tuning" => emit(tuning::render(&tuning::run(cfg)), csv_dir),
+        "profile" => {
+            let rows = profile::run(cfg);
+            emit(profile::render(&rows), csv_dir);
+            if let Some(first) = rows.first() {
+                println!("per-phase breakdown of {}:", first.name);
+                emit(tc_bench::profile::phase_table(&first.profile), csv_dir);
+            }
+        }
         "all" => {
-            for exp in ["table1", "table2", "figure1", "ablations", "amdahl", "input-format", "approx"] {
+            for exp in [
+                "table1",
+                "table2",
+                "figure1",
+                "ablations",
+                "amdahl",
+                "input-format",
+                "approx",
+                "profile",
+            ] {
                 run_experiment(exp, cfg, csv_dir)?;
             }
         }

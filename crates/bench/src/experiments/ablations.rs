@@ -14,7 +14,7 @@
 
 use tc_core::count::GpuOptions;
 use tc_core::gpu::pipeline::run_gpu_pipeline;
-use tc_core::gpu::preprocess::{full_path_peak_bytes, fallback_path_peak_bytes};
+use tc_core::gpu::preprocess::{fallback_path_peak_bytes, full_path_peak_bytes};
 use tc_core::gpu::{EdgeLayout, LoopVariant};
 use tc_gen::suite::{full_suite_seeded, GraphSpec};
 use tc_graph::EdgeArray;
@@ -60,7 +60,11 @@ fn subset(cfg: &ExpConfig) -> Vec<(String, EdgeArray)> {
 }
 
 fn kernel_ms(g: &EdgeArray, opts: &GpuOptions) -> f64 {
-    run_gpu_pipeline(g, opts).expect("ablation pipeline").kernel.time_s * 1e3
+    run_gpu_pipeline(g, opts)
+        .expect("ablation pipeline")
+        .kernel
+        .time_s
+        * 1e3
 }
 
 /// Counting-kernel time of the §III-D7 virtual warp-centric variant.
@@ -170,20 +174,21 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
     // III-D6: the fallback path, on the livejournal analog: force it by
     // capacity and compare total time against the full-GPU path.
     if let Some((name, g)) = subset(cfg).into_iter().next() {
-        let full = run_gpu_pipeline(&g, &GpuOptions::new(device.clone()))
-            .expect("full path");
+        let full = run_gpu_pipeline(&g, &GpuOptions::new(device.clone())).expect("full path");
         // Capacity between the two paths' planned peaks: halfway between
         // them, plus the node array and the result-array reserve that the
         // planner adds to both sides.
         let launch = DeviceConfig::gtx_980().paper_launch();
         let reserve = launch.active_threads(32) as u64 * 8;
         let node_bytes = (g.num_nodes() as u64 + 1) * 4;
-        let window = (full_path_peak_bytes(&g) + fallback_path_peak_bytes(&g)) / 2
-            + reserve
-            + node_bytes;
+        let window =
+            (full_path_peak_bytes(&g) + fallback_path_peak_bytes(&g)) / 2 + reserve + node_bytes;
         let tight = DeviceConfig::gtx_980().with_memory_capacity(window);
         let fb = run_gpu_pipeline(&g, &GpuOptions::new(tight)).expect("fallback path");
-        assert!(fb.used_cpu_fallback, "capacity window must force the fallback");
+        assert!(
+            fb.used_cpu_fallback,
+            "capacity window must force the fallback"
+        );
         assert_eq!(fb.triangles, full.triangles);
         rows.push(Row {
             ablation: "full-GPU preprocessing (vs III-D6 fallback)",
@@ -217,7 +222,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Section III-D ablations (gain = baseline / optimized)",
-        &["ablation", "graph", "optimized [ms]", "baseline [ms]", "gain"],
+        &[
+            "ablation",
+            "graph",
+            "optimized [ms]",
+            "baseline [ms]",
+            "gain",
+        ],
     );
     for r in rows {
         t.push(vec![

@@ -51,7 +51,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Section III-E: Amdahl analysis of the 4-GPU setup (Tesla C2050)",
-        &["graph", "preproc fraction", "amdahl ceiling", "observed speedup", "1gpu [ms]", "4gpu [ms]"],
+        &[
+            "graph",
+            "preproc fraction",
+            "amdahl ceiling",
+            "observed speedup",
+            "1gpu [ms]",
+            "4gpu [ms]",
+        ],
     );
     for r in rows {
         t.push(vec![
@@ -79,7 +86,12 @@ mod tests {
             assert!((1.0..=4.0).contains(&r.predicted_max_speedup));
             // Observed speedup cannot exceed 4 devices' worth by much; it can
             // be < 1 when broadcast overhead dominates tiny graphs.
-            assert!(r.observed_speedup <= 4.2, "{}: {}", r.name, r.observed_speedup);
+            assert!(
+                r.observed_speedup <= 4.2,
+                "{}: {}",
+                r.name,
+                r.observed_speedup
+            );
         }
     }
 }

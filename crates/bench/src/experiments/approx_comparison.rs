@@ -83,7 +83,14 @@ pub fn render(rows: &[Row]) -> Table {
             "Section V: exact vs approximate (doulion p={DOULION_P}, wedge samples={WEDGE_SAMPLES})"
         ),
         &[
-            "graph", "exact", "exact [ms]", "doulion", "err", "doulion [ms]", "wedge", "err",
+            "graph",
+            "exact",
+            "exact [ms]",
+            "doulion",
+            "err",
+            "doulion [ms]",
+            "wedge",
+            "err",
             "wedge [ms]",
         ],
     );
@@ -115,8 +122,18 @@ mod tests {
             assert!(r.exact > 0, "{}", r.name);
             // Smoke graphs are small, so allow generous error bands; the
             // bench-scale run lands within a few percent.
-            assert!(r.doulion_error() < 0.5, "{}: doulion err {}", r.name, r.doulion_error());
-            assert!(r.wedge_error() < 0.25, "{}: wedge err {}", r.name, r.wedge_error());
+            assert!(
+                r.doulion_error() < 0.5,
+                "{}: doulion err {}",
+                r.name,
+                r.doulion_error()
+            );
+            assert!(
+                r.wedge_error() < 0.25,
+                "{}: wedge err {}",
+                r.name,
+                r.wedge_error()
+            );
         }
     }
 }

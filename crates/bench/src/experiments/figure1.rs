@@ -39,8 +39,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Point> {
             let cpu_s = time_host(cfg.repeats, || {
                 triangles = count_forward(g).expect("valid suite graph");
             });
-            let c2050 = run_gpu_pipeline(g, &GpuOptions::new(DeviceConfig::tesla_c2050()))
-                .expect("c2050");
+            let c2050 =
+                run_gpu_pipeline(g, &GpuOptions::new(DeviceConfig::tesla_c2050())).expect("c2050");
             let quad = run_multi_gpu(g, &GpuOptions::new(DeviceConfig::tesla_c2050()), 4)
                 .expect("4x c2050");
             let gtx =
@@ -64,7 +64,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Point> {
 pub fn render(points: &[Point]) -> Table {
     let mut t = Table::new(
         "Figure 1: Kronecker ladder, time [ms] per series (log-log in the paper)",
-        &["graph", "nodes", "edges", "cpu", "c2050", "4xc2050", "gtx980"],
+        &[
+            "graph", "nodes", "edges", "cpu", "c2050", "4xc2050", "gtx980",
+        ],
     );
     for p in points {
         t.push(vec![

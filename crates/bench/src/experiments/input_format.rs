@@ -59,10 +59,22 @@ pub fn render(r: &Results) -> Table {
         format!("Section III-A: input-format comparison on {}", r.graph),
         &["operation", "time [ms]"],
     );
-    t.push(vec!["count (adjacency-list input)".into(), ms(r.count_from_adjacency_s)]);
-    t.push(vec!["count (edge-array input)".into(), ms(r.count_from_edge_array_s)]);
-    t.push(vec!["convert edge array -> adjacency list".into(), ms(r.convert_edge_to_adjacency_s)]);
-    t.push(vec!["convert adjacency list -> edge array".into(), ms(r.convert_adjacency_to_edge_s)]);
+    t.push(vec![
+        "count (adjacency-list input)".into(),
+        ms(r.count_from_adjacency_s),
+    ]);
+    t.push(vec![
+        "count (edge-array input)".into(),
+        ms(r.count_from_edge_array_s),
+    ]);
+    t.push(vec![
+        "convert edge array -> adjacency list".into(),
+        ms(r.convert_edge_to_adjacency_s),
+    ]);
+    t.push(vec![
+        "convert adjacency list -> edge array".into(),
+        ms(r.convert_adjacency_to_edge_s),
+    ]);
     t
 }
 

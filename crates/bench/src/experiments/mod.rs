@@ -3,15 +3,16 @@
 //! [`crate::report::Table`].
 
 pub mod ablations;
-pub mod approx_comparison;
 pub mod amdahl;
+pub mod approx_comparison;
 pub mod figure1;
 pub mod input_format;
+pub mod profile;
 pub mod table1;
-pub mod tuning;
 pub mod table2;
+pub mod tuning;
 
-use tc_gen::{Seed, Scale};
+use tc_gen::{Scale, Seed};
 
 /// Shared experiment configuration.
 #[derive(Clone, Copy, Debug)]
@@ -27,13 +28,21 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { scale: Scale::Bench, repeats: 3, seed: tc_gen::suite::SUITE_SEED }
+        ExpConfig {
+            scale: Scale::Bench,
+            repeats: 3,
+            seed: tc_gen::suite::SUITE_SEED,
+        }
     }
 }
 
 impl ExpConfig {
     pub fn smoke() -> Self {
-        ExpConfig { scale: Scale::Smoke, repeats: 1, ..Default::default() }
+        ExpConfig {
+            scale: Scale::Smoke,
+            repeats: 1,
+            ..Default::default()
+        }
     }
 }
 

@@ -62,7 +62,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
 
         let quad =
             run_multi_gpu(g, &GpuOptions::new(DeviceConfig::tesla_c2050()), 4).expect("4x c2050");
-        assert_eq!(quad.triangles, triangles, "{}: 4xc2050 disagrees", item.name);
+        assert_eq!(
+            quad.triangles, triangles,
+            "{}: 4xc2050 disagrees",
+            item.name
+        );
 
         let gtx = run_gpu_pipeline(g, &GpuOptions::new(DeviceConfig::gtx_980()))
             .expect("gtx980 pipeline");
@@ -89,8 +93,17 @@ pub fn render(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Table I: experimental results (times in ms; dagger = CPU-preprocessing fallback)",
         &[
-            "graph", "nodes", "edges", "triangles", "cpu", "c2050", "speedup", "4xc2050",
-            "speedup4", "gtx980", "speedupG",
+            "graph",
+            "nodes",
+            "edges",
+            "triangles",
+            "cpu",
+            "c2050",
+            "speedup",
+            "4xc2050",
+            "speedup4",
+            "gtx980",
+            "speedupG",
         ],
     );
     for r in rows {

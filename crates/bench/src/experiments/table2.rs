@@ -5,9 +5,14 @@
 //! locality synthetic graphs at the bottom of the range, bandwidth a
 //! substantial fraction of the card's 224 GB/s peak but well below it
 //! ("about half", §IV).
+//!
+//! The columns come from the profiler subsystem — the counting kernel's
+//! `count/count-kernel` span delta — the same path `tcount --profile` and
+//! `repro profile` report, mirroring how the paper's numbers came from
+//! nvprof rather than in-kernel instrumentation.
 
 use tc_core::count::GpuOptions;
-use tc_core::gpu::pipeline::run_gpu_pipeline;
+use tc_core::gpu::pipeline::run_gpu_pipeline_profiled;
 use tc_gen::suite::full_suite_seeded;
 use tc_simt::DeviceConfig;
 
@@ -31,14 +36,19 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
     suite
         .iter()
         .map(|item| {
-            let report = run_gpu_pipeline(&item.graph, &GpuOptions::new(DeviceConfig::gtx_980()))
-                .expect("gtx980 pipeline");
+            let (_, trace) =
+                run_gpu_pipeline_profiled(&item.graph, &GpuOptions::new(DeviceConfig::gtx_980()))
+                    .expect("gtx980 pipeline");
+            let span = trace
+                .profile
+                .span(super::profile::KERNEL_SPAN)
+                .expect("pipeline records the counting-kernel span");
             Row {
                 name: item.name.clone(),
-                tex_hit_rate: report.kernel.tex.hit_rate(),
-                bandwidth_gbs: report.kernel.achieved_bandwidth_gbs,
-                dram_bytes: report.kernel.dram_bytes,
-                kernel_ms: report.kernel.time_s * 1e3,
+                tex_hit_rate: span.counters.tex.hit_rate(),
+                bandwidth_gbs: span.achieved_bandwidth_gbs(),
+                dram_bytes: span.counters.dram_bytes(),
+                kernel_ms: span.duration_s() * 1e3,
             }
         })
         .collect()
@@ -69,7 +79,12 @@ mod tests {
         let rows = run(&ExpConfig::smoke());
         assert_eq!(rows.len(), 13);
         for r in &rows {
-            assert!((0.0..=1.0).contains(&r.tex_hit_rate), "{}: {}", r.name, r.tex_hit_rate);
+            assert!(
+                (0.0..=1.0).contains(&r.tex_hit_rate),
+                "{}: {}",
+                r.name,
+                r.tex_hit_rate
+            );
             assert!(r.bandwidth_gbs >= 0.0);
             assert!(r.kernel_ms > 0.0);
         }

@@ -12,6 +12,9 @@
 //! results are recorded in EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod profile;
 pub mod report;
 
-pub use experiments::{ablations, amdahl, approx_comparison, figure1, input_format, table1, table2, tuning};
+pub use experiments::{
+    ablations, amdahl, approx_comparison, figure1, input_format, table1, table2, tuning,
+};

@@ -45,12 +45,12 @@ impl Rng {
 
 /// DOULION \[6\]: sparsify-and-scale estimate with keep-probability `p`.
 pub fn doulion(g: &EdgeArray, p: f64, seed: u64) -> Result<f64, GraphError> {
-    assert!((0.0..=1.0).contains(&p) && p > 0.0, "keep probability must be in (0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p) && p > 0.0,
+        "keep probability must be in (0, 1]"
+    );
     let mut rng = Rng(seed);
-    let kept: Vec<(u32, u32)> = g
-        .undirected_iter()
-        .filter(|_| rng.uniform() < p)
-        .collect();
+    let kept: Vec<(u32, u32)> = g.undirected_iter().filter(|_| rng.uniform() < p).collect();
     let sparse = EdgeArray::from_undirected_pairs(kept);
     let count = count_forward(&sparse)?;
     Ok(count as f64 / (p * p * p))
@@ -132,8 +132,10 @@ mod tests {
     fn doulion_is_roughly_unbiased() {
         let (g, exact) = dense_fixture();
         let trials = 60;
-        let mean: f64 =
-            (0..trials).map(|s| doulion(&g, 0.6, s).unwrap()).sum::<f64>() / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|s| doulion(&g, 0.6, s).unwrap())
+            .sum::<f64>()
+            / trials as f64;
         let rel = (mean - exact as f64).abs() / exact as f64;
         assert!(rel < 0.15, "mean {mean} vs exact {exact} (rel {rel})");
     }

@@ -6,7 +6,6 @@
 //! neighbour `w`, the triangle `{u, v, w}` is found exactly once and
 //! credited to all three corners.
 
-use rayon::prelude::*;
 use tc_graph::{EdgeArray, GraphError, GraphStats, Orientation};
 
 /// Number of triangles through each vertex (`Σ = 3 × total triangles`).
@@ -14,36 +13,34 @@ pub fn per_vertex_triangles(g: &EdgeArray) -> Result<Vec<u64>, GraphError> {
     let orientation = Orientation::forward(g)?;
     let csr = &orientation.csr;
     let n = csr.num_nodes();
-    // Parallel over list owners, each thread accumulating into a local
-    // vector; merged at the end (atomic-free).
-    let locals: Vec<Vec<u64>> = (0..n as u32)
-        .into_par_iter()
-        .fold(
-            || vec![0u64; n],
-            |mut acc, u| {
-                let adj_u = csr.neighbors(u);
-                for &v in adj_u {
-                    let adj_v = csr.neighbors(v);
-                    let (mut i, mut j) = (0, 0);
-                    while i < adj_u.len() && j < adj_v.len() {
-                        match adj_u[i].cmp(&adj_v[j]) {
-                            std::cmp::Ordering::Less => i += 1,
-                            std::cmp::Ordering::Greater => j += 1,
-                            std::cmp::Ordering::Equal => {
-                                let w = adj_u[i];
-                                acc[u as usize] += 1;
-                                acc[v as usize] += 1;
-                                acc[w as usize] += 1;
-                                i += 1;
-                                j += 1;
-                            }
+    // Parallel over chunks of list owners, each worker accumulating into a
+    // local vector; merged at the end in chunk order (atomic-free).
+    let owners: Vec<u32> = (0..n as u32).collect();
+    let locals = tc_par::map_chunks(&owners, 4096, |_, chunk| {
+        let mut acc = vec![0u64; n];
+        for &u in chunk {
+            let adj_u = csr.neighbors(u);
+            for &v in adj_u {
+                let adj_v = csr.neighbors(v);
+                let (mut i, mut j) = (0, 0);
+                while i < adj_u.len() && j < adj_v.len() {
+                    match adj_u[i].cmp(&adj_v[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let w = adj_u[i];
+                            acc[u as usize] += 1;
+                            acc[v as usize] += 1;
+                            acc[w as usize] += 1;
+                            i += 1;
+                            j += 1;
                         }
                     }
                 }
-                acc
-            },
-        )
-        .collect();
+            }
+        }
+        acc
+    });
     let mut total = vec![0u64; n];
     for local in locals {
         for (t, l) in total.iter_mut().zip(local) {
@@ -123,7 +120,10 @@ mod tests {
     #[test]
     fn per_vertex_counts_match_brute_force() {
         let g = diamond();
-        assert_eq!(per_vertex_triangles(&g).unwrap(), per_vertex_brute_force(&g));
+        assert_eq!(
+            per_vertex_triangles(&g).unwrap(),
+            per_vertex_brute_force(&g)
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl Backend {
 
     /// `n` simulated Tesla C2050s (the paper's 4-GPU rig).
     pub fn multi_gpu_c2050(devices: usize) -> Self {
-        Backend::MultiGpu { options: GpuOptions::new(DeviceConfig::tesla_c2050()), devices }
+        Backend::MultiGpu {
+            options: GpuOptions::new(DeviceConfig::tesla_c2050()),
+            devices,
+        }
     }
 
     /// Short label for reports.
@@ -231,7 +234,9 @@ mod tests {
             Backend::CpuNodeIterator,
             Backend::CpuForwardHashed,
             Backend::CpuParallel,
-            Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())),
+            Backend::Gpu(GpuOptions::new(
+                DeviceConfig::gtx_980().with_unlimited_memory(),
+            )),
             Backend::MultiGpu {
                 options: GpuOptions::new(DeviceConfig::tesla_c2050().with_unlimited_memory()),
                 devices: 2,
@@ -251,7 +256,9 @@ mod tests {
         assert!(r.gpu.is_none());
         let r = count_triangles_detailed(
             &g,
-            Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())),
+            Backend::Gpu(GpuOptions::new(
+                DeviceConfig::gtx_980().with_unlimited_memory(),
+            )),
         )
         .unwrap();
         assert!(r.gpu.is_some());

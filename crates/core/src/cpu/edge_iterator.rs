@@ -29,14 +29,7 @@ mod tests {
     fn counts_match_known_fixtures() {
         let tri = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0)]);
         assert_eq!(count_edge_iterator(&tri).unwrap(), 1);
-        let k4 = EdgeArray::from_undirected_pairs([
-            (0, 1),
-            (0, 2),
-            (0, 3),
-            (1, 2),
-            (1, 3),
-            (2, 3),
-        ]);
+        let k4 = EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert_eq!(count_edge_iterator(&k4).unwrap(), 4);
         let square = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 3), (3, 0)]);
         assert_eq!(count_edge_iterator(&square).unwrap(), 0);

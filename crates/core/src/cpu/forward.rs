@@ -45,8 +45,12 @@ pub fn count_forward_adjacency(adj: &AdjacencyList) -> u64 {
     };
     let mut oriented: Vec<Vec<u32>> = (0..n as u32)
         .map(|u| {
-            let mut fwd: Vec<u32> =
-                adj.neighbors(u).iter().copied().filter(|&v| precedes(u, v)).collect();
+            let mut fwd: Vec<u32> = adj
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| precedes(u, v))
+                .collect();
             fwd.sort_unstable();
             fwd
         })

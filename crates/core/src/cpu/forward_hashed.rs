@@ -20,7 +20,10 @@ const EMPTY: u32 = u32::MAX;
 impl FlatSet {
     fn build(keys: &[u32]) -> Self {
         let cap = (keys.len() * 2).next_power_of_two().max(4);
-        let mut set = FlatSet { slots: vec![EMPTY; cap], mask: cap - 1 };
+        let mut set = FlatSet {
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+        };
         for &k in keys {
             debug_assert_ne!(k, EMPTY, "u32::MAX is the sentinel");
             set.insert(k);

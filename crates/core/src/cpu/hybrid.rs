@@ -26,7 +26,10 @@ struct BitMatrix {
 impl BitMatrix {
     fn new(rows: usize) -> Self {
         let words_per_row = rows.div_ceil(64);
-        BitMatrix { words_per_row, bits: vec![0; rows * words_per_row] }
+        BitMatrix {
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
     }
 
     #[inline]

@@ -1,4 +1,4 @@
-//! Multi-core forward counting with rayon.
+//! Multi-core forward counting on scoped threads (tc-par).
 //!
 //! §V cites a 6-core CPU reaching ~7× over single-threaded; this backend
 //! exists to reproduce that comparison point and to cross-check the GPU
@@ -6,7 +6,6 @@
 //! [`Orientation::forward_parallel`] (parallel histogram/filter/sort — the
 //! host analog of the GPU preprocessing steps) and counting over vertices.
 
-use rayon::prelude::*;
 use tc_graph::{EdgeArray, GraphError, Orientation};
 
 use super::merge::intersect_count;
@@ -20,16 +19,13 @@ pub fn count_forward_parallel(g: &EdgeArray) -> Result<u64, GraphError> {
 /// Parallel counting phase over a prebuilt orientation.
 pub fn count_on_orientation_parallel(orientation: &Orientation) -> u64 {
     let csr = &orientation.csr;
-    (0..csr.num_nodes() as u32)
-        .into_par_iter()
-        .map(|u| {
-            let adj_u = csr.neighbors(u);
-            adj_u
-                .iter()
-                .map(|&v| intersect_count(adj_u, csr.neighbors(v)))
-                .sum::<u64>()
-        })
-        .sum()
+    tc_par::sum_by_u64(csr.num_nodes(), |u| {
+        let adj_u = csr.neighbors(u as u32);
+        adj_u
+            .iter()
+            .map(|&v| intersect_count(adj_u, csr.neighbors(v)))
+            .sum::<u64>()
+    })
 }
 
 #[cfg(test)]

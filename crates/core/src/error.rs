@@ -25,7 +25,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Device(e) => write!(f, "device error: {e}"),
-            CoreError::GraphTooLargeForDevice { required_bytes, capacity_bytes } => write!(
+            CoreError::GraphTooLargeForDevice {
+                required_bytes,
+                capacity_bytes,
+            } => write!(
                 f,
                 "graph needs {required_bytes} device bytes even with CPU preprocessing; \
                  device has {capacity_bytes}"
@@ -65,7 +68,10 @@ mod tests {
         let e = CoreError::from(GraphError::SelfLoop { vertex: 3 });
         assert!(e.to_string().contains("self-loop"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = CoreError::GraphTooLargeForDevice { required_bytes: 10, capacity_bytes: 5 };
+        let e = CoreError::GraphTooLargeForDevice {
+            required_bytes: 10,
+            capacity_bytes: 5,
+        };
         assert!(e.to_string().contains("10"));
         assert!(std::error::Error::source(&e).is_none());
     }

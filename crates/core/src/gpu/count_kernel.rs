@@ -25,7 +25,10 @@ use super::LoopVariant;
 pub enum KernelArrays {
     /// Unzipped layout: `nbr[i]` = second endpoint (the concatenated,
     /// sorted adjacency lists), `owner[i]` = first endpoint.
-    SoA { nbr: DeviceBuffer<u32>, owner: DeviceBuffer<u32> },
+    SoA {
+        nbr: DeviceBuffer<u32>,
+        owner: DeviceBuffer<u32>,
+    },
     /// Packed `(owner << 32) | nbr` arcs.
     AoS { arcs: DeviceBuffer<u64> },
 }
@@ -129,7 +132,11 @@ impl CountLane {
 
     #[inline]
     fn read(&self, addr: u64, bytes: u32) -> Effect {
-        Effect::Read { addr, bytes, cached: self.k.use_texture_cache }
+        Effect::Read {
+            addr,
+            bytes,
+            cached: self.k.use_texture_cache,
+        }
     }
 }
 
@@ -160,7 +167,9 @@ impl Lane for CountLane {
                     }
                 }
                 Phase::LoadEdge2 => {
-                    let KernelArrays::SoA { nbr, .. } = self.k.arrays else { unreachable!() };
+                    let KernelArrays::SoA { nbr, .. } = self.k.arrays else {
+                        unreachable!()
+                    };
                     self.v = mem.read_u32(nbr.addr() + self.i as u64 * 4);
                     self.phase = Phase::LoadNodeU;
                     return self.read(nbr.addr() + self.i as u64 * 4, 4);
@@ -310,7 +319,15 @@ mod tests {
         let owner_buf = dev.htod_copy(&owner).unwrap();
         let nbr_buf = dev.htod_copy(&nbr).unwrap();
         let node_buf = dev.htod_copy(&node).unwrap();
-        (dev, KernelArrays::SoA { nbr: nbr_buf, owner: owner_buf }, node_buf, m)
+        (
+            dev,
+            KernelArrays::SoA {
+                nbr: nbr_buf,
+                owner: owner_buf,
+            },
+            node_buf,
+            m,
+        )
     }
 
     fn run(
@@ -340,7 +357,10 @@ mod tests {
     #[test]
     fn counts_two_triangles_soa_final() {
         let (mut dev, arrays, node, m) = device_with_graph();
-        assert_eq!(run(&mut dev, arrays, node, m, LoopVariant::FinalReadAvoiding), 2);
+        assert_eq!(
+            run(&mut dev, arrays, node, m, LoopVariant::FinalReadAvoiding),
+            2
+        );
     }
 
     #[test]
@@ -399,7 +419,10 @@ mod tests {
     #[test]
     fn empty_edge_list_counts_zero() {
         let (mut dev, arrays, node, _) = device_with_graph();
-        assert_eq!(run(&mut dev, arrays, node, 0, LoopVariant::FinalReadAvoiding), 0);
+        assert_eq!(
+            run(&mut dev, arrays, node, 0, LoopVariant::FinalReadAvoiding),
+            0
+        );
     }
 
     #[test]
@@ -434,7 +457,10 @@ mod tests {
             let result = dev.alloc::<u64>(total).unwrap();
             dev.poke(&result, &vec![0u64; total]);
             let kernel = CountKernel {
-                arrays: KernelArrays::SoA { nbr: nbr_buf, owner: owner_buf },
+                arrays: KernelArrays::SoA {
+                    nbr: nbr_buf,
+                    owner: owner_buf,
+                },
                 node: node_buf,
                 result,
                 offset: 0,
@@ -454,5 +480,4 @@ mod tests {
             steps[0]
         );
     }
-
 }

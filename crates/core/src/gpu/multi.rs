@@ -8,11 +8,13 @@
 
 use tc_graph::EdgeArray;
 use tc_simt::primitives::reduce_sum_u64;
+use tc_simt::profiler::ProfileReport;
 use tc_simt::{DeviceGroup, KernelStats, LaunchConfig};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
 use crate::gpu::count_kernel::{CountKernel, KernelArrays};
+use crate::gpu::pipeline::RunTrace;
 use crate::gpu::preprocess::preprocess_auto;
 use crate::gpu::EdgeLayout;
 
@@ -41,6 +43,17 @@ pub fn run_multi_gpu(
     opts: &GpuOptions,
     devices: usize,
 ) -> Result<MultiGpuReport, CoreError> {
+    run_multi_gpu_profiled(g, opts, devices).map(|(report, _)| report)
+}
+
+/// Like [`run_multi_gpu`] but also returns one [`RunTrace`] per device
+/// (trace thread `gpu0`, `gpu1`, …). Merge the per-device profiles with
+/// [`ProfileReport::merged`] for the whole-run view.
+pub fn run_multi_gpu_profiled(
+    g: &EdgeArray,
+    opts: &GpuOptions,
+    devices: usize,
+) -> Result<(MultiGpuReport, Vec<RunTrace>), CoreError> {
     assert!(devices >= 1);
     assert!(
         opts.layout == EdgeLayout::SoA,
@@ -64,14 +77,23 @@ pub fn run_multi_gpu(
         .active_threads(dev0.config().warp_size) as u64
             * 8
     };
-    let pre = preprocess_auto(group.device_mut(0), g, false, reserve)?;
+    group.device_mut(0).push_phase("preprocess");
+    let pre = preprocess_auto(group.device_mut(0), g, false, reserve);
+    group.device_mut(0).pop_phase();
+    let pre = pre?;
     let preprocess_s = group.device(0).elapsed() + pre.host_seconds;
 
     // Broadcast the three arrays. Target clocks start accumulating here.
     let t_before: Vec<f64> = (0..devices).map(|i| group.device(i).elapsed()).collect();
+    for i in 0..devices {
+        group.device_mut(i).push_phase("broadcast");
+    }
     let nbr = group.broadcast(0, &pre.nbr)?;
     let owner = group.broadcast(0, &pre.owner)?;
     let node = group.broadcast(0, &pre.node)?;
+    for i in 0..devices {
+        group.device_mut(i).pop_phase();
+    }
 
     // Each device counts its stripe.
     let mut triangles = 0u64;
@@ -85,12 +107,16 @@ pub fn run_multi_gpu(
             warp_split: opts.warp_split,
         };
         let total_threads = lc.active_threads(dev.config().warp_size);
+        dev.push_phase("count");
         let result = dev.alloc::<u64>(total_threads)?;
         dev.poke(&result, &vec![0u64; total_threads]);
         let offset = pre.m * i / devices;
         let count = pre.m * (i + 1) / devices - offset;
         let kernel = CountKernel {
-            arrays: KernelArrays::SoA { nbr: nbr[i], owner: owner[i] },
+            arrays: KernelArrays::SoA {
+                nbr: nbr[i],
+                owner: owner[i],
+            },
             node: node[i],
             result,
             offset,
@@ -98,12 +124,15 @@ pub fn run_multi_gpu(
             variant: opts.kernel,
             use_texture_cache: opts.use_texture_cache,
         };
-        let stats = dev.launch("CountTriangles(stripe)", lc, &kernel)?;
+        let stats = dev.with_phase("count-kernel", |d| {
+            d.launch("CountTriangles(stripe)", lc, &kernel)
+        })?;
         if i == 0 {
             kernel_stats = Some(stats);
         }
-        triangles += reduce_sum_u64(dev, &result);
+        triangles += dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
         dev.free(result)?;
+        dev.pop_phase();
     }
 
     let per_device_s: Vec<f64> = (0..devices)
@@ -111,7 +140,18 @@ pub fn run_multi_gpu(
         .collect();
     let count_s = per_device_s.iter().copied().fold(0.0, f64::max);
     let total_s = preprocess_s + count_s;
-    Ok(MultiGpuReport {
+    let traces: Vec<RunTrace> = (0..devices)
+        .map(|i| {
+            let dev = group.device(i);
+            RunTrace {
+                device_name: format!("gpu{i} ({})", dev.config().name),
+                log: dev.time_log().to_vec(),
+                spans: dev.spans().to_vec(),
+                profile: dev.profile(),
+            }
+        })
+        .collect();
+    let report = MultiGpuReport {
         triangles,
         total_s,
         preprocess_s,
@@ -120,7 +160,15 @@ pub fn run_multi_gpu(
         used_cpu_fallback: pre.used_cpu_fallback,
         per_device_s,
         kernel: kernel_stats.expect("at least one device"),
-    })
+    };
+    Ok((report, traces))
+}
+
+/// Merge the per-device profiles of a [`run_multi_gpu_profiled`] run into
+/// one whole-run [`ProfileReport`].
+pub fn merged_profile(traces: &[RunTrace]) -> ProfileReport {
+    let profiles: Vec<ProfileReport> = traces.iter().map(|t| t.profile.clone()).collect();
+    ProfileReport::merged(&profiles)
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 
 use tc_graph::EdgeArray;
 use tc_simt::primitives::reduce_sum_u64;
-use tc_simt::{Device, KernelStats, LaunchConfig};
+use tc_simt::profiler::{ProfileReport, Span};
+use tc_simt::{Device, KernelStats, LaunchConfig, TimedOp};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
@@ -39,9 +40,21 @@ pub struct GpuReport {
     pub preprocess_fraction: f64,
 }
 
+/// Everything the profiler recorded about one device's run: the leaf
+/// operation log, the phase spans, and the aggregated [`ProfileReport`].
+/// Feed `log`/`spans` to [`tc_simt::trace::write_chrome_trace_spanned`] for
+/// a nested Perfetto view, or `profile` to the report renderers.
+#[derive(Clone, Debug)]
+pub struct RunTrace {
+    pub device_name: String,
+    pub log: Vec<TimedOp>,
+    pub spans: Vec<Span>,
+    pub profile: ProfileReport,
+}
+
 /// Run the full pipeline on a fresh simulated device.
 pub fn run_gpu_pipeline(g: &EdgeArray, opts: &GpuOptions) -> Result<GpuReport, CoreError> {
-    run_gpu_pipeline_with_log(g, opts).map(|(report, _)| report)
+    run_gpu_pipeline_profiled(g, opts).map(|(report, _)| report)
 }
 
 /// Like [`run_gpu_pipeline`] but also returns the device's operation log —
@@ -51,6 +64,15 @@ pub fn run_gpu_pipeline_with_log(
     g: &EdgeArray,
     opts: &GpuOptions,
 ) -> Result<(GpuReport, Vec<tc_simt::TimedOp>), CoreError> {
+    run_gpu_pipeline_profiled(g, opts).map(|(report, trace)| (report, trace.log))
+}
+
+/// Like [`run_gpu_pipeline`] but also returns the full [`RunTrace`]: leaf
+/// ops, nested phase spans, and the per-phase counter report.
+pub fn run_gpu_pipeline_profiled(
+    g: &EdgeArray,
+    opts: &GpuOptions,
+) -> Result<(GpuReport, RunTrace), CoreError> {
     let mut dev = Device::new(opts.device.clone());
     if opts.preinit_context {
         dev.preinit_context();
@@ -59,9 +81,7 @@ pub fn run_gpu_pipeline_with_log(
 
     // Launch geometry is fixed up front so preprocessing can reserve room
     // for the result array in its capacity plan.
-    let lc = opts
-        .launch
-        .unwrap_or_else(|| dev.config().paper_launch());
+    let lc = opts.launch.unwrap_or_else(|| dev.config().paper_launch());
     let lc = LaunchConfig {
         // §III-D5: the reduced-warp trick doubles the launched threads so
         // the active lane count stays constant.
@@ -73,15 +93,22 @@ pub fn run_gpu_pipeline_with_log(
 
     // ---- preprocessing phase (steps 1–8, §III-B) ----
     let keep_aos = opts.layout == EdgeLayout::AoS;
-    let pre = preprocess_auto(&mut dev, g, keep_aos, total_threads as u64 * 8)?;
+    dev.push_phase("preprocess");
+    let pre = preprocess_auto(&mut dev, g, keep_aos, total_threads as u64 * 8);
+    dev.pop_phase();
+    let pre = pre?;
     let preprocess_s = dev.elapsed() + pre.host_seconds;
 
     // ---- counting phase (§III-C) ----
+    dev.push_phase("count");
     let result = dev.alloc::<u64>(total_threads)?;
     dev.poke(&result, &vec![0u64; total_threads]);
 
     let arrays = match opts.layout {
-        EdgeLayout::SoA => KernelArrays::SoA { nbr: pre.nbr, owner: pre.owner },
+        EdgeLayout::SoA => KernelArrays::SoA {
+            nbr: pre.nbr,
+            owner: pre.owner,
+        },
         EdgeLayout::AoS => KernelArrays::AoS {
             arcs: pre.arcs_aos.expect("AoS layout retains packed arcs"),
         },
@@ -95,12 +122,14 @@ pub fn run_gpu_pipeline_with_log(
         variant: opts.kernel,
         use_texture_cache: opts.use_texture_cache,
     };
-    let kernel_stats = dev.launch("CountTriangles", lc, &kernel)?;
-    let triangles = reduce_sum_u64(&mut dev, &result);
+    let kernel_stats =
+        dev.with_phase("count-kernel", |d| d.launch("CountTriangles", lc, &kernel))?;
+    let triangles = dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
 
     // ---- teardown inside the measured window, like the paper ----
     dev.free(result)?;
     free_preprocessed(&mut dev, &pre)?;
+    dev.pop_phase();
 
     let total_s = dev.elapsed() + pre.host_seconds;
     let count_s = total_s - preprocess_s;
@@ -114,9 +143,19 @@ pub fn run_gpu_pipeline_with_log(
         m_oriented: pre.m,
         n: pre.n,
         peak_device_bytes: dev.mem_peak(),
-        preprocess_fraction: if total_s > 0.0 { preprocess_s / total_s } else { 0.0 },
+        preprocess_fraction: if total_s > 0.0 {
+            preprocess_s / total_s
+        } else {
+            0.0
+        },
     };
-    Ok((report, dev.time_log().to_vec()))
+    let trace = RunTrace {
+        device_name: dev.config().name.to_string(),
+        log: dev.time_log().to_vec(),
+        spans: dev.spans().to_vec(),
+        profile: dev.profile(),
+    };
+    Ok((report, trace))
 }
 
 #[cfg(test)]
@@ -222,7 +261,10 @@ mod tests {
         let mut opts = GpuOptions::new(DeviceConfig::gtx_980().with_memory_capacity(capacity));
         opts.launch = Some(tc_simt::LaunchConfig::new(2, 64));
         let report = run_gpu_pipeline(&big, &opts).unwrap();
-        assert!(report.used_cpu_fallback, "capacity window must force the fallback");
+        assert!(
+            report.used_cpu_fallback,
+            "capacity window must force the fallback"
+        );
         assert_eq!(report.triangles, count_forward(&big).unwrap());
     }
 
@@ -232,8 +274,9 @@ mod tests {
         // tight capacity that a leaked first run would blow.
         let g = diamond();
         let result_bytes = 2u64 * 64 * 8;
-        let cfg = DeviceConfig::gtx_980()
-            .with_memory_capacity(crate::gpu::preprocess::full_path_peak_bytes(&g) + result_bytes + 1024);
+        let cfg = DeviceConfig::gtx_980().with_memory_capacity(
+            crate::gpu::preprocess::full_path_peak_bytes(&g) + result_bytes + 1024,
+        );
         let mut opts = GpuOptions::new(cfg);
         opts.launch = Some(tc_simt::LaunchConfig::new(2, 64));
         let a = run_gpu_pipeline(&g, &opts).unwrap();

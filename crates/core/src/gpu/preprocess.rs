@@ -23,7 +23,9 @@
 //! fallback "runs slower than on the GPU but halves the input size").
 
 use tc_graph::EdgeArray;
-use tc_simt::primitives::{group_boundaries, reduce_map_max_u64, remove_if_u64, sort_u64, unzip_u64};
+use tc_simt::primitives::{
+    compact_marked_u64, group_boundaries, mark_if_u64, reduce_map_max_u64, sort_u64, unzip_u64,
+};
 use tc_simt::{Device, DeviceBuffer, SimtError};
 
 use crate::error::CoreError;
@@ -91,7 +93,9 @@ fn node_bytes(g: &EdgeArray) -> u64 {
     (g.num_nodes() as u64 + 1) * 4
 }
 
-/// The eight-step full-GPU path.
+/// The eight-step full-GPU path. Each step runs inside a named profiler
+/// phase (`push_phase`/`pop_phase`) so `--profile` reports and nested
+/// traces show the §III-B breakdown.
 pub fn preprocess_full_gpu(
     dev: &mut Device,
     g: &EdgeArray,
@@ -99,7 +103,7 @@ pub fn preprocess_full_gpu(
 ) -> Result<Preprocessed, SimtError> {
     // Step 1: copy. Arcs packed (u << 32) | v so u64 order = (u, v) lex.
     let packed: Vec<u64> = g.arcs().iter().map(|e| e.as_u64_first_major()).collect();
-    let arcs = dev.htod_copy(&packed)?;
+    let arcs = dev.with_phase("1-copy-edges", |d| d.htod_copy(&packed))?;
     let total = packed.len();
     drop(packed);
 
@@ -107,24 +111,36 @@ pub fn preprocess_full_gpu(
     let n = if total == 0 {
         0
     } else {
-        reduce_map_max_u64(dev, &arcs, |e| (e >> 32).max(e & 0xFFFF_FFFF)) as usize + 1
+        dev.with_phase("2-count-vertices", |d| {
+            reduce_map_max_u64(d, &arcs, |e| (e >> 32).max(e & 0xFFFF_FFFF))
+        }) as usize
+            + 1
     };
 
     // Step 3: sort (allocates the radix double buffer — the peak).
-    sort_u64(dev, &arcs, total)?;
+    dev.with_phase("3-sort-edges", |d| sort_u64(d, &arcs, total))?;
 
     // Step 4: node array over the *doubled* arcs.
-    let node_full = group_boundaries(dev, &arcs, total, n, |e| (e >> 32) as u32)?;
+    let node_full = dev.with_phase("4-node-array", |d| {
+        group_boundaries(d, &arcs, total, n, |e| (e >> 32) as u32)
+    })?;
 
-    // Steps 5–6: drop backward arcs. Degrees come from the node array.
+    // Step 5: mark backward arcs. Degrees come from the node array.
     let node_host = dev.peek(&node_full);
     let degree = move |v: u32| node_host[v as usize + 1] - node_host[v as usize];
-    let m = remove_if_u64(dev, &arcs, total, |e| {
-        let u = (e >> 32) as u32;
-        let v = e as u32;
-        let (du, dv) = (degree(u), degree(v));
-        // Backward: from the ≻ endpoint to the ≺ endpoint.
-        (dv, v) < (du, u)
+    let marks = dev.with_phase("5-mark-backward", |d| {
+        mark_if_u64(d, &arcs, total, |e| {
+            let u = (e >> 32) as u32;
+            let v = e as u32;
+            let (du, dv) = (degree(u), degree(v));
+            // Backward: from the ≻ endpoint to the ≺ endpoint.
+            (dv, v) < (du, u)
+        })
+    });
+
+    // Step 6: compact the forward arcs.
+    let m = dev.with_phase("6-remove-backward", |d| {
+        compact_marked_u64(d, &arcs, total, &marks)
     });
     dev.free(node_full)?;
     debug_assert_eq!(m, g.num_edges());
@@ -158,9 +174,9 @@ pub fn preprocess_cpu_fallback(
     let m = oriented.len();
     let host_seconds = g.num_arcs() as f64 * HOST_PREPROCESS_NS_PER_ARC * 1e-9;
 
-    let arcs = dev.htod_copy(&oriented)?;
+    let arcs = dev.with_phase("1-copy-edges", |d| d.htod_copy(&oriented))?;
     drop(oriented);
-    sort_u64(dev, &arcs, m)?;
+    dev.with_phase("3-sort-edges", |d| sort_u64(d, &arcs, m))?;
     finish(dev, arcs, m, n, keep_aos, true, host_seconds)
 }
 
@@ -174,15 +190,26 @@ fn finish(
     used_cpu_fallback: bool,
     host_seconds: f64,
 ) -> Result<Preprocessed, SimtError> {
-    let (nbr, owner) = unzip_u64(dev, &arcs, m)?;
-    let node = group_boundaries(dev, &arcs, m, n, |e| (e >> 32) as u32)?;
+    let (nbr, owner) = dev.with_phase("7-unzip", |d| unzip_u64(d, &arcs, m))?;
+    let node = dev.with_phase("8-node-array", |d| {
+        group_boundaries(d, &arcs, m, n, |e| (e >> 32) as u32)
+    })?;
     let arcs_aos = if keep_aos {
         Some(arcs.slice(0, m))
     } else {
         dev.free(arcs)?;
         None
     };
-    Ok(Preprocessed { nbr, owner, node, arcs_aos, m, n, used_cpu_fallback, host_seconds })
+    Ok(Preprocessed {
+        nbr,
+        owner,
+        node,
+        arcs_aos,
+        m,
+        n,
+        used_cpu_fallback,
+        host_seconds,
+    })
 }
 
 /// Free every buffer of a [`Preprocessed`] (the paper's measurement window

@@ -64,7 +64,11 @@ fn induced(g: &EdgeArray, n: usize, parts: usize, keep: &[usize]) -> EdgeArray {
 /// Count triangles by splitting into `parts` vertex ranges and solving the
 /// inclusion system above. `parts >= 3`; with `parts == 1` this degenerates
 /// to the plain pipeline.
-pub fn count_split(g: &EdgeArray, opts: &GpuOptions, parts: usize) -> Result<SplitReport, CoreError> {
+pub fn count_split(
+    g: &EdgeArray,
+    opts: &GpuOptions,
+    parts: usize,
+) -> Result<SplitReport, CoreError> {
     assert!(parts >= 1);
     let n = g.num_nodes();
     if parts == 1 || n == 0 {
@@ -138,9 +142,13 @@ mod tests {
         let mut pairs = Vec::new();
         let mut x = 7u64;
         for _ in 0..600 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((x >> 33) % 120) as u32;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((x >> 33) % 120) as u32;
             pairs.push((a, b));
         }

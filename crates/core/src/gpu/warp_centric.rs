@@ -98,7 +98,11 @@ pub struct WarpCentricLane {
 impl WarpCentricLane {
     #[inline]
     fn read(&self, addr: u64) -> Effect {
-        Effect::Read { addr, bytes: 4, cached: self.k.use_texture_cache }
+        Effect::Read {
+            addr,
+            bytes: 4,
+            cached: self.k.use_texture_cache,
+        }
     }
 }
 
@@ -242,7 +246,10 @@ mod tests {
         let result = dev.alloc::<u64>(total).unwrap();
         dev.poke(&result, &vec![0u64; total]);
         let kernel = CountKernel {
-            arrays: KernelArrays::SoA { nbr: pre.nbr, owner: pre.owner },
+            arrays: KernelArrays::SoA {
+                nbr: pre.nbr,
+                owner: pre.owner,
+            },
             node: pre.node,
             result,
             offset: 0,
@@ -289,6 +296,44 @@ mod tests {
             wc_time > 0.9 * merge_time,
             "warp-centric {wc_time} unexpectedly beats merge {merge_time} decisively"
         );
+    }
+
+    #[test]
+    fn profiler_counters_expose_the_divergence_overhead() {
+        // §III-D7's overhead is visible in the new hardware counters: the
+        // cooperative kernel's per-lane binary searches diverge, so the
+        // profiler must attribute serialized issue groups to its phase.
+        let g = messy_graph();
+        let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
+        dev.preinit_context();
+        dev.reset_clock();
+        let pre = preprocess_full_gpu(&mut dev, &g, false).unwrap();
+        let lc = LaunchConfig::new(16, 64);
+        let total = lc.active_threads(32);
+        let result = dev.alloc::<u64>(total).unwrap();
+        dev.poke(&result, &vec![0u64; total]);
+        let kernel = WarpCentricKernel {
+            nbr: pre.nbr,
+            owner: pre.owner,
+            node: pre.node,
+            result,
+            count: pre.m,
+            virtual_warp: 4,
+            use_texture_cache: true,
+        };
+        let stats = dev
+            .with_phase("warp-centric", |d| d.launch("warp-centric", lc, &kernel))
+            .unwrap();
+        assert!(
+            stats.serialized_groups > 0,
+            "binary-search lanes must diverge"
+        );
+        assert!(stats.occupancy > 0.0 && stats.occupancy <= 1.0);
+        let profile = dev.profile();
+        let span = profile.span("warp-centric").expect("span recorded");
+        assert_eq!(span.counters.serialized_groups, stats.serialized_groups);
+        assert_eq!(span.counters.divergent_steps, stats.divergent_steps);
+        assert!(span.achieved_bandwidth_gbs() > 0.0);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub fn truss_decomposition(g: &EdgeArray) -> Result<TrussDecomposition, GraphErr
     let edge_id = |a: u32, b: u32| -> Option<usize> {
         let (u, v) = if a < b { (a, b) } else { (b, a) };
         let list = &by_u[u as usize];
-        list.binary_search_by_key(&v, |&(w, _)| w).ok().map(|i| list[i].1)
+        list.binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| list[i].1)
     };
 
     // Initial supports: for each edge, intersect the endpoint lists.
@@ -122,7 +124,11 @@ pub fn truss_decomposition(g: &EdgeArray) -> Result<TrussDecomposition, GraphErr
         }
     }
     let max_trussness = trussness.iter().copied().max().unwrap_or(2);
-    Ok(TrussDecomposition { edges, trussness, max_trussness })
+    Ok(TrussDecomposition {
+        edges,
+        trussness,
+        max_trussness,
+    })
 }
 
 #[cfg(test)]

@@ -73,14 +73,7 @@ mod tests {
 
     #[test]
     fn per_vertex_sums_to_three_times_total() {
-        let g = EdgeArray::from_undirected_pairs([
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (1, 3),
-            (2, 3),
-            (3, 0),
-        ]);
+        let g = EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 0)]);
         let total = count_brute_force(&g);
         let pv = per_vertex_brute_force(&g);
         assert_eq!(pv.iter().sum::<u64>(), 3 * total);

@@ -28,7 +28,13 @@ pub struct CoPaper {
 impl CoPaper {
     pub fn new(authors: usize, papers: usize) -> Self {
         assert!(authors >= 8);
-        CoPaper { authors, papers, min_authors: 2, max_authors: 12, core_fraction: 0.3 }
+        CoPaper {
+            authors,
+            papers,
+            min_authors: 2,
+            max_authors: 12,
+            core_fraction: 0.3,
+        }
     }
 
     pub fn author_range(mut self, min: usize, max: usize) -> Self {

@@ -34,9 +34,7 @@ pub fn gnm(n: usize, m: usize, seed: Seed) -> EdgeArray {
         keys.dedup();
     }
     keys.truncate(m);
-    EdgeArray::from_undirected_pairs(
-        keys.into_iter().map(|k| ((k >> 32) as u32, k as u32)),
-    )
+    EdgeArray::from_undirected_pairs(keys.into_iter().map(|k| ((k >> 32) as u32, k as u32)))
 }
 
 /// `G(n, p)` via geometric jumps over the ordered pair index space.
@@ -121,7 +119,10 @@ mod tests {
         g.validate().unwrap();
         let expected = (n * (n - 1) / 2) as f64 * p;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < expected * 0.25, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ impl GraphSpec {
                     Scale::Bench => 13,
                     Scale::Large => 16,
                 };
-                Rmat::scale(s).edge_factor(13).probabilities(0.62, 0.16, 0.16).generate(seed)
+                Rmat::scale(s)
+                    .edge_factor(13)
+                    .probabilities(0.62, 0.16, 0.16)
+                    .generate(seed)
             }
             GraphSpec::LiveJournal => {
                 let s = match scale {
@@ -231,7 +234,11 @@ pub fn kronecker_ladder(scale: Scale, seed: Seed) -> Vec<SuiteGraph> {
     (0..=5)
         .map(|k| {
             let spec = GraphSpec::Kronecker(k);
-            SuiteGraph { spec, name: spec.name(scale), graph: spec.generate(scale, seed) }
+            SuiteGraph {
+                spec,
+                name: spec.name(scale),
+                graph: spec.generate(scale, seed),
+            }
         })
         .collect()
 }

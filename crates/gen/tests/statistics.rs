@@ -39,7 +39,9 @@ fn ws_degrees_stay_concentrated_after_rewiring() {
 
 #[test]
 fn copaper_wedge_density_beats_social_analogs() {
-    let cp = CoPaper::new(1_500, 1_300).author_range(3, 20).generate(Seed(4));
+    let cp = CoPaper::new(1_500, 1_300)
+        .author_range(3, 20)
+        .generate(Seed(4));
     let rm = Rmat::scale(11).edge_factor(10).generate(Seed(4));
     let cps = GraphStats::from_edge_array(&cp);
     let rms = GraphStats::from_edge_array(&rm);
@@ -47,7 +49,10 @@ fn copaper_wedge_density_beats_social_analogs() {
     // triangle count.
     let cp_ratio = cps.wedges as f64 / cps.num_edges as f64;
     let rm_ratio = rms.wedges as f64 / rms.num_edges as f64;
-    assert!(cp_ratio > 0.5 * rm_ratio, "copaper {cp_ratio} vs rmat {rm_ratio}");
+    assert!(
+        cp_ratio > 0.5 * rm_ratio,
+        "copaper {cp_ratio} vs rmat {rm_ratio}"
+    );
 }
 
 #[test]
@@ -80,5 +85,8 @@ fn all_generators_are_seed_deterministic() {
         CoPaper::new(300, 250).generate(Seed(7)).arcs()
     );
     assert_eq!(gnm(200, 800, Seed(7)).arcs(), gnm(200, 800, Seed(7)).arcs());
-    assert_eq!(gnp(200, 0.05, Seed(7)).arcs(), gnp(200, 0.05, Seed(7)).arcs());
+    assert_eq!(
+        gnp(200, 0.05, Seed(7)).arcs(),
+        gnp(200, 0.05, Seed(7)).arcs()
+    );
 }

@@ -27,7 +27,11 @@ pub fn core_decomposition(g: &EdgeArray) -> Result<CoreDecomposition, GraphError
     let csr = Csr::from_edge_array(g)?;
     let n = csr.num_nodes();
     if n == 0 {
-        return Ok(CoreDecomposition { core: vec![], position: vec![], degeneracy: 0 });
+        return Ok(CoreDecomposition {
+            core: vec![],
+            position: vec![],
+            degeneracy: 0,
+        });
     }
     let mut degree: Vec<u32> = (0..n as u32).map(|v| csr.degree(v)).collect();
     let max_degree = *degree.iter().max().unwrap() as usize;
@@ -53,9 +57,7 @@ pub fn core_decomposition(g: &EdgeArray) -> Result<CoreDecomposition, GraphError
     }
     // bucket_start[d] = first index in `order` whose degree is ≥ d.
     let mut bucket_first = vec![0u32; max_degree + 1];
-    for d in 0..=max_degree {
-        bucket_first[d] = bucket_start[d];
-    }
+    bucket_first.copy_from_slice(&bucket_start[..=max_degree]);
 
     let mut core = vec![0u32; n];
     let mut position = vec![0u32; n];
@@ -82,7 +84,11 @@ pub fn core_decomposition(g: &EdgeArray) -> Result<CoreDecomposition, GraphError
         }
     }
     let degeneracy = core.iter().copied().max().unwrap_or(0);
-    Ok(CoreDecomposition { core, position, degeneracy })
+    Ok(CoreDecomposition {
+        core,
+        position,
+        degeneracy,
+    })
 }
 
 /// Orient every edge forward in the degeneracy (peel) order: out-degrees

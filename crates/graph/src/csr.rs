@@ -27,7 +27,10 @@ impl Csr {
         let n = g.num_nodes();
         let m = g.num_arcs();
         if m > u32::MAX as usize {
-            return Err(GraphError::TooLarge { what: "arc", count: m as u64 });
+            return Err(GraphError::TooLarge {
+                what: "arc",
+                count: m as u64,
+            });
         }
         let mut offsets = vec![0u32; n + 1];
         for e in g.arcs() {
@@ -97,14 +100,16 @@ impl Csr {
     }
 
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_nodes() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterate `(u, v)` over all arcs in CSR order.
     pub fn arcs(&self) -> impl Iterator<Item = Edge> + '_ {
-        (0..self.num_nodes() as u32).flat_map(move |u| {
-            self.neighbors(u).iter().map(move |&v| Edge::new(u, v))
-        })
+        (0..self.num_nodes() as u32)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| Edge::new(u, v)))
     }
 
     /// Flatten back to an edge array in sorted order — the cheap

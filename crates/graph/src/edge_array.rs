@@ -28,7 +28,10 @@ impl Edge {
     /// The reverse arc `v -> u`.
     #[inline]
     pub fn reversed(self) -> Self {
-        Edge { u: self.v, v: self.u }
+        Edge {
+            u: self.v,
+            v: self.u,
+        }
     }
 
     /// Pack into a 64-bit key with the **first** vertex in the high half, so
@@ -54,7 +57,10 @@ impl Edge {
     /// Unpack a key produced by [`Edge::as_u64_first_major`].
     #[inline]
     pub fn from_u64_first_major(key: u64) -> Self {
-        Edge { u: (key >> 32) as u32, v: key as u32 }
+        Edge {
+            u: (key >> 32) as u32,
+            v: key as u32,
+        }
     }
 }
 
@@ -212,7 +218,9 @@ impl EdgeArray {
 
 impl FromIterator<Edge> for EdgeArray {
     fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
-        EdgeArray { edges: iter.into_iter().collect() }
+        EdgeArray {
+            edges: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -283,17 +291,20 @@ mod tests {
     #[test]
     fn validate_detects_self_loop() {
         let g = EdgeArray::from_arcs_unchecked(vec![Edge::new(1, 1)]);
-        assert!(matches!(g.validate(), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
     }
 
     #[test]
     fn validate_detects_duplicate_arc() {
-        let g = EdgeArray::from_arcs_unchecked(vec![
-            Edge::new(0, 1),
-            Edge::new(0, 1),
-            Edge::new(1, 0),
-        ]);
-        assert!(matches!(g.validate(), Err(GraphError::DuplicateEdge { u: 0, v: 1 })));
+        let g =
+            EdgeArray::from_arcs_unchecked(vec![Edge::new(0, 1), Edge::new(0, 1), Edge::new(1, 0)]);
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
     }
 
     #[test]

@@ -73,11 +73,17 @@ mod tests {
             (GraphError::DuplicateEdge { u: 1, v: 2 }, "duplicate"),
             (GraphError::MissingReverse { u: 3, v: 4 }, "reverse"),
             (
-                GraphError::TooLarge { what: "edge", count: 1 << 40 },
+                GraphError::TooLarge {
+                    what: "edge",
+                    count: 1 << 40,
+                },
                 "exceeds",
             ),
             (
-                GraphError::Parse { line: 12, message: "bad token".into() },
+                GraphError::Parse {
+                    line: 12,
+                    message: "bad token".into(),
+                },
                 "line 12",
             ),
             (GraphError::TruncatedBinary { len: 9 }, "multiple of 8"),

@@ -49,7 +49,10 @@ pub fn read_text_from(reader: impl BufRead) -> Result<EdgeArray, GraphError> {
 }
 
 fn parse_field(field: Option<&str>, line: u64, missing: &str) -> Result<u32, GraphError> {
-    let tok = field.ok_or_else(|| GraphError::Parse { line, message: missing.to_string() })?;
+    let tok = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: missing.to_string(),
+    })?;
     tok.parse::<u32>().map_err(|e| GraphError::Parse {
         line,
         message: format!("bad vertex id {tok:?}: {e}"),
@@ -89,7 +92,9 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<EdgeArray, GraphError> {
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes)?;
     if bytes.len() % 8 != 0 {
-        return Err(GraphError::TruncatedBinary { len: bytes.len() as u64 });
+        return Err(GraphError::TruncatedBinary {
+            len: bytes.len() as u64,
+        });
     }
     let mut arcs = Vec::with_capacity(bytes.len() / 8);
     for rec in bytes.chunks_exact(8) {
@@ -127,7 +132,10 @@ pub fn read_metis_from(reader: impl BufRead) -> Result<EdgeArray, GraphError> {
                 }
             }
             None => {
-                return Err(GraphError::Parse { line: line_no, message: "missing header".into() })
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: "missing header".into(),
+                })
             }
         }
     };
@@ -135,11 +143,17 @@ pub fn read_metis_from(reader: impl BufRead) -> Result<EdgeArray, GraphError> {
     let n: usize = head
         .next()
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| GraphError::Parse { line: line_no, message: "bad vertex count".into() })?;
-    let m_declared: usize = head
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or_else(|| GraphError::Parse { line: line_no, message: "bad edge count".into() })?;
+        .ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            message: "bad vertex count".into(),
+        })?;
+    let m_declared: usize =
+        head.next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: "bad edge count".into(),
+            })?;
     if let Some(fmt) = head.next() {
         if fmt.chars().any(|c| c != '0') {
             return Err(GraphError::Parse {

@@ -8,8 +8,6 @@
 //! no oriented adjacency list is longer than √(2m̂) where m̂ is the number of
 //! undirected edges (Schank–Wagner / Latapy).
 
-use rayon::prelude::*;
-
 use crate::{Csr, Edge, EdgeArray, GraphError, VertexId};
 
 /// The total order ≺: degree-major, vertex-id minor.
@@ -21,7 +19,9 @@ pub struct DegreeOrder {
 impl DegreeOrder {
     /// Compute the order from an edge array (one pass over the arcs).
     pub fn from_edge_array(g: &EdgeArray) -> Self {
-        DegreeOrder { degrees: g.degrees() }
+        DegreeOrder {
+            degrees: g.degrees(),
+        }
     }
 
     /// Wrap precomputed degrees.
@@ -107,7 +107,7 @@ impl Orientation {
         Ok(Orientation { csr, order })
     }
 
-    /// Fully parallel orientation (rayon): parallel degree histogram,
+    /// Fully parallel orientation (tc-par): parallel degree histogram,
     /// parallel backward-arc filter, parallel sort of the packed arcs, then
     /// boundary detection — the same steps the GPU preprocessing runs, on
     /// the host. Produces output identical to [`Orientation::forward`].
@@ -115,38 +115,40 @@ impl Orientation {
         let n = g.num_nodes();
         let m = g.num_arcs();
         if m > u32::MAX as usize {
-            return Err(GraphError::TooLarge { what: "arc", count: m as u64 });
+            return Err(GraphError::TooLarge {
+                what: "arc",
+                count: m as u64,
+            });
         }
-        // Parallel degree histogram: per-chunk local counts, tree-merged.
-        let degrees = g
-            .arcs()
-            .par_chunks(64 * 1024)
-            .map(|chunk| {
-                let mut local = vec![0u32; n];
-                for e in chunk {
-                    local[e.u as usize] += 1;
-                }
-                local
-            })
-            .reduce(
-                || vec![0u32; n],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
+        // Parallel degree histogram: per-chunk local counts, merged in
+        // chunk order.
+        let locals = tc_par::map_chunks(g.arcs(), 64 * 1024, |_, chunk| {
+            let mut local = vec![0u32; n];
+            for e in chunk {
+                local[e.u as usize] += 1;
+            }
+            local
+        });
+        let mut degrees = vec![0u32; n];
+        for local in locals {
+            for (x, y) in degrees.iter_mut().zip(local) {
+                *x += y;
+            }
+        }
         let order = DegreeOrder::from_degrees(degrees);
         // Parallel filter + pack, parallel sort (the host analog of
         // preprocessing steps 3–6).
-        let mut keys: Vec<u64> = g
-            .arcs()
-            .par_iter()
-            .filter(|&&e| !order.is_backward(e))
-            .map(|e| e.as_u64_first_major())
-            .collect();
-        keys.par_sort_unstable();
+        let mut keys: Vec<u64> = tc_par::map_chunks(g.arcs(), 64 * 1024, |_, chunk| {
+            chunk
+                .iter()
+                .filter(|&&e| !order.is_backward(e))
+                .map(|e| e.as_u64_first_major())
+                .collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        tc_par::sort_unstable(&mut keys);
         // Boundary detection into the node array.
         let mut offsets = vec![0u32; n + 1];
         offsets[n] = keys.len() as u32;
@@ -163,8 +165,11 @@ impl Orientation {
             offsets[prev] = keys.len() as u32;
             prev += 1;
         }
-        let targets: Vec<u32> = keys.par_iter().map(|&k| k as u32).collect();
-        Ok(Orientation { csr: Csr::from_parts(offsets, targets), order })
+        let targets: Vec<u32> = tc_par::map_slice(&keys, |&k| k as u32);
+        Ok(Orientation {
+            csr: Csr::from_parts(offsets, targets),
+            order,
+        })
     }
 
     /// Number of oriented arcs — exactly the number of undirected edges for a
@@ -186,7 +191,10 @@ impl Orientation {
 fn csr_with_nodes(g: &mut EdgeArray, num_nodes: usize) -> Result<Csr, GraphError> {
     let m = g.num_arcs();
     if m > u32::MAX as usize {
-        return Err(GraphError::TooLarge { what: "arc", count: m as u64 });
+        return Err(GraphError::TooLarge {
+            what: "arc",
+            count: m as u64,
+        });
     }
     let mut offsets = vec![0u32; num_nodes + 1];
     for e in g.arcs() {
@@ -263,10 +271,7 @@ mod tests {
         let g = star_plus_triangle();
         let orient = Orientation::forward(&g).unwrap();
         for e in orient.csr.arcs() {
-            assert!(!orient
-                .csr
-                .neighbors(e.v)
-                .contains(&e.u));
+            assert!(!orient.csr.neighbors(e.v).contains(&e.u));
         }
     }
 

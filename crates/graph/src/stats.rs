@@ -1,8 +1,6 @@
 //! Basic graph statistics (the "Nodes / Edges" columns of Table I, degree
 //! distributions, wedge counts for the transitivity ratio).
 
-use rayon::prelude::*;
-
 use crate::{Csr, EdgeArray};
 
 /// Summary statistics of a graph, as reported in Table I plus a few extras
@@ -32,19 +30,22 @@ impl GraphStats {
     fn from_degrees(degrees: &[u32], num_edges: usize) -> Self {
         let num_nodes = degrees.len();
         let max_degree = degrees.iter().copied().max().unwrap_or(0);
-        let wedges: u64 = degrees
-            .par_iter()
-            .map(|&d| {
-                let d = d as u64;
-                d * d.saturating_sub(1) / 2
-            })
-            .sum();
+        let wedges: u64 = tc_par::sum_by_u64(degrees.len(), |i| {
+            let d = degrees[i] as u64;
+            d * d.saturating_sub(1) / 2
+        });
         let avg_degree = if num_nodes == 0 {
             0.0
         } else {
             2.0 * num_edges as f64 / num_nodes as f64
         };
-        GraphStats { num_nodes, num_edges, max_degree, avg_degree, wedges }
+        GraphStats {
+            num_nodes,
+            num_edges,
+            max_degree,
+            avg_degree,
+            wedges,
+        }
     }
 }
 

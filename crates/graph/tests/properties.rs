@@ -1,70 +1,98 @@
-//! Property tests for the graph crate's own invariants.
-
-use proptest::prelude::*;
+//! Property tests for the graph crate's own invariants, driven by a
+//! deterministic hand-rolled LCG case generator (no external
+//! property-testing dependency).
 
 use tc_graph::{AdjacencyList, Csr, EdgeArray, Orientation};
 
-fn arb_pairs() -> impl Strategy<Value = Vec<(u32, u32)>> {
-    proptest::collection::vec((0u32..60, 0u32..60), 0..200)
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// ≤ 200 edge attempts over ≤ 60 vertices.
+fn random_pairs(case: u64) -> Vec<(u32, u32)> {
+    let mut rng = Lcg(0xA076_1D64_78BD_642F ^ case.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    let attempts = rng.below(201) as usize;
+    (0..attempts)
+        .map(|_| (rng.below(60) as u32, rng.below(60) as u32))
+        .collect()
+}
 
-    #[test]
-    fn constructor_output_always_validates(pairs in arb_pairs()) {
-        let g = EdgeArray::from_undirected_pairs(pairs);
-        prop_assert!(g.validate().is_ok());
-        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+const CASES: u64 = 96;
+
+#[test]
+fn constructor_output_always_validates() {
+    for case in 0..CASES {
+        let g = EdgeArray::from_undirected_pairs(random_pairs(case));
+        assert!(g.validate().is_ok(), "case {case}");
+        assert_eq!(g.num_arcs(), 2 * g.num_edges());
     }
+}
 
-    #[test]
-    fn degrees_sum_to_arc_count(pairs in arb_pairs()) {
-        let g = EdgeArray::from_undirected_pairs(pairs);
+#[test]
+fn degrees_sum_to_arc_count() {
+    for case in 0..CASES {
+        let g = EdgeArray::from_undirected_pairs(random_pairs(case));
         let total: u64 = g.degrees().iter().map(|&d| d as u64).sum();
-        prop_assert_eq!(total, g.num_arcs() as u64);
+        assert_eq!(total, g.num_arcs() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn csr_roundtrip_preserves_arcs(pairs in arb_pairs()) {
-        let g = EdgeArray::from_undirected_pairs(pairs);
+#[test]
+fn csr_roundtrip_preserves_arcs() {
+    for case in 0..CASES {
+        let g = EdgeArray::from_undirected_pairs(random_pairs(case));
         let csr = Csr::from_edge_array(&g).unwrap();
-        prop_assert_eq!(csr.num_arcs(), g.num_arcs());
+        assert_eq!(csr.num_arcs(), g.num_arcs(), "case {case}");
         let back = csr.to_edge_array();
         let mut a: Vec<u64> = g.arcs().iter().map(|e| e.as_u64_first_major()).collect();
         let mut b: Vec<u64> = back.arcs().iter().map(|e| e.as_u64_first_major()).collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn csr_neighbor_lists_sorted_and_complete(pairs in arb_pairs()) {
-        let g = EdgeArray::from_undirected_pairs(pairs);
+#[test]
+fn csr_neighbor_lists_sorted_and_complete() {
+    for case in 0..CASES {
+        let g = EdgeArray::from_undirected_pairs(random_pairs(case));
         let csr = Csr::from_edge_array(&g).unwrap();
         for v in 0..csr.num_nodes() as u32 {
             let nb = csr.neighbors(v);
-            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
-            prop_assert_eq!(nb.len() as u32, csr.degree(v));
+            assert!(nb.windows(2).all(|w| w[0] < w[1]), "case {case}");
+            assert_eq!(nb.len() as u32, csr.degree(v));
             // Symmetry: u in N(v) <=> v in N(u).
             for &u in nb {
-                prop_assert!(csr.neighbors(u).binary_search(&v).is_ok());
+                assert!(csr.neighbors(u).binary_search(&v).is_ok());
             }
         }
     }
+}
 
-    #[test]
-    fn adjacency_roundtrip(pairs in arb_pairs()) {
-        let g = EdgeArray::from_undirected_pairs(pairs);
+#[test]
+fn adjacency_roundtrip() {
+    for case in 0..CASES {
+        let g = EdgeArray::from_undirected_pairs(random_pairs(case));
         let adj = AdjacencyList::from_edge_array(&g);
         let back = adj.to_edge_array();
-        prop_assert_eq!(back.num_arcs(), g.num_arcs());
-        prop_assert!(back.validate().is_ok());
+        assert_eq!(back.num_arcs(), g.num_arcs(), "case {case}");
+        assert!(back.validate().is_ok());
     }
+}
 
-    #[test]
-    fn orientation_is_a_partition_of_edges(pairs in arb_pairs()) {
-        let g = EdgeArray::from_undirected_pairs(pairs);
+#[test]
+fn orientation_is_a_partition_of_edges() {
+    for case in 0..CASES {
+        let g = EdgeArray::from_undirected_pairs(random_pairs(case));
         let orientation = Orientation::forward(&g).unwrap();
         // Every undirected edge appears exactly once, in exactly one
         // direction.
@@ -76,12 +104,14 @@ proptest! {
         oriented.sort_unstable();
         let mut undirected: Vec<(u32, u32)> = g.undirected_iter().collect();
         undirected.sort_unstable();
-        prop_assert_eq!(oriented, undirected);
+        assert_eq!(oriented, undirected, "case {case}");
     }
+}
 
-    #[test]
-    fn text_io_roundtrip(pairs in arb_pairs()) {
-        let g = EdgeArray::from_undirected_pairs(pairs);
+#[test]
+fn text_io_roundtrip() {
+    for case in 0..CASES {
+        let g = EdgeArray::from_undirected_pairs(random_pairs(case));
         let mut buf: Vec<u8> = Vec::new();
         {
             use std::io::Write;
@@ -90,6 +120,6 @@ proptest! {
             }
         }
         let h = tc_graph::io::read_text_from(std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(h.num_edges(), g.num_edges());
+        assert_eq!(h.num_edges(), g.num_edges(), "case {case}");
     }
 }

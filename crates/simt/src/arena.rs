@@ -58,7 +58,11 @@ impl<T> Copy for DeviceBuffer<T> {}
 
 impl<T: DeviceScalar> DeviceBuffer<T> {
     pub(crate) fn new(addr: u64, len: usize) -> Self {
-        DeviceBuffer { addr, len, _t: PhantomData }
+        DeviceBuffer {
+            addr,
+            len,
+            _t: PhantomData,
+        }
     }
 
     /// Base device address.
@@ -93,8 +97,16 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
 
     /// A sub-range view `[from, to)` of this buffer (no new allocation).
     pub fn slice(&self, from: usize, to: usize) -> DeviceBuffer<T> {
-        assert!(from <= to && to <= self.len, "slice {from}..{to} of len {}", self.len);
-        DeviceBuffer { addr: self.addr_of(from), len: to - from, _t: PhantomData }
+        assert!(
+            from <= to && to <= self.len,
+            "slice {from}..{to} of len {}",
+            self.len
+        );
+        DeviceBuffer {
+            addr: self.addr_of(from),
+            len: to - from,
+            _t: PhantomData,
+        }
     }
 }
 
@@ -113,7 +125,14 @@ const ALIGN: u64 = 256;
 
 impl Arena {
     pub fn new(capacity: u64) -> Self {
-        Arena { data: Vec::new(), capacity, used: 0, peak: 0, next: 0, live: BTreeMap::new() }
+        Arena {
+            data: Vec::new(),
+            capacity,
+            used: 0,
+            peak: 0,
+            next: 0,
+            live: BTreeMap::new(),
+        }
     }
 
     /// Allocate `bytes`; fails like `cudaMalloc` when the budget is blown.
@@ -186,7 +205,12 @@ impl Arena {
 
     /// Write a typed slice at a buffer's location.
     pub fn write_slice<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, src: &[T]) {
-        assert!(src.len() <= buf.len(), "write of {} into buffer of {}", src.len(), buf.len());
+        assert!(
+            src.len() <= buf.len(),
+            "write of {} into buffer of {}",
+            src.len(),
+            buf.len()
+        );
         let base = buf.addr() as usize;
         for (i, &v) in src.iter().enumerate() {
             v.write_le(&mut self.data[base + i * T::BYTES..]);
@@ -196,7 +220,9 @@ impl Arena {
     /// Read a typed buffer back out.
     pub fn read_slice<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
         let base = buf.addr() as usize;
-        (0..buf.len()).map(|i| T::read_le(&self.data[base + i * T::BYTES..])).collect()
+        (0..buf.len())
+            .map(|i| T::read_le(&self.data[base + i * T::BYTES..]))
+            .collect()
     }
 
     /// Read one element.
@@ -239,7 +265,10 @@ mod tests {
         let mut a = Arena::new(100);
         a.alloc(60).unwrap();
         match a.alloc(60) {
-            Err(SimtError::OutOfMemory { requested: 60, available: 40 }) => {}
+            Err(SimtError::OutOfMemory {
+                requested: 60,
+                available: 40,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

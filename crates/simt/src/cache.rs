@@ -182,8 +182,14 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = CacheStats { accesses: 10, hits: 7 };
-        a.merge(CacheStats { accesses: 10, hits: 1 });
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 7,
+        };
+        a.merge(CacheStats {
+            accesses: 10,
+            hits: 1,
+        });
         assert_eq!(a.accesses, 20);
         assert_eq!(a.hits, 8);
         assert_eq!(a.misses(), 12);

@@ -12,11 +12,7 @@
 /// bytes)` accesses. Order of first touch is preserved (deterministic
 /// timing), and a scratch buffer is reused by the caller to avoid per-step
 /// allocation.
-pub fn coalesce_into(
-    accesses: &[(u64, u32)],
-    line_bytes: u32,
-    out: &mut Vec<u64>,
-) {
+pub fn coalesce_into(accesses: &[(u64, u32)], line_bytes: u32, out: &mut Vec<u64>) {
     out.clear();
     let shift = line_bytes.trailing_zeros();
     for &(addr, bytes) in accesses {

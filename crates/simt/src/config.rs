@@ -184,7 +184,9 @@ impl DeviceConfig {
     /// Resident blocks per SM for a given block size, limited by both the
     /// block and thread occupancy ceilings.
     pub fn resident_blocks(&self, threads_per_block: u32) -> u32 {
-        (self.max_threads_per_sm / threads_per_block.max(1)).min(self.max_blocks_per_sm).max(1)
+        (self.max_threads_per_sm / threads_per_block.max(1))
+            .min(self.max_blocks_per_sm)
+            .max(1)
     }
 
     /// The paper's tuned launch: 64 threads per block, 8 blocks per SM
@@ -204,8 +206,11 @@ mod tests {
 
     #[test]
     fn presets_are_distinct_and_sane() {
-        for cfg in [DeviceConfig::tesla_c2050(), DeviceConfig::gtx_980(), DeviceConfig::nvs_5200m()]
-        {
+        for cfg in [
+            DeviceConfig::tesla_c2050(),
+            DeviceConfig::gtx_980(),
+            DeviceConfig::nvs_5200m(),
+        ] {
             assert!(cfg.num_sms >= 1);
             assert_eq!(cfg.warp_size, 32);
             assert!(cfg.clock_ghz > 0.1);
@@ -221,9 +226,11 @@ mod tests {
         let fermi = DeviceConfig::tesla_c2050();
         let maxwell = DeviceConfig::gtx_980();
         let fermi_tput = fermi.num_sms as f64 * fermi.clock_ghz * fermi.mem_txn_per_cycle;
-        let maxwell_tput =
-            maxwell.num_sms as f64 * maxwell.clock_ghz * maxwell.mem_txn_per_cycle;
-        assert!(maxwell_tput / fermi_tput > 1.8, "{maxwell_tput} vs {fermi_tput}");
+        let maxwell_tput = maxwell.num_sms as f64 * maxwell.clock_ghz * maxwell.mem_txn_per_cycle;
+        assert!(
+            maxwell_tput / fermi_tput > 1.8,
+            "{maxwell_tput} vs {fermi_tput}"
+        );
     }
 
     #[test]

@@ -13,12 +13,33 @@ use crate::config::DeviceConfig;
 use crate::error::SimtError;
 use crate::executor::{simulate, KernelStats, LaunchConfig};
 use crate::kernel::Kernel;
+use crate::profiler::{Counters, OpenSpan, ProfileReport, Span};
 
 /// One entry of the device time log.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TimedOp {
     pub label: String,
+    /// Device-clock start of the op, seconds (real timestamp, so traces
+    /// and spans nest correctly).
+    pub start_s: f64,
     pub seconds: f64,
+}
+
+impl TimedOp {
+    /// Convenience constructor for tests and synthetic logs: an op that
+    /// starts at `start_s` and lasts `seconds`.
+    pub fn new(label: impl Into<String>, start_s: f64, seconds: f64) -> Self {
+        TimedOp {
+            label: label.into(),
+            start_s,
+            seconds,
+        }
+    }
+
+    #[inline]
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.seconds
+    }
 }
 
 /// A simulated GPU.
@@ -39,12 +60,24 @@ pub struct Device {
     now_s: f64,
     context_ready: bool,
     log: Vec<TimedOp>,
+    counters: Counters,
+    span_stack: Vec<OpenSpan>,
+    spans: Vec<Span>,
 }
 
 impl Device {
     pub fn new(cfg: DeviceConfig) -> Self {
         let arena = Arena::new(cfg.memory_capacity);
-        Device { cfg, arena, now_s: 0.0, context_ready: false, log: Vec::new() }
+        Device {
+            cfg,
+            arena,
+            now_s: 0.0,
+            context_ready: false,
+            log: Vec::new(),
+            counters: Counters::default(),
+            span_stack: Vec::new(),
+            spans: Vec::new(),
+        }
     }
 
     #[inline]
@@ -59,16 +92,84 @@ impl Device {
         self.now_s
     }
 
-    /// Zero the clock and the time log (the paper resets its stopwatch after
-    /// pre-initializing the context).
+    /// Zero the clock, the time log, the counters, and the recorded spans
+    /// (the paper resets its stopwatch after pre-initializing the context).
     pub fn reset_clock(&mut self) {
         self.now_s = 0.0;
         self.log.clear();
+        self.counters = Counters::default();
+        self.span_stack.clear();
+        self.spans.clear();
     }
 
     /// The operations charged so far.
     pub fn time_log(&self) -> &[TimedOp] {
         &self.log
+    }
+
+    /// Whole-run hardware-counter totals since the last reset.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Closed profiling spans, in completion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Open a named profiling phase. Phases nest: a push while another
+    /// phase is open records a child span whose path is
+    /// `"parent/child"`. Every charged op between push and pop — copies,
+    /// primitive passes, kernel launches — is attributed to the phase via
+    /// counter snapshot-and-delta.
+    pub fn push_phase(&mut self, name: &str) {
+        let path = match self.span_stack.last() {
+            Some(parent) => format!("{}/{}", parent.path, name),
+            None => name.to_string(),
+        };
+        self.span_stack.push(OpenSpan {
+            path,
+            depth: self.span_stack.len(),
+            start_s: self.now_s,
+            snapshot: self.counters,
+        });
+    }
+
+    /// Close the innermost open phase, recording its [`Span`].
+    ///
+    /// # Panics
+    /// Panics if no phase is open (push/pop mismatch is a programming
+    /// error in the pipeline, not a runtime condition).
+    pub fn pop_phase(&mut self) {
+        let open = self.span_stack.pop().expect("pop_phase with no open phase");
+        self.spans.push(Span {
+            path: open.path,
+            depth: open.depth,
+            start_s: open.start_s,
+            end_s: self.now_s,
+            counters: self.counters.delta(&open.snapshot),
+        });
+    }
+
+    /// Run `f` inside a named phase (push/pop bracketed even on early
+    /// return of a value).
+    pub fn with_phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_phase(name);
+        let out = f(self);
+        self.pop_phase();
+        out
+    }
+
+    /// Snapshot the run so far as a [`ProfileReport`].
+    pub fn profile(&self) -> ProfileReport {
+        ProfileReport {
+            device: self.cfg.name.to_string(),
+            peak_bandwidth_gbs: self.cfg.dram_bandwidth_gbs,
+            devices: 1,
+            total_s: self.now_s,
+            totals: self.counters,
+            spans: self.spans.clone(),
+        }
     }
 
     /// Pre-create the CUDA context (the paper's `cudaFree(NULL)` trick):
@@ -90,8 +191,26 @@ impl Device {
     }
 
     pub(crate) fn advance(&mut self, label: &str, seconds: f64) {
+        self.log.push(TimedOp {
+            label: label.to_string(),
+            start_s: self.now_s,
+            seconds,
+        });
         self.now_s += seconds;
-        self.log.push(TimedOp { label: label.to_string(), seconds });
+    }
+
+    /// Charge an analytic streaming pass and attribute its counters
+    /// (used by the Thrust-style primitives).
+    pub(crate) fn charge_stream_pass(
+        &mut self,
+        label: &str,
+        seconds: f64,
+        read_bytes: u64,
+        write_bytes: u64,
+    ) {
+        self.counters
+            .absorb_stream_pass(seconds, read_bytes, write_bytes, self.cfg.line_bytes);
+        self.advance(label, seconds);
     }
 
     /// Allocate a typed device buffer (`cudaMalloc`).
@@ -120,10 +239,14 @@ impl Device {
         src: &[T],
     ) -> Result<(), SimtError> {
         if src.len() != buf.len() {
-            return Err(SimtError::LengthMismatch { expected: buf.len(), got: src.len() });
+            return Err(SimtError::LengthMismatch {
+                expected: buf.len(),
+                got: src.len(),
+            });
         }
         self.arena.write_slice(buf, src);
         let secs = buf.byte_len() as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
+        self.counters.htod_bytes += buf.byte_len();
         self.advance("htod", secs);
         Ok(())
     }
@@ -132,6 +255,7 @@ impl Device {
     pub fn dtoh<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) -> Vec<T> {
         let out = self.arena.read_slice(buf);
         let secs = buf.byte_len() as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
+        self.counters.dtoh_bytes += buf.byte_len();
         self.advance("dtoh", secs);
         out
     }
@@ -160,6 +284,7 @@ impl Device {
         for w in writes {
             commit_write(&mut self.arena, w.addr, w.bytes, w.value);
         }
+        self.counters.absorb_kernel(&stats);
         self.advance(label, stats.time_s);
         Ok(stats)
     }
@@ -182,7 +307,6 @@ impl Device {
     pub fn fits(&self, bytes: u64) -> bool {
         self.arena.fits(bytes)
     }
-
 }
 
 fn commit_write(arena: &mut Arena, addr: u64, bytes: u32, value: u64) {
@@ -267,7 +391,10 @@ mod tests {
         let buf = dev.alloc::<u32>(4).unwrap();
         assert!(matches!(
             dev.htod_write(&buf, &[1, 2, 3]),
-            Err(SimtError::LengthMismatch { expected: 4, got: 3 })
+            Err(SimtError::LengthMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 

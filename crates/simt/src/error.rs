@@ -21,7 +21,10 @@ pub enum SimtError {
 impl fmt::Display for SimtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimtError::OutOfMemory { requested, available } => write!(
+            SimtError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "device out of memory: requested {requested} bytes, {available} available"
             ),
@@ -42,10 +45,16 @@ mod tests {
 
     #[test]
     fn displays_mention_key_numbers() {
-        let e = SimtError::OutOfMemory { requested: 100, available: 10 };
+        let e = SimtError::OutOfMemory {
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
-        let e = SimtError::LengthMismatch { expected: 4, got: 5 };
+        let e = SimtError::LengthMismatch {
+            expected: 4,
+            got: 5,
+        };
         assert!(e.to_string().contains("expected 4"));
     }
 }

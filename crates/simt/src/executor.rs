@@ -17,12 +17,10 @@
 //!   §III-D5 warp-size experiment manipulates.
 //!
 //! SMs share nothing but DRAM: the per-SM texture cache is private and the
-//! device L2 is address-sliced, so SMs simulate in parallel (rayon) and the
-//! kernel's time is the slowest SM's cycle count — then clamped from below
-//! by total DRAM traffic over peak DRAM bandwidth (a bandwidth-saturation
-//! model).
-
-use rayon::prelude::*;
+//! device L2 is address-sliced, so SMs simulate in parallel (tc-par scoped
+//! threads) and the kernel's time is the slowest SM's cycle count — then
+//! clamped from below by total DRAM traffic over peak DRAM bandwidth (a
+//! bandwidth-saturation model).
 
 use crate::arena::Arena;
 use crate::cache::{Cache, CacheStats};
@@ -44,7 +42,11 @@ pub struct LaunchConfig {
 
 impl LaunchConfig {
     pub fn new(blocks: u32, threads_per_block: u32) -> Self {
-        LaunchConfig { blocks, threads_per_block, warp_split: 1 }
+        LaunchConfig {
+            blocks,
+            threads_per_block,
+            warp_split: 1,
+        }
     }
 
     /// Active (working) threads in the grid.
@@ -55,7 +57,9 @@ impl LaunchConfig {
 
     fn validate(&self, cfg: &DeviceConfig) -> Result<(), SimtError> {
         if self.blocks == 0 || self.threads_per_block == 0 {
-            return Err(SimtError::BadLaunch { message: "zero blocks or threads" });
+            return Err(SimtError::BadLaunch {
+                message: "zero blocks or threads",
+            });
         }
         if !self.threads_per_block.is_multiple_of(cfg.warp_size) {
             return Err(SimtError::BadLaunch {
@@ -68,7 +72,9 @@ impl LaunchConfig {
             });
         }
         if self.threads_per_block > cfg.max_threads_per_sm {
-            return Err(SimtError::BadLaunch { message: "block exceeds SM thread capacity" });
+            return Err(SimtError::BadLaunch {
+                message: "block exceeds SM thread capacity",
+            });
         }
         Ok(())
     }
@@ -97,14 +103,30 @@ pub struct KernelStats {
     pub warp_steps: u64,
     /// Warp steps whose lanes diverged into more than one effect group.
     pub divergent_steps: u64,
+    /// Issue slots consumed (one per distinct effect kind per warp step).
+    pub issue_groups: u64,
+    /// Extra issue slots forced by divergence: Σ (groups − 1) over
+    /// divergent warp steps — nvprof's "divergent serialization" analog.
+    pub serialized_groups: u64,
+    /// Cycles (summed over SMs) the issue pipeline sat idle waiting on
+    /// memory/compute latency: `end_cycle − issue_groups / issue_width`.
+    pub issue_stall_cycles: f64,
+    /// Achieved occupancy: resident threads per SM over the SM's thread
+    /// capacity (0..=1).
+    pub occupancy: f64,
     /// Read-only (texture) cache statistics — Table II's "cache hit rate".
     pub tex: CacheStats,
     /// L2 slice statistics.
     pub l2: CacheStats,
     /// Line transactions issued to the memory pipeline.
     pub transactions: u64,
-    /// Bytes that had to come from / go to DRAM.
+    /// Bytes that had to come from / go to DRAM
+    /// (`dram_read_bytes + dram_write_bytes`).
     pub dram_bytes: u64,
+    /// Bytes fetched from DRAM on cache misses.
+    pub dram_read_bytes: u64,
+    /// Bytes stored to DRAM (write-through stores).
+    pub dram_write_bytes: u64,
     /// `dram_bytes / time_s` — Table II's "bandwidth" column.
     pub achieved_bandwidth_gbs: f64,
 }
@@ -132,21 +154,18 @@ pub fn simulate<K: Kernel>(
     }
 
     let mem = MemView::new(arena.bytes());
-    let results: Vec<SmResult> = sm_blocks
-        .par_iter()
-        .map(|blocks| {
-            simulate_sm(
-                cfg,
-                mem,
-                kernel,
-                blocks,
-                warps_per_block,
-                lanes_per_warp,
-                total_active,
-                resident_blocks as usize,
-            )
-        })
-        .collect();
+    let results: Vec<SmResult> = tc_par::map_slice(&sm_blocks, |blocks| {
+        simulate_sm(
+            cfg,
+            mem,
+            kernel,
+            blocks,
+            warps_per_block,
+            lanes_per_warp,
+            total_active,
+            resident_blocks as usize,
+        )
+    });
 
     let mut stats = KernelStats::default();
     let mut writes = Vec::new();
@@ -155,12 +174,23 @@ pub fn simulate<K: Kernel>(
         stats.lane_steps += r.lane_steps;
         stats.warp_steps += r.warp_steps;
         stats.divergent_steps += r.divergent_steps;
+        stats.issue_groups += r.issue_groups;
+        stats.serialized_groups += r.serialized_groups;
+        stats.issue_stall_cycles +=
+            (r.end_cycle - r.issue_groups as f64 / cfg.issue_width as f64).max(0.0);
         stats.transactions += r.transactions;
-        stats.dram_bytes += r.dram_bytes;
+        stats.dram_read_bytes += r.dram_read_bytes;
+        stats.dram_write_bytes += r.dram_write_bytes;
         stats.tex.merge(r.tex);
         stats.l2.merge(r.l2);
         writes.extend(r.writes);
     }
+    stats.dram_bytes = stats.dram_read_bytes + stats.dram_write_bytes;
+    // Achieved occupancy of the resident set: blocks actually co-resident
+    // on the busiest SM times block width, over SM thread capacity.
+    let busiest = lc.blocks.div_ceil(cfg.num_sms);
+    let co_resident = resident_blocks.min(busiest);
+    stats.occupancy = (co_resident * lc.threads_per_block) as f64 / cfg.max_threads_per_sm as f64;
     let pipeline_time = stats.sm_cycles * cfg.cycle_seconds();
     let dram_time = stats.dram_bytes as f64 / (cfg.dram_bandwidth_gbs * 1e9);
     stats.time_s = pipeline_time.max(dram_time) + cfg.launch_overhead_us * 1e-6;
@@ -173,8 +203,11 @@ struct SmResult {
     lane_steps: u64,
     warp_steps: u64,
     divergent_steps: u64,
+    issue_groups: u64,
+    serialized_groups: u64,
     transactions: u64,
-    dram_bytes: u64,
+    dram_read_bytes: u64,
+    dram_write_bytes: u64,
     tex: CacheStats,
     l2: CacheStats,
     writes: Vec<PendingWrite>,
@@ -238,8 +271,11 @@ fn simulate_sm<K: Kernel>(
     let mut lane_steps = 0u64;
     let mut warp_steps = 0u64;
     let mut divergent_steps = 0u64;
+    let mut issue_groups = 0u64;
+    let mut serialized_groups = 0u64;
     let mut transactions = 0u64;
-    let mut dram_bytes = 0u64;
+    let mut dram_read_bytes = 0u64;
+    let mut dram_write_bytes = 0u64;
     let mut writes: Vec<PendingWrite> = Vec::new();
 
     let mut effects: Vec<Effect> = Vec::with_capacity(lanes_per_warp);
@@ -280,7 +316,11 @@ fn simulate_sm<K: Kernel>(
                 lane_steps += 1;
                 kinds_seen[eff.kind() as usize] = true;
                 match eff {
-                    Effect::Read { addr, bytes, cached } => {
+                    Effect::Read {
+                        addr,
+                        bytes,
+                        cached,
+                    } => {
                         if cached {
                             reads_cached.push((addr, bytes));
                         } else {
@@ -290,7 +330,7 @@ fn simulate_sm<K: Kernel>(
                     Effect::Write { addr, bytes, value } => {
                         writes.push(PendingWrite { addr, bytes, value });
                         write_txns += 1;
-                        dram_bytes += bytes as u64; // write-through
+                        dram_write_bytes += bytes as u64; // write-through
                     }
                     Effect::Compute { cycles } => {
                         compute_latency = compute_latency.max(cycles);
@@ -305,8 +345,10 @@ fn simulate_sm<K: Kernel>(
 
         // Issue cost: one slot per distinct effect kind (Done issues nothing).
         let groups = kinds_seen[..4].iter().filter(|&&k| k).count() as u32;
-        if kinds_seen[..4].iter().filter(|&&k| k).count() > 1 {
+        issue_groups += groups as u64;
+        if groups > 1 {
             divergent_steps += 1;
+            serialized_groups += (groups - 1) as u64;
         }
         alu_clock = now + groups as f64 / cfg.issue_width as f64;
 
@@ -322,7 +364,7 @@ fn simulate_sm<K: Kernel>(
                 } else if l2.access(line) {
                     cfg.l2_hit_latency
                 } else {
-                    dram_bytes += cfg.dram_fetch_bytes as u64;
+                    dram_read_bytes += cfg.dram_fetch_bytes as u64;
                     cfg.dram_latency
                 };
                 latency = latency.max(lat as f64);
@@ -335,7 +377,7 @@ fn simulate_sm<K: Kernel>(
                 let lat = if l2.access(line) {
                     cfg.l2_hit_latency
                 } else {
-                    dram_bytes += cfg.dram_fetch_bytes as u64;
+                    dram_read_bytes += cfg.dram_fetch_bytes as u64;
                     cfg.dram_latency
                 };
                 latency = latency.max(lat as f64);
@@ -370,8 +412,11 @@ fn simulate_sm<K: Kernel>(
         lane_steps,
         warp_steps,
         divergent_steps,
+        issue_groups,
+        serialized_groups,
         transactions,
-        dram_bytes,
+        dram_read_bytes,
+        dram_write_bytes,
         tex: tex.stats(),
         l2: l2.stats(),
         writes,
@@ -417,13 +462,21 @@ mod tests {
                     let addr = self.input.addr_of(self.i);
                     self.pending = mem.read_u32(addr);
                     self.state = DoubleState::Store(self.pending * 2);
-                    Effect::Read { addr, bytes: 4, cached: true }
+                    Effect::Read {
+                        addr,
+                        bytes: 4,
+                        cached: true,
+                    }
                 }
                 DoubleState::Store(v) => {
                     let addr = self.output.addr_of(self.i);
                     self.i += self.stride;
                     self.state = DoubleState::Load;
-                    Effect::Write { addr, bytes: 4, value: v as u64 }
+                    Effect::Write {
+                        addr,
+                        bytes: 4,
+                        value: v as u64,
+                    }
                 }
                 DoubleState::Finished => Effect::Done,
             }
@@ -491,7 +544,11 @@ mod tests {
         // never revisits a line, so the cache hit rate is ~0. (High hit
         // rates come from *walk* patterns; see the counting-kernel tests in
         // tc-core.)
-        assert!(stats.tex.hit_rate() < 0.05, "hit rate {}", stats.tex.hit_rate());
+        assert!(
+            stats.tex.hit_rate() < 0.05,
+            "hit rate {}",
+            stats.tex.hit_rate()
+        );
         let loads = stats.tex.accesses;
         // ~1/8 of the per-lane u32 loads become transactions.
         assert!(
@@ -528,7 +585,11 @@ mod tests {
 
     #[test]
     fn warp_split_halves_active_lanes() {
-        let lc = LaunchConfig { blocks: 8, threads_per_block: 64, warp_split: 2 };
+        let lc = LaunchConfig {
+            blocks: 8,
+            threads_per_block: 64,
+            warp_split: 2,
+        };
         let cfg = DeviceConfig::gtx_980();
         assert_eq!(lc.active_threads(cfg.warp_size), 8 * 2 * 16);
         let (_, out) = run_double(777, lc);
@@ -547,7 +608,11 @@ mod tests {
         for lc in [
             LaunchConfig::new(0, 64),
             LaunchConfig::new(8, 48),
-            LaunchConfig { blocks: 8, threads_per_block: 64, warp_split: 5 },
+            LaunchConfig {
+                blocks: 8,
+                threads_per_block: 64,
+                warp_split: 5,
+            },
             LaunchConfig::new(1, 4096),
         ] {
             assert!(simulate(&cfg, &arena, lc, &kernel).is_err(), "{lc:?}");
@@ -564,7 +629,11 @@ mod tests {
         // shrinks 16x but cycles must shrink far less than 16x without
         // latency hiding — assert they shrink at least 4x (hiding works).
         let (cfg, arena, input, output) = setup(65536);
-        let kernel = DoubleKernel { input, output, n: 65536 };
+        let kernel = DoubleKernel {
+            input,
+            output,
+            n: 65536,
+        };
         let (narrow, _) = simulate(&cfg, &arena, LaunchConfig::new(1, 32), &kernel).unwrap();
         let (wide, _) = simulate(&cfg, &arena, LaunchConfig::new(1, 512), &kernel).unwrap();
         assert!(
@@ -596,7 +665,11 @@ mod tests {
                 if self.even {
                     Effect::Compute { cycles: 2 }
                 } else {
-                    Effect::Read { addr: self.addr, bytes: 4, cached: true }
+                    Effect::Read {
+                        addr: self.addr,
+                        bytes: 4,
+                        cached: true,
+                    }
                 }
             }
         }
@@ -625,7 +698,11 @@ mod tests {
     #[test]
     fn uniform_kernel_does_not_diverge() {
         let (cfg, arena, input, output) = setup(4096);
-        let kernel = DoubleKernel { input, output, n: 4096 };
+        let kernel = DoubleKernel {
+            input,
+            output,
+            n: 4096,
+        };
         let (stats, _) = simulate(&cfg, &arena, LaunchConfig::new(8, 64), &kernel).unwrap();
         // Lanes stay in lockstep through identical phases; divergence only
         // appears at the ragged tail when some lanes run out of work.
@@ -640,9 +717,12 @@ mod tests {
     #[test]
     fn zero_work_kernel_costs_only_overhead() {
         let (cfg, arena, input, output) = setup(0);
-        let kernel = DoubleKernel { input, output, n: 0 };
-        let (stats, writes) =
-            simulate(&cfg, &arena, LaunchConfig::new(8, 64), &kernel).unwrap();
+        let kernel = DoubleKernel {
+            input,
+            output,
+            n: 0,
+        };
+        let (stats, writes) = simulate(&cfg, &arena, LaunchConfig::new(8, 64), &kernel).unwrap();
         assert!(writes.is_empty());
         assert_eq!(stats.dram_bytes, 0);
         assert!(stats.time_s >= cfg.launch_overhead_us * 1e-6);

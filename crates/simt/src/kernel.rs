@@ -54,7 +54,12 @@ impl<'a> MemView<'a> {
     #[inline]
     pub fn read_u32(&self, addr: u64) -> u32 {
         let i = addr as usize;
-        u32::from_le_bytes([self.data[i], self.data[i + 1], self.data[i + 2], self.data[i + 3]])
+        u32::from_le_bytes([
+            self.data[i],
+            self.data[i + 1],
+            self.data[i + 2],
+            self.data[i + 3],
+        ])
     }
 
     /// Load a little-endian `i32`.
@@ -104,8 +109,16 @@ mod tests {
 
     #[test]
     fn effect_kinds_separate_cached_and_uncached_reads() {
-        let a = Effect::Read { addr: 0, bytes: 4, cached: true };
-        let b = Effect::Read { addr: 0, bytes: 4, cached: false };
+        let a = Effect::Read {
+            addr: 0,
+            bytes: 4,
+            cached: true,
+        };
+        let b = Effect::Read {
+            addr: 0,
+            bytes: 4,
+            cached: false,
+        };
         assert_ne!(a.kind(), b.kind());
         assert_ne!(Effect::Done.kind(), Effect::Compute { cycles: 1 }.kind());
     }

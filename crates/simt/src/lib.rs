@@ -36,6 +36,7 @@ pub mod executor;
 pub mod kernel;
 pub mod multi;
 pub mod primitives;
+pub mod profiler;
 pub mod trace;
 
 pub use arena::{DeviceBuffer, DeviceScalar};
@@ -45,3 +46,4 @@ pub use error::SimtError;
 pub use executor::{KernelStats, LaunchConfig};
 pub use kernel::{Effect, Kernel, Lane, MemView};
 pub use multi::DeviceGroup;
+pub use profiler::{Counters, ProfileReport, Span};

@@ -20,12 +20,16 @@ impl DeviceGroup {
     /// `count` identical devices.
     pub fn homogeneous(cfg: DeviceConfig, count: usize) -> Self {
         assert!(count >= 1);
-        DeviceGroup { devices: (0..count).map(|_| Device::new(cfg.clone())).collect() }
+        DeviceGroup {
+            devices: (0..count).map(|_| Device::new(cfg.clone())).collect(),
+        }
     }
 
     pub fn heterogeneous(cfgs: Vec<DeviceConfig>) -> Self {
         assert!(!cfgs.is_empty());
-        DeviceGroup { devices: cfgs.into_iter().map(Device::new).collect() }
+        DeviceGroup {
+            devices: cfgs.into_iter().map(Device::new).collect(),
+        }
     }
 
     #[inline]
@@ -118,10 +122,8 @@ mod tests {
 
     #[test]
     fn heterogeneous_groups() {
-        let group = DeviceGroup::heterogeneous(vec![
-            DeviceConfig::gtx_980(),
-            DeviceConfig::tesla_c2050(),
-        ]);
+        let group =
+            DeviceGroup::heterogeneous(vec![DeviceConfig::gtx_980(), DeviceConfig::tesla_c2050()]);
         assert_eq!(group.len(), 2);
         assert_eq!(group.device(0).config().name, "GTX 980");
         assert_eq!(group.device(1).config().name, "Tesla C2050");

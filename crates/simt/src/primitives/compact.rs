@@ -5,25 +5,56 @@ use crate::device::Device;
 
 use super::charge_pass;
 
-/// Remove the elements of `buf[..len]` for which `pred` holds, compacting
-/// the survivors to the front in their original order (stable, like
-/// `thrust::remove_if`). Returns the new logical length. Charged as two
-/// passes: the predicate/mark pass (the paper's step 5 kernel) and the
-/// scatter pass.
-pub fn remove_if_u64<P>(dev: &mut Device, buf: &DeviceBuffer<u64>, len: usize, pred: P) -> usize
+/// The paper's step-5 kernel on its own: evaluate `pred` over `buf[..len]`
+/// and return the per-element marks. Charged as one pass reading the array
+/// and writing one flag byte per element. Pipelines that want the mark and
+/// compact steps profiled separately call this then
+/// [`compact_marked_u64`]; [`remove_if_u64`] fuses them.
+pub fn mark_if_u64<P>(dev: &mut Device, buf: &DeviceBuffer<u64>, len: usize, pred: P) -> Vec<bool>
 where
     P: Fn(u64) -> bool + Sync,
 {
     assert!(len <= buf.len());
-    let view = buf.slice(0, len);
-    let data = dev.peek(&view);
-    let kept: Vec<u64> = data.iter().copied().filter(|&x| !pred(x)).collect();
+    let data = dev.peek(&buf.slice(0, len));
+    let marks: Vec<bool> = data.iter().map(|&x| pred(x)).collect();
+    charge_pass(dev, "mark-backward kernel", len as u64 * 8, len as u64); // read + flag write
+    marks
+}
+
+/// The paper's step 6: compact the elements whose mark is `false` to the
+/// front, preserving order (stable, like `thrust::remove_if`). Returns the
+/// new logical length. Charged as one pass reading the array (and marks)
+/// and writing the survivors.
+pub fn compact_marked_u64(
+    dev: &mut Device,
+    buf: &DeviceBuffer<u64>,
+    len: usize,
+    marks: &[bool],
+) -> usize {
+    assert!(len <= buf.len());
+    assert_eq!(marks.len(), len);
+    let data = dev.peek(&buf.slice(0, len));
+    let kept: Vec<u64> = data
+        .iter()
+        .zip(marks)
+        .filter(|&(_, &m)| !m)
+        .map(|(&x, _)| x)
+        .collect();
     let new_len = kept.len();
     dev.poke(&buf.slice(0, new_len), &kept);
-    let bytes = len as u64 * 8;
-    charge_pass(dev, "mark-backward kernel", bytes + len as u64); // read + flag write
-    charge_pass(dev, "thrust::remove_if", bytes + new_len as u64 * 8);
+    charge_pass(dev, "thrust::remove_if", len as u64 * 8, new_len as u64 * 8);
     new_len
+}
+
+/// Remove the elements of `buf[..len]` for which `pred` holds, compacting
+/// the survivors to the front in their original order. Two passes: the
+/// predicate/mark pass and the scatter pass.
+pub fn remove_if_u64<P>(dev: &mut Device, buf: &DeviceBuffer<u64>, len: usize, pred: P) -> usize
+where
+    P: Fn(u64) -> bool + Sync,
+{
+    let marks = mark_if_u64(dev, buf, len, pred);
+    compact_marked_u64(dev, buf, len, &marks)
 }
 
 #[cfg(test)]

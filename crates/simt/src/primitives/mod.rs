@@ -22,7 +22,7 @@ pub mod scan;
 pub mod sort;
 pub mod transform;
 
-pub use compact::remove_if_u64;
+pub use compact::{compact_marked_u64, mark_if_u64, remove_if_u64};
 pub use reduce::{reduce_map_max_u64, reduce_sum_u64};
 pub use scan::{exclusive_scan_u32, inclusive_scan_u32};
 pub use sort::{sort_pairs_baseline, sort_u64};
@@ -37,10 +37,12 @@ pub(crate) fn stream_pass_seconds(cfg: &DeviceConfig, bytes: u64) -> f64 {
         + cfg.launch_overhead_us * 1e-6
 }
 
-/// Charge a labeled streaming pass on the device clock.
-pub(crate) fn charge_pass(dev: &mut Device, label: &str, bytes: u64) {
-    let secs = stream_pass_seconds(dev.config(), bytes);
-    dev.advance(label, secs);
+/// Charge a labeled streaming pass on the device clock, attributing the
+/// bytes it moves to the profiler's DRAM read/write counters (each pass is
+/// also counted as one kernel launch, matching what nvprof would see).
+pub(crate) fn charge_pass(dev: &mut Device, label: &str, read_bytes: u64, write_bytes: u64) {
+    let secs = stream_pass_seconds(dev.config(), read_bytes + write_bytes);
+    dev.charge_stream_pass(label, secs, read_bytes, write_bytes);
 }
 
 #[cfg(test)]

@@ -1,7 +1,5 @@
 //! `thrust::reduce` equivalents.
 
-use rayon::prelude::*;
-
 use crate::arena::DeviceBuffer;
 use crate::device::Device;
 
@@ -11,8 +9,8 @@ use super::charge_pass;
 /// `result` array). One read pass.
 pub fn reduce_sum_u64(dev: &mut Device, buf: &DeviceBuffer<u64>) -> u64 {
     let data = dev.peek(buf);
-    charge_pass(dev, "thrust::reduce(sum)", buf.byte_len());
-    data.par_iter().sum()
+    charge_pass(dev, "thrust::reduce(sum)", buf.byte_len(), 0);
+    tc_par::sum_by_u64(data.len(), |i| data[i])
 }
 
 /// Max-reduce after applying `map` to each element — used by preprocessing
@@ -23,8 +21,13 @@ where
     F: Fn(u64) -> u64 + Sync,
 {
     let data = dev.peek(buf);
-    charge_pass(dev, "thrust::reduce(max)", buf.byte_len());
-    data.par_iter().map(|&x| map(x)).max().unwrap_or(0)
+    charge_pass(dev, "thrust::reduce(max)", buf.byte_len(), 0);
+    tc_par::map_chunks(&data, 64 * 1024, |_, c| {
+        c.iter().map(|&x| map(x)).max().unwrap_or(0)
+    })
+    .into_iter()
+    .max()
+    .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -23,7 +23,12 @@ pub fn exclusive_scan_u32(dev: &mut Device, buf: &DeviceBuffer<u32>, len: usize)
         acc = next;
     }
     dev.poke(&buf.slice(0, len), &data);
-    charge_pass(dev, "thrust::exclusive_scan", 2 * (len as u64) * 4);
+    charge_pass(
+        dev,
+        "thrust::exclusive_scan",
+        len as u64 * 4,
+        len as u64 * 4,
+    );
     acc
 }
 
@@ -37,7 +42,12 @@ pub fn inclusive_scan_u32(dev: &mut Device, buf: &DeviceBuffer<u32>, len: usize)
         *v = acc as u32;
     }
     dev.poke(&buf.slice(0, len), &data);
-    charge_pass(dev, "thrust::inclusive_scan", 2 * (len as u64) * 4);
+    charge_pass(
+        dev,
+        "thrust::inclusive_scan",
+        len as u64 * 4,
+        len as u64 * 4,
+    );
     acc
 }
 

@@ -36,9 +36,9 @@ pub fn sort_u64(dev: &mut Device, buf: &DeviceBuffer<u64>, len: usize) -> Result
     dev.poke(&view, &data);
     // Histogram pass + one read/write pass per digit.
     let bytes = len as u64 * 8;
-    charge_pass(dev, "thrust::sort(u64) histogram", bytes);
+    charge_pass(dev, "thrust::sort(u64) histogram", bytes, 0);
     for pass in 0..U64_RADIX_PASSES {
-        charge_pass(dev, &format!("thrust::sort(u64) pass {pass}"), 2 * bytes);
+        charge_pass(dev, &format!("thrust::sort(u64) pass {pass}"), bytes, bytes);
     }
     dev.free(temp)?;
     Ok(())
@@ -66,10 +66,14 @@ pub fn sort_pairs_baseline(
     let total = PAIR_SORT_FACTOR * (2 * bytes * U64_RADIX_PASSES + bytes);
     let passes = (usize::BITS - len.next_power_of_two().leading_zeros()).max(1) as u64;
     for pass in 0..passes {
+        // Each merge pass reads and writes the whole array, so the charged
+        // bytes split evenly between the two directions.
+        let per_pass = total / passes;
         charge_pass(
             dev,
             &format!("thrust::sort(pair structs) merge pass {pass}"),
-            total / passes,
+            per_pass - per_pass / 2,
+            per_pass / 2,
         );
     }
     dev.free(temp)?;

@@ -24,7 +24,7 @@ pub fn unzip_u64(
     let hi: Vec<u32> = data.iter().map(|&x| (x >> 32) as u32).collect();
     dev.poke(&lo_buf, &lo);
     dev.poke(&hi_buf, &hi);
-    charge_pass(dev, "unzip", len as u64 * 16);
+    charge_pass(dev, "unzip", len as u64 * 8, len as u64 * 8);
     Ok((lo_buf, hi_buf))
 }
 
@@ -73,7 +73,7 @@ where
         }
     }
     dev.poke(&node_buf, &node);
-    charge_pass(dev, "node-array kernel", len as u64 * 8 + (n as u64 + 1) * 4);
+    charge_pass(dev, "node-array kernel", len as u64 * 8, (n as u64 + 1) * 4);
     Ok(node_buf)
 }
 
@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn unzip_splits_halves() {
         let mut dev = device();
-        let buf = dev.htod_copy(&[(1u64 << 32) | 2, (3u64 << 32) | 4]).unwrap();
+        let buf = dev
+            .htod_copy(&[(1u64 << 32) | 2, (3u64 << 32) | 4])
+            .unwrap();
         let (lo, hi) = unzip_u64(&mut dev, &buf, 2).unwrap();
         assert_eq!(dev.peek(&lo), vec![2, 4]);
         assert_eq!(dev.peek(&hi), vec![1, 3]);

@@ -1,98 +1,129 @@
-//! Chrome-trace export of a device time log.
+//! Chrome-trace export of a device time log and its profiler spans.
 //!
 //! Every [`crate::Device`] records each charged operation (copies, Thrust
-//! passes, kernels) with its modeled duration. This module serializes that
-//! log into the Trace Event Format understood by `chrome://tracing` and
-//! [Perfetto](https://ui.perfetto.dev), so a pipeline run can be inspected
-//! visually — handy when tuning the §III-E phase split.
+//! passes, kernels) with its modeled start time and duration, and — when the
+//! caller brackets work with [`crate::Device::push_phase`] — a hierarchy of
+//! named spans. This module serializes both into the Trace Event Format
+//! understood by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev),
+//! so a pipeline run can be inspected visually — handy when tuning the
+//! §III-E phase split.
+//!
+//! All serializers share one event builder: spans and leaf ops become `"X"`
+//! (complete) events on the same thread, so Perfetto nests them by time
+//! containment; each thread gets an `"M"` metadata event carrying its name.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use crate::device::TimedOp;
+use crate::profiler::{json_string, Span};
 
-/// Serialize a time log as a Trace Event Format JSON array. Events are laid
-/// back to back starting at `t = 0`, one per [`TimedOp`], on the given
-/// process/thread ids (use distinct `tid`s for multi-device runs).
-pub fn to_chrome_trace(log: &[TimedOp], pid: u32, tid: u32) -> String {
-    let mut out = String::from("[\n");
-    let mut t_us = 0.0f64;
-    for (i, op) in log.iter().enumerate() {
-        let dur_us = op.seconds * 1e6;
-        out.push_str(&format!(
-            "  {{\"name\": {}, \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
-             \"pid\": {}, \"tid\": {}}}{}\n",
-            json_string(&op.label),
-            t_us,
-            dur_us,
-            pid,
-            tid,
-            if i + 1 == log.len() { "" } else { "," }
-        ));
-        t_us += dur_us;
-    }
-    out.push(']');
-    out
+/// Everything one trace thread (= one device) contributes: a display name,
+/// the leaf operation log, and the profiler's phase spans (may be empty).
+pub struct TraceThread<'a> {
+    pub name: &'a str,
+    pub log: &'a [TimedOp],
+    pub spans: &'a [Span],
 }
 
-/// Write one or more device logs (one trace thread each) to a file.
+/// Serialize one event object (no trailing separator).
+fn complete_event(name: &str, start_s: f64, dur_s: f64, pid: u32, tid: u32) -> String {
+    format!(
+        "  {{\"name\": {}, \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+         \"pid\": {}, \"tid\": {}}}",
+        json_string(name),
+        start_s * 1e6,
+        dur_s * 1e6,
+        pid,
+        tid
+    )
+}
+
+/// Append one thread's events: optional thread-name metadata, then the phase
+/// spans (outermost first, by recorded start), then the leaf ops. Perfetto
+/// nests slices on a thread by time containment, so parent spans must simply
+/// cover their children — which the device guarantees by construction.
+fn push_thread_events(
+    out: &mut Vec<String>,
+    pid: u32,
+    tid: u32,
+    name: Option<&str>,
+    log: &[TimedOp],
+    spans: &[Span],
+) {
+    if let Some(name) = name {
+        out.push(format!(
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": {}, \
+             \"args\": {{\"name\": {}}}}}",
+            pid,
+            tid,
+            json_string(name)
+        ));
+    }
+    // Spans are recorded in completion order (children before parents);
+    // re-emit sorted by (start, -depth) so output order is stable and
+    // outer-before-inner, which keeps diffs readable.
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .start_s
+            .partial_cmp(&spans[b].start_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(spans[a].depth.cmp(&spans[b].depth))
+    });
+    for i in order {
+        let s = &spans[i];
+        let label = s.path.rsplit('/').next().unwrap_or(&s.path);
+        out.push(complete_event(label, s.start_s, s.duration_s(), pid, tid));
+    }
+    for op in log {
+        out.push(complete_event(&op.label, op.start_s, op.seconds, pid, tid));
+    }
+}
+
+/// Serialize a time log as a Trace Event Format JSON array, one `"X"` event
+/// per [`TimedOp`] at its recorded start time, on the given process/thread
+/// ids (use distinct `tid`s for multi-device runs).
+pub fn to_chrome_trace(log: &[TimedOp], pid: u32, tid: u32) -> String {
+    let mut events = Vec::with_capacity(log.len());
+    push_thread_events(&mut events, pid, tid, None, log, &[]);
+    format!("[\n{}\n]", events.join(",\n"))
+}
+
+/// Write one or more device logs (one trace thread each) to a file. Spanless
+/// convenience wrapper over [`write_chrome_trace_spanned`].
 pub fn write_chrome_trace(
     logs: &[(&str, &[TimedOp])],
     path: impl AsRef<Path>,
 ) -> std::io::Result<()> {
-    let file = File::create(path)?;
-    let mut out = BufWriter::new(file);
-    writeln!(out, "[")?;
-    let mut first = true;
-    for (tid, (name, log)) in logs.iter().enumerate() {
-        // Thread-name metadata event.
-        if !first {
-            writeln!(out, ",")?;
-        }
-        first = false;
-        write!(
-            out,
-            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
-             \"args\": {{\"name\": {}}}}}",
-            tid,
-            json_string(name)
-        )?;
-        let mut t_us = 0.0f64;
-        for op in log.iter() {
-            let dur_us = op.seconds * 1e6;
-            writeln!(out, ",")?;
-            write!(
-                out,
-                "  {{\"name\": {}, \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
-                 \"pid\": 1, \"tid\": {}}}",
-                json_string(&op.label),
-                t_us,
-                dur_us,
-                tid
-            )?;
-            t_us += dur_us;
-        }
-    }
-    writeln!(out, "\n]")?;
-    out.flush()
+    let threads: Vec<TraceThread<'_>> = logs
+        .iter()
+        .map(|&(name, log)| TraceThread {
+            name,
+            log,
+            spans: &[],
+        })
+        .collect();
+    write_chrome_trace_spanned(&threads, path)
 }
 
-/// Minimal JSON string escaping for labels.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+/// Write a full trace — phase spans nested above the leaf ops — with one
+/// trace thread per device.
+pub fn write_chrome_trace_spanned(
+    threads: &[TraceThread<'_>],
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    let mut events = Vec::new();
+    for (tid, t) in threads.iter().enumerate() {
+        push_thread_events(&mut events, 1, tid as u32, Some(t.name), t.log, t.spans);
     }
-    out.push('"');
-    out
+    writeln!(out, "[")?;
+    writeln!(out, "{}", events.join(",\n"))?;
+    writeln!(out, "]")?;
+    out.flush()
 }
 
 #[cfg(test)]
@@ -122,11 +153,8 @@ mod tests {
     }
 
     #[test]
-    fn durations_are_cumulative_and_ordered() {
-        let log = vec![
-            TimedOp { label: "a".into(), seconds: 1e-6 },
-            TimedOp { label: "b".into(), seconds: 2e-6 },
-        ];
+    fn events_start_at_their_recorded_times() {
+        let log = vec![TimedOp::new("a", 0.0, 1e-6), TimedOp::new("b", 1e-6, 2e-6)];
         let json = to_chrome_trace(&log, 1, 0);
         // Second event starts where the first ended.
         assert!(json.contains("\"ts\": 0.000, \"dur\": 1.000"));
@@ -148,8 +176,40 @@ mod tests {
     }
 
     #[test]
+    fn spans_wrap_their_ops_in_the_nested_export() {
+        let mut dev = Device::new(DeviceConfig::gtx_980());
+        dev.preinit_context();
+        dev.reset_clock();
+        dev.push_phase("copy");
+        let buf = dev.htod_copy(&[1u32, 2, 3, 4]).unwrap();
+        let _ = dev.dtoh(&buf);
+        dev.pop_phase();
+
+        let dir = std::env::temp_dir().join("tc_simt_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nested.json");
+        let threads = [TraceThread {
+            name: "dev0",
+            log: dev.time_log(),
+            spans: dev.spans(),
+        }];
+        write_chrome_trace_spanned(&threads, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        // One span event + the leaf ops, all "X" events on tid 0.
+        assert_eq!(
+            content.matches("\"ph\": \"X\"").count(),
+            dev.time_log().len() + 1
+        );
+        assert!(content.contains("\"name\": \"copy\""));
+        // The span must be emitted before the ops it contains.
+        let span_pos = content.find("\"name\": \"copy\"").unwrap();
+        let op_pos = content.find("htod").unwrap();
+        assert!(span_pos < op_pos);
+    }
+
+    #[test]
     fn labels_are_escaped() {
-        let log = vec![TimedOp { label: "with \"quotes\"\nand newline".into(), seconds: 1e-6 }];
+        let log = vec![TimedOp::new("with \"quotes\"\nand newline", 0.0, 1e-6)];
         let json = to_chrome_trace(&log, 1, 0);
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.contains("\\n"));

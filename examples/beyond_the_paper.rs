@@ -53,7 +53,9 @@ fn main() {
     // --- §VI direction 2: hybrid high-degree handling ----------------------
     for backend in [
         Backend::CpuHybrid { threshold: None },
-        Backend::CpuHybrid { threshold: Some(64) },
+        Backend::CpuHybrid {
+            threshold: Some(64),
+        },
     ] {
         let label = backend.label();
         let n = count_triangles(&graph, backend).expect("hybrid");

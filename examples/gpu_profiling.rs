@@ -28,7 +28,10 @@ fn main() {
     let published = GpuOptions::new(device.clone());
     let base = run_gpu_pipeline(&graph, &published).expect("pipeline");
     println!("published configuration (SoA, read-avoiding loop, texture cache):");
-    println!("  kernel time          : {:>9.3} ms", base.kernel.time_s * 1e3);
+    println!(
+        "  kernel time          : {:>9.3} ms",
+        base.kernel.time_s * 1e3
+    );
     println!(
         "  texture cache hit    : {:>8.2} %",
         base.kernel.tex.hit_rate() * 100.0
@@ -37,8 +40,14 @@ fn main() {
         "  achieved bandwidth   : {:>9.2} GB/s",
         base.kernel.achieved_bandwidth_gbs
     );
-    println!("  DRAM traffic         : {:>9.2} MiB", base.kernel.dram_bytes as f64 / (1 << 20) as f64);
-    println!("  warp divergence      : {:>8.2} % of warp steps", 100.0 * base.kernel.divergent_steps as f64 / base.kernel.warp_steps as f64);
+    println!(
+        "  DRAM traffic         : {:>9.2} MiB",
+        base.kernel.dram_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  warp divergence      : {:>8.2} % of warp steps",
+        100.0 * base.kernel.divergent_steps as f64 / base.kernel.warp_steps as f64
+    );
 
     println!("\nswitching each optimization off (paper §III-D):");
     let toggles: Vec<(&str, GpuOptions)> = {

@@ -56,5 +56,8 @@ fn main() {
     }
 
     // Sanity: clique-union graphs are strongly clustered.
-    assert!(avg > 0.1, "co-paper networks should be clustered (got {avg})");
+    assert!(
+        avg > 0.1,
+        "co-paper networks should be clustered (got {avg})"
+    );
 }

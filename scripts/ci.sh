@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, release build, full test suite.
+# Usage: scripts/ci.sh   (run from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (best-effort)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "    clippy not installed; skipping"
+fi
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace --release -q
+
+echo "==> ci OK"

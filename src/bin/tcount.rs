@@ -3,14 +3,22 @@
 //! ```text
 //! tcount <path> [--format text|binary|metis] [--backend NAME]
 //!               [--clustering] [--validate] [--trace FILE]
+//!               [--profile [FILE]]
 //!
 //! backends: forward (default) | edge-iterator | node-iterator | hashed |
 //!           parallel | hybrid | gtx980 | c2050 | nvs5200m | 4xc2050
 //! ```
 //!
-//! `--trace FILE` (simulated single-GPU backends only) writes a Chrome
-//! Trace Event file of the device's phases, viewable in `chrome://tracing`
-//! or Perfetto.
+//! `--trace FILE` (simulated GPU backends, single- or multi-device) writes
+//! a Chrome Trace Event file of the device's phases — nested spans over
+//! the leaf operations, one trace thread per device — viewable in
+//! `chrome://tracing` or Perfetto.
+//!
+//! `--profile [FILE]` (simulated GPU backends) prints the nvprof-style
+//! per-phase hardware-counter table — the eight §III-B preprocessing steps
+//! plus the counting kernel, with DRAM traffic, achieved bandwidth,
+//! texture/L2 hit rates, divergence serialization, issue stalls, and
+//! occupancy — and, when FILE is given, writes the full report as JSON.
 //!
 //! Reads an edge list (SNAP-style text by default), counts its triangles
 //! with the chosen backend, and optionally reports clustering statistics —
@@ -19,8 +27,11 @@
 use std::process::ExitCode;
 
 use triangles::core::clustering::{average_clustering, transitivity};
-use triangles::core::count::{count_triangles_detailed, Backend};
+use triangles::core::count::{count_triangles_detailed, Backend, TriangleCount};
+use triangles::core::gpu::multi::{merged_profile, run_multi_gpu_profiled};
+use triangles::core::gpu::pipeline::{run_gpu_pipeline_profiled, RunTrace};
 use triangles::graph::{io, EdgeArray, GraphStats};
+use triangles::simt::trace::{write_chrome_trace_spanned, TraceThread};
 
 struct Args {
     path: String,
@@ -29,6 +40,9 @@ struct Args {
     clustering: bool,
     validate: bool,
     trace: Option<String>,
+    /// `Some(None)` = print the profile table; `Some(Some(file))` = also
+    /// write the JSON report.
+    profile: Option<Option<String>>,
 }
 
 #[derive(PartialEq)]
@@ -41,7 +55,7 @@ enum Format {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tcount <path> [--format text|binary|metis] [--backend NAME]\n\
-         \x20             [--clustering] [--validate] [--trace FILE]\n\
+         \x20             [--clustering] [--validate] [--trace FILE] [--profile [FILE]]\n\
          backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
          \x20         hybrid | gtx980 | c2050 | nvs5200m | 4xc2050"
     );
@@ -65,7 +79,7 @@ fn parse_backend(name: &str) -> Option<Backend> {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let path = args.next().ok_or("missing input path")?;
     if path == "-h" || path == "--help" {
         return Err(String::new());
@@ -77,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         clustering: false,
         validate: false,
         trace: None,
+        profile: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -96,10 +111,90 @@ fn parse_args() -> Result<Args, String> {
             "--clustering" => parsed.clustering = true,
             "--validate" => parsed.validate = true,
             "--trace" => parsed.trace = Some(args.next().ok_or("missing trace path")?),
+            "--profile" => {
+                // The FILE operand is optional: absent or another flag
+                // means print-only.
+                let file = match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next(),
+                    _ => None,
+                };
+                parsed.profile = Some(file);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(parsed)
+}
+
+/// Write the nested Chrome trace for one or more device runs.
+fn write_trace(traces: &[RunTrace], path: &str) -> Result<(), String> {
+    let threads: Vec<TraceThread<'_>> = traces
+        .iter()
+        .map(|t| TraceThread {
+            name: &t.device_name,
+            log: &t.log,
+            spans: &t.spans,
+        })
+        .collect();
+    write_chrome_trace_spanned(&threads, path).map_err(|e| format!("writing trace: {e}"))?;
+    println!("trace written to {path}");
+    Ok(())
+}
+
+/// Print the per-phase table and optionally persist the JSON report.
+fn emit_profile(
+    profile: &triangles::simt::ProfileReport,
+    file: &Option<String>,
+) -> Result<(), String> {
+    print!(
+        "{}",
+        triangles::bench::profile::phase_table(profile).render()
+    );
+    if let Some(path) = file {
+        std::fs::write(path, profile.to_json()).map_err(|e| format!("writing profile: {e}"))?;
+        println!("profile written to {path}");
+    }
+    Ok(())
+}
+
+/// Run a GPU backend through the profiled entry points, honoring `--trace`
+/// and `--profile`.
+fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, String> {
+    match &args.backend {
+        Backend::Gpu(opts) => {
+            let (report, trace) =
+                run_gpu_pipeline_profiled(graph, opts).map_err(|e| format!("counting: {e}"))?;
+            if let Some(path) = &args.trace {
+                write_trace(std::slice::from_ref(&trace), path)?;
+            }
+            if let Some(file) = &args.profile {
+                emit_profile(&trace.profile, file)?;
+            }
+            Ok(TriangleCount {
+                triangles: report.triangles,
+                backend: args.backend.label(),
+                seconds: report.total_s,
+                gpu: Some(report),
+            })
+        }
+        Backend::MultiGpu { options, devices } => {
+            let (report, traces) = run_multi_gpu_profiled(graph, options, *devices)
+                .map_err(|e| format!("counting: {e}"))?;
+            if let Some(path) = &args.trace {
+                write_trace(&traces, path)?;
+            }
+            if let Some(file) = &args.profile {
+                emit_profile(&merged_profile(&traces), file)?;
+            }
+            Ok(TriangleCount {
+                triangles: report.triangles,
+                backend: args.backend.label(),
+                seconds: report.total_s,
+                gpu: None,
+            })
+        }
+        _ => Err("--trace/--profile require a simulated-GPU backend".into()),
+    }
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -121,28 +216,11 @@ fn run(args: Args) -> Result<(), String> {
         stats.num_nodes, stats.num_edges, stats.max_degree, stats.avg_degree
     );
 
-    // A trace request routes single-GPU backends through the logging
-    // pipeline variant.
-    let result = if let (Some(trace_path), Backend::Gpu(opts)) = (&args.trace, &args.backend) {
-        let (report, log) =
-            triangles::core::gpu::pipeline::run_gpu_pipeline_with_log(&graph, opts)
-                .map_err(|e| format!("counting: {e}"))?;
-        triangles::simt::trace::write_chrome_trace(
-            &[(opts.device.name, &log)],
-            trace_path,
-        )
-        .map_err(|e| format!("writing trace: {e}"))?;
-        println!("trace written to {trace_path}");
-        triangles::core::count::TriangleCount {
-            triangles: report.triangles,
-            backend: args.backend.label(),
-            seconds: report.total_s,
-            gpu: Some(report),
-        }
+    // Observability requests route GPU backends through the profiled
+    // pipeline variants.
+    let result = if args.trace.is_some() || args.profile.is_some() {
+        run_gpu_observed(&graph, &args)?
     } else {
-        if args.trace.is_some() {
-            return Err("--trace requires a single simulated-GPU backend".into());
-        }
         count_triangles_detailed(&graph, args.backend).map_err(|e| format!("counting: {e}"))?
     };
     println!(
@@ -158,7 +236,11 @@ fn run(args: Args) -> Result<(), String> {
             report.kernel.tex.hit_rate() * 100.0,
             report.kernel.achieved_bandwidth_gbs,
             report.preprocess_fraction,
-            if report.used_cpu_fallback { " (CPU-preprocessing fallback)" } else { "" }
+            if report.used_cpu_fallback {
+                " (CPU-preprocessing fallback)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -24,6 +24,7 @@
 //! assert_eq!(gpu, cpu);
 //! ```
 
+pub use tc_bench as bench;
 pub use tc_core as core;
 pub use tc_gen as gen;
 pub use tc_graph as graph;

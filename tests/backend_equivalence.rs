@@ -19,13 +19,19 @@ fn all_backends() -> Vec<Backend> {
         Backend::CpuParallel,
         Backend::CpuHybrid { threshold: None },
         Backend::CpuHybrid { threshold: Some(4) },
-        Backend::Gpu(GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())),
+        Backend::Gpu(GpuOptions::new(
+            DeviceConfig::gtx_980().with_unlimited_memory(),
+        )),
         Backend::GpuSplit {
             options: GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory()),
             parts: 3,
         },
-        Backend::Gpu(GpuOptions::new(DeviceConfig::tesla_c2050().with_unlimited_memory())),
-        Backend::Gpu(GpuOptions::new(DeviceConfig::nvs_5200m().with_unlimited_memory())),
+        Backend::Gpu(GpuOptions::new(
+            DeviceConfig::tesla_c2050().with_unlimited_memory(),
+        )),
+        Backend::Gpu(GpuOptions::new(
+            DeviceConfig::nvs_5200m().with_unlimited_memory(),
+        )),
         Backend::MultiGpu {
             options: GpuOptions::new(DeviceConfig::tesla_c2050().with_unlimited_memory()),
             devices: 4,
@@ -43,7 +49,11 @@ fn assert_all_agree(g: &EdgeArray, expected: u64, context: &str) {
 
 #[test]
 fn closed_form_fixtures() {
-    assert_all_agree(&classic::complete(10), classic::complete_triangles(10), "K10");
+    assert_all_agree(
+        &classic::complete(10),
+        classic::complete_triangles(10),
+        "K10",
+    );
     assert_all_agree(&classic::complete_bipartite(6, 7), 0, "K6,7");
     assert_all_agree(&classic::cycle(12), 0, "C12");
     assert_all_agree(&classic::cycle(3), 1, "C3");
@@ -89,8 +99,7 @@ fn every_gpu_option_combination_agrees() {
         for variant in [LoopVariant::FinalReadAvoiding, LoopVariant::Preliminary] {
             for cached in [true, false] {
                 for split in [1u32, 2] {
-                    let mut opts =
-                        GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
+                    let mut opts = GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
                     opts.layout = layout;
                     opts.kernel = variant;
                     opts.use_texture_cache = cached;
@@ -109,7 +118,11 @@ fn every_gpu_option_combination_agrees() {
 #[test]
 fn empty_and_tiny_graphs() {
     assert_all_agree(&EdgeArray::default(), 0, "empty");
-    assert_all_agree(&EdgeArray::from_undirected_pairs([(0, 1)]), 0, "single edge");
+    assert_all_agree(
+        &EdgeArray::from_undirected_pairs([(0, 1)]),
+        0,
+        "single edge",
+    );
     assert_all_agree(
         &EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0)]),
         1,

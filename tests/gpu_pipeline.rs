@@ -33,8 +33,7 @@ fn fallback_gives_identical_counts_and_orientation() {
     let launch = LaunchConfig::new(2, 64);
     let reserve = launch.active_threads(32) as u64 * 8;
     let node = (g.num_nodes() as u64 + 1) * 4;
-    let window =
-        (full_path_peak_bytes(&g) + fallback_path_peak_bytes(&g)) / 2 + reserve + node;
+    let window = (full_path_peak_bytes(&g) + fallback_path_peak_bytes(&g)) / 2 + reserve + node;
     let mut tight = GpuOptions::new(DeviceConfig::gtx_980().with_memory_capacity(window));
     tight.launch = Some(launch);
     let fb = run_gpu_pipeline(&g, &tight).unwrap();
@@ -55,7 +54,11 @@ fn device_count_never_changes_the_answer() {
             .iter()
             .map(|&d| run_multi_gpu(&row.graph, &opts, d).unwrap().triangles)
             .collect();
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{}: {counts:?}", row.name);
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{}: {counts:?}",
+            row.name
+        );
     }
 }
 
@@ -76,7 +79,11 @@ fn phase_breakdown_adds_up() {
     assert!(r.preprocess_s > 0.0);
     assert!(r.count_s > 0.0);
     let sum = r.preprocess_s + r.count_s;
-    assert!((sum - r.total_s).abs() < 1e-12 * r.total_s.max(1.0), "{sum} vs {}", r.total_s);
+    assert!(
+        (sum - r.total_s).abs() < 1e-12 * r.total_s.max(1.0),
+        "{sum} vs {}",
+        r.total_s
+    );
     assert!((0.0..=1.0).contains(&r.preprocess_fraction));
 }
 
@@ -98,7 +105,10 @@ fn graph_too_large_even_for_fallback_errors_cleanly() {
     let g = erdos_renyi::gnm(300, 3_000, Seed(6));
     let opts = GpuOptions::new(DeviceConfig::gtx_980().with_memory_capacity(1024));
     match run_gpu_pipeline(&g, &opts) {
-        Err(triangles::core::CoreError::GraphTooLargeForDevice { required_bytes, capacity_bytes }) => {
+        Err(triangles::core::CoreError::GraphTooLargeForDevice {
+            required_bytes,
+            capacity_bytes,
+        }) => {
             assert!(required_bytes > capacity_bytes);
         }
         other => panic!("expected GraphTooLargeForDevice, got {other:?}"),
@@ -108,8 +118,11 @@ fn graph_too_large_even_for_fallback_errors_cleanly() {
 #[test]
 fn smaller_devices_simulate_slower() {
     let g = erdos_renyi::gnm(600, 6_000, Seed(7));
-    let gtx = run_gpu_pipeline(&g, &GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory()))
-        .unwrap();
+    let gtx = run_gpu_pipeline(
+        &g,
+        &GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory()),
+    )
+    .unwrap();
     let c2050 = run_gpu_pipeline(
         &g,
         &GpuOptions::new(DeviceConfig::tesla_c2050().with_unlimited_memory()),
@@ -121,5 +134,8 @@ fn smaller_devices_simulate_slower() {
     )
     .unwrap();
     assert!(gtx.total_s < c2050.total_s, "GTX 980 must beat the C2050");
-    assert!(c2050.total_s < nvs.total_s, "C2050 must beat the laptop part");
+    assert!(
+        c2050.total_s < nvs.total_s,
+        "C2050 must beat the laptop part"
+    );
 }

@@ -43,12 +43,18 @@ fn count_survives_representation_conversions() {
     // edge array -> adjacency list -> edge array
     let adj = AdjacencyList::from_edge_array(&g);
     let back = adj.to_edge_array();
-    assert_eq!(count_triangles(&back, Backend::CpuForward).unwrap(), expected);
+    assert_eq!(
+        count_triangles(&back, Backend::CpuForward).unwrap(),
+        expected
+    );
 
     // edge array -> CSR -> edge array
     let csr = Csr::from_edge_array(&g).unwrap();
     let back = csr.to_edge_array();
-    assert_eq!(count_triangles(&back, Backend::CpuForward).unwrap(), expected);
+    assert_eq!(
+        count_triangles(&back, Backend::CpuForward).unwrap(),
+        expected
+    );
 }
 
 #[test]
@@ -59,9 +65,15 @@ fn malformed_inputs_produce_typed_errors() {
 
     let bad_text = dir.join("bad.txt");
     std::fs::write(&bad_text, "0 1\nnot numbers\n").unwrap();
-    assert!(matches!(io::read_text(&bad_text), Err(GraphError::Parse { line: 2, .. })));
+    assert!(matches!(
+        io::read_text(&bad_text),
+        Err(GraphError::Parse { line: 2, .. })
+    ));
 
     let bad_bin = dir.join("bad.bin");
     std::fs::write(&bad_bin, [1u8, 2, 3]).unwrap();
-    assert!(matches!(io::read_binary(&bad_bin), Err(GraphError::TruncatedBinary { len: 3 })));
+    assert!(matches!(
+        io::read_binary(&bad_bin),
+        Err(GraphError::TruncatedBinary { len: 3 })
+    ));
 }

@@ -1,118 +1,183 @@
-//! Property-based tests (proptest) over the core invariants:
-//! backend agreement on arbitrary graphs, isomorphism invariance,
-//! orientation structure, and clustering-coefficient bounds.
+//! Property-based tests over the core invariants: backend agreement on
+//! random graphs, isomorphism invariance, orientation structure, and
+//! clustering-coefficient bounds.
+//!
+//! The generator is a hand-rolled LCG (the same constant used throughout
+//! the repo), so every run exercises the same deterministic case set —
+//! no external property-testing dependency needed.
 
-use proptest::prelude::*;
-
-use triangles::core::count::{count_triangles, Backend, GpuOptions};
 use triangles::core::clustering::{local_clustering, per_vertex_triangles};
+use triangles::core::count::{count_triangles, Backend, GpuOptions};
 use triangles::core::verify::{count_brute_force, per_vertex_brute_force};
 use triangles::graph::convert::{random_permutation, relabel, shuffle_arcs};
 use triangles::graph::{EdgeArray, Orientation};
 use triangles::simt::DeviceConfig;
 
-/// Strategy: a random undirected graph with ≤ 40 vertices and ≤ 150 edge
-/// attempts (duplicates/self-loops cleaned by the constructor).
-fn arb_graph() -> impl Strategy<Value = EdgeArray> {
-    proptest::collection::vec((0u32..40, 0u32..40), 0..150)
-        .prop_map(EdgeArray::from_undirected_pairs)
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random undirected graph with ≤ 40 vertices and ≤ 150 edge attempts
+/// (duplicates/self-loops cleaned by the constructor).
+fn random_graph(case: u64) -> EdgeArray {
+    let mut rng = Lcg(0x9E37_79B9_7F4A_7C15 ^ case.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    let attempts = rng.below(151) as usize;
+    let pairs: Vec<(u32, u32)> = (0..attempts)
+        .map(|_| (rng.below(40) as u32, rng.below(40) as u32))
+        .collect();
+    EdgeArray::from_undirected_pairs(pairs)
+}
 
-    #[test]
-    fn all_cpu_backends_match_brute_force(g in arb_graph()) {
+const CASES: u64 = 64;
+
+#[test]
+fn all_cpu_backends_match_brute_force() {
+    for case in 0..CASES {
+        let g = random_graph(case);
         let expected = count_brute_force(&g);
-        prop_assert_eq!(count_triangles(&g, Backend::CpuForward).unwrap(), expected);
-        prop_assert_eq!(count_triangles(&g, Backend::CpuEdgeIterator).unwrap(), expected);
-        prop_assert_eq!(count_triangles(&g, Backend::CpuNodeIterator).unwrap(), expected);
-        prop_assert_eq!(count_triangles(&g, Backend::CpuForwardHashed).unwrap(), expected);
-        prop_assert_eq!(count_triangles(&g, Backend::CpuParallel).unwrap(), expected);
-        prop_assert_eq!(
+        assert_eq!(
+            count_triangles(&g, Backend::CpuForward).unwrap(),
+            expected,
+            "case {case}"
+        );
+        assert_eq!(
+            count_triangles(&g, Backend::CpuEdgeIterator).unwrap(),
+            expected
+        );
+        assert_eq!(
+            count_triangles(&g, Backend::CpuNodeIterator).unwrap(),
+            expected
+        );
+        assert_eq!(
+            count_triangles(&g, Backend::CpuForwardHashed).unwrap(),
+            expected
+        );
+        assert_eq!(count_triangles(&g, Backend::CpuParallel).unwrap(), expected);
+        assert_eq!(
             count_triangles(&g, Backend::CpuHybrid { threshold: None }).unwrap(),
             expected
         );
-        prop_assert_eq!(
+        assert_eq!(
             count_triangles(&g, Backend::CpuHybrid { threshold: Some(3) }).unwrap(),
             expected
         );
     }
+}
 
-    #[test]
-    fn gpu_sim_matches_brute_force(g in arb_graph()) {
+#[test]
+fn gpu_sim_matches_brute_force() {
+    for case in 0..CASES {
+        let g = random_graph(case);
         let expected = count_brute_force(&g);
         let opts = GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
-        prop_assert_eq!(count_triangles(&g, Backend::Gpu(opts)).unwrap(), expected);
+        assert_eq!(
+            count_triangles(&g, Backend::Gpu(opts)).unwrap(),
+            expected,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn count_is_relabeling_invariant(g in arb_graph(), seed in 0u64..1000) {
-        let n = g.num_nodes();
-        let perm = random_permutation(n, seed);
+#[test]
+fn count_is_relabeling_invariant() {
+    for case in 0..CASES {
+        let g = random_graph(case);
+        let perm = random_permutation(g.num_nodes(), case * 31 + 7);
         let h = relabel(&g, &perm);
-        prop_assert_eq!(
+        assert_eq!(
             count_triangles(&g, Backend::CpuForward).unwrap(),
-            count_triangles(&h, Backend::CpuForward).unwrap()
+            count_triangles(&h, Backend::CpuForward).unwrap(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn count_ignores_arc_order(g in arb_graph(), seed in 0u64..1000) {
+#[test]
+fn count_ignores_arc_order() {
+    for case in 0..CASES {
+        let g = random_graph(case);
         let mut h = g.clone();
-        shuffle_arcs(&mut h, seed);
-        prop_assert_eq!(
+        shuffle_arcs(&mut h, case * 17 + 3);
+        assert_eq!(
             count_triangles(&g, Backend::CpuForward).unwrap(),
-            count_triangles(&h, Backend::CpuForward).unwrap()
+            count_triangles(&h, Backend::CpuForward).unwrap(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn orientation_invariants(g in arb_graph()) {
+#[test]
+fn orientation_invariants() {
+    for case in 0..CASES {
+        let g = random_graph(case);
         let orientation = Orientation::forward(&g).unwrap();
         // Exactly one arc per undirected edge.
-        prop_assert_eq!(orientation.num_arcs(), g.num_edges());
+        assert_eq!(orientation.num_arcs(), g.num_edges(), "case {case}");
         // Every arc goes forward in the degree order.
         for arc in orientation.csr.arcs() {
-            prop_assert!(orientation.order.precedes(arc.u, arc.v));
+            assert!(orientation.order.precedes(arc.u, arc.v));
         }
         // Out-degree bound from §II-B: no oriented list exceeds √(2m̂).
         let bound = (2.0 * g.num_edges() as f64).sqrt() + 1.0;
-        prop_assert!(orientation.max_out_degree() as f64 <= bound);
+        assert!(orientation.max_out_degree() as f64 <= bound);
         // Lists sorted strictly ascending.
         for v in 0..orientation.csr.num_nodes() as u32 {
             let nb = orientation.csr.neighbors(v);
-            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            assert!(nb.windows(2).all(|w| w[0] < w[1]));
         }
     }
+}
 
-    #[test]
-    fn degeneracy_orientation_counts_identically(g in arb_graph()) {
-        use triangles::core::cpu::forward::count_on_orientation;
-        use triangles::graph::cores::orient_by_degeneracy;
+#[test]
+fn degeneracy_orientation_counts_identically() {
+    use triangles::core::cpu::forward::count_on_orientation;
+    use triangles::graph::cores::orient_by_degeneracy;
+    for case in 0..CASES {
+        let g = random_graph(case);
         let expected = count_brute_force(&g);
         let (orientation, decomp) = orient_by_degeneracy(&g).unwrap();
-        prop_assert_eq!(count_on_orientation(&orientation), expected);
+        assert_eq!(count_on_orientation(&orientation), expected, "case {case}");
         // The degeneracy bound is at least as tight as the √(2m̂) bound.
-        prop_assert!(orientation.max_out_degree() <= decomp.degeneracy);
+        assert!(orientation.max_out_degree() <= decomp.degeneracy);
         let degree_bound = (2.0 * g.num_edges() as f64).sqrt() + 1.0;
-        prop_assert!((decomp.degeneracy as f64) <= degree_bound);
+        assert!((decomp.degeneracy as f64) <= degree_bound);
     }
+}
 
-    #[test]
-    fn per_vertex_counts_match_brute_force(g in arb_graph()) {
-        prop_assert_eq!(per_vertex_triangles(&g).unwrap(), per_vertex_brute_force(&g));
+#[test]
+fn per_vertex_counts_match_brute_force() {
+    for case in 0..CASES {
+        let g = random_graph(case);
+        assert_eq!(
+            per_vertex_triangles(&g).unwrap(),
+            per_vertex_brute_force(&g),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn clustering_coefficients_are_probabilities(g in arb_graph()) {
+#[test]
+fn clustering_coefficients_are_probabilities() {
+    for case in 0..CASES {
+        let g = random_graph(case);
         for (v, c) in local_clustering(&g).unwrap().into_iter().enumerate() {
-            prop_assert!((0.0..=1.0).contains(&c), "c({v}) = {c}");
+            assert!((0.0..=1.0).contains(&c), "case {case}: c({v}) = {c}");
         }
     }
+}
 
-    #[test]
-    fn validation_accepts_constructor_output(g in arb_graph()) {
-        prop_assert!(g.validate().is_ok());
+#[test]
+fn validation_accepts_constructor_output() {
+    for case in 0..CASES {
+        assert!(random_graph(case).validate().is_ok(), "case {case}");
     }
 }

@@ -34,9 +34,16 @@ fn counts_a_text_file() {
         .args(["--backend", "forward", "--validate"])
         .output()
         .expect("tcount must be built (cargo test builds workspace bins)");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains(&format!("triangles: {expected}")), "{stdout}");
+    assert!(
+        stdout.contains(&format!("triangles: {expected}")),
+        "{stdout}"
+    );
     assert!(stdout.contains("validation: ok"));
 }
 
@@ -48,9 +55,16 @@ fn gpu_backend_reports_profile() {
         .args(["--backend", "gtx980", "--clustering"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains(&format!("triangles: {expected}")), "{stdout}");
+    assert!(
+        stdout.contains(&format!("triangles: {expected}")),
+        "{stdout}"
+    );
     assert!(stdout.contains("tex hit"));
     assert!(stdout.contains("transitivity ratio"));
 }
@@ -58,13 +72,19 @@ fn gpu_backend_reports_profile() {
 #[test]
 fn trace_flag_writes_a_chrome_trace() {
     let (path, expected) = fixture_file();
-    let trace = std::env::temp_dir().join("tcount_cli_test").join("trace.json");
+    let trace = std::env::temp_dir()
+        .join("tcount_cli_test")
+        .join("trace.json");
     let out = Command::new(tcount_bin())
         .arg(&path)
         .args(["--backend", "gtx980", "--trace", trace.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains(&format!("triangles: {expected}")));
     let content = std::fs::read_to_string(&trace).unwrap();
@@ -75,6 +95,96 @@ fn trace_flag_writes_a_chrome_trace() {
     let out = Command::new(tcount_bin())
         .arg(&path)
         .args(["--backend", "forward", "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn multi_gpu_trace_names_every_device() {
+    let (path, expected) = fixture_file();
+    let trace = std::env::temp_dir()
+        .join("tcount_cli_test")
+        .join("multi_trace.json");
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "4xc2050", "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&format!("triangles: {expected}")));
+    let content = std::fs::read_to_string(&trace).unwrap();
+    for dev in ["gpu0", "gpu1", "gpu2", "gpu3"] {
+        assert!(content.contains(dev), "trace missing thread {dev}");
+    }
+    // Nested spans are present alongside leaf operations.
+    assert!(content.contains("\"broadcast\""));
+    assert!(content.contains("\"count-kernel\""));
+}
+
+#[test]
+fn profile_flag_prints_phase_table_and_writes_json() {
+    let (path, expected) = fixture_file();
+    let json = std::env::temp_dir()
+        .join("tcount_cli_test")
+        .join("profile.json");
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "gtx980", "--profile", json.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&format!("triangles: {expected}")));
+    // The eight preprocessing steps plus the counting kernel, each a row.
+    for phase in [
+        "1-copy-edges",
+        "5-mark-backward",
+        "8-node-array",
+        "count-kernel",
+        "total",
+    ] {
+        assert!(
+            stdout.contains(phase),
+            "missing profile row {phase}:\n{stdout}"
+        );
+    }
+    for column in ["tex hit", "BW [GB/s]", "stall [cyc]", "occupancy"] {
+        assert!(stdout.contains(column), "missing column {column}");
+    }
+    let report = std::fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"phases\""));
+    assert!(report.contains("\"preprocess/3-sort-edges\""));
+    assert_eq!(report.matches('{').count(), report.matches('}').count());
+
+    // Print-only form: no FILE operand, table still printed.
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "gtx980", "--profile"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("count-kernel"));
+    assert!(!stdout.contains("profile written"));
+
+    // Profiling a CPU backend is rejected.
+    let out = Command::new(tcount_bin())
+        .arg(&path)
+        .args(["--backend", "forward", "--profile"])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
