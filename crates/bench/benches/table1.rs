@@ -4,9 +4,14 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tc_core::count::{count_triangles, Backend, GpuOptions};
+use tc_core::count::{Backend, CountRequest, GpuOptions};
 use tc_gen::suite::GraphSpec;
+use tc_graph::EdgeArray;
 use tc_simt::DeviceConfig;
+
+fn count(g: &EdgeArray, backend: Backend) -> u64 {
+    CountRequest::new(backend).run(g).unwrap().triangles
+}
 
 fn bench_table1(c: &mut Criterion) {
     let scale = common::scale();
@@ -21,31 +26,29 @@ fn bench_table1(c: &mut Criterion) {
         let g = spec.generate(scale, seed);
         let name = spec.name(scale);
         group.bench_with_input(BenchmarkId::new("cpu-forward", &name), &g, |b, g| {
-            b.iter(|| count_triangles(g, Backend::CpuForward).unwrap())
+            b.iter(|| count(g, Backend::CpuForward))
         });
         group.bench_with_input(BenchmarkId::new("cpu-parallel", &name), &g, |b, g| {
-            b.iter(|| count_triangles(g, Backend::CpuParallel).unwrap())
+            b.iter(|| count(g, Backend::CpuParallel))
         });
         group.bench_with_input(BenchmarkId::new("sim-c2050", &name), &g, |b, g| {
             b.iter(|| {
-                count_triangles(
+                count(
                     g,
                     Backend::Gpu(GpuOptions::new(
                         DeviceConfig::tesla_c2050().with_unlimited_memory(),
                     )),
                 )
-                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("sim-gtx980", &name), &g, |b, g| {
             b.iter(|| {
-                count_triangles(
+                count(
                     g,
                     Backend::Gpu(GpuOptions::new(
                         DeviceConfig::gtx_980().with_unlimited_memory(),
                     )),
                 )
-                .unwrap()
             })
         });
     }

@@ -5,7 +5,7 @@
 //!                    [--seed S] [--csv DIR]
 //!
 //! experiments: table1 | table2 | figure1 | ablations | amdahl |
-//!              input-format | approx | tuning | profile | all
+//!              input-format | approx | tuning | profile | throughput | all
 //! ```
 //!
 //! `profile` prints the counting-kernel hardware counters for every suite
@@ -16,8 +16,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tc_bench::experiments::{
-    ablations, amdahl, approx_comparison, figure1, input_format, profile, table1, table2, tuning,
-    ExpConfig,
+    ablations, amdahl, approx_comparison, figure1, input_format, profile, table1, table2,
+    throughput, tuning, ExpConfig,
 };
 use tc_bench::report::Table;
 use tc_gen::{Scale, Seed};
@@ -30,7 +30,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|all>\n\
+        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|all>\n\
          \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR]"
     );
     ExitCode::from(2)
@@ -104,6 +104,7 @@ fn run_experiment(name: &str, cfg: &ExpConfig, csv_dir: &Option<PathBuf>) -> Res
             csv_dir,
         ),
         "tuning" => emit(tuning::render(&tuning::run(cfg)), csv_dir),
+        "throughput" => emit(throughput::render(&throughput::run(cfg)), csv_dir),
         "profile" => {
             let rows = profile::run(cfg);
             emit(profile::render(&rows), csv_dir);
@@ -122,6 +123,7 @@ fn run_experiment(name: &str, cfg: &ExpConfig, csv_dir: &Option<PathBuf>) -> Res
                 "input-format",
                 "approx",
                 "profile",
+                "throughput",
             ] {
                 run_experiment(exp, cfg, csv_dir)?;
             }

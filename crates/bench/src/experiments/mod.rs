@@ -10,6 +10,7 @@ pub mod input_format;
 pub mod profile;
 pub mod table1;
 pub mod table2;
+pub mod throughput;
 pub mod tuning;
 
 use tc_gen::{Scale, Seed};

@@ -1,20 +1,29 @@
-//! The front door: pick a [`Backend`], get a count.
+//! The front door: build a [`CountRequest`], get a count.
 
+use std::fmt;
+use std::str::FromStr;
 use std::time::Instant;
 
 use tc_graph::EdgeArray;
+use tc_simt::profiler::ProfileReport;
 use tc_simt::{DeviceConfig, LaunchConfig};
 
 use crate::cpu;
-use crate::error::CoreError;
-use crate::gpu::multi::run_multi_gpu;
-use crate::gpu::pipeline::{run_gpu_pipeline, GpuReport};
+use crate::error::{CoreError, ErrorContext};
+use crate::gpu::multi::{merged_profile, run_multi_gpu, run_multi_gpu_profiled};
+use crate::gpu::pipeline::{run_gpu_pipeline, run_gpu_pipeline_profiled, GpuReport};
 use crate::gpu::{EdgeLayout, LoopVariant};
 
 /// Configuration of a simulated-GPU run: the device preset plus every
 /// §III-D optimization toggle (all default to the paper's published
 /// configuration).
+///
+/// Construct with [`GpuOptions::new`] (or [`GpuOptions::default`] for the
+/// flagship GTX 980) and mutate the public fields; the struct is
+/// `#[non_exhaustive]` so future toggles can be added without breaking
+/// downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct GpuOptions {
     pub device: DeviceConfig,
     pub kernel: LoopVariant,
@@ -43,9 +52,24 @@ impl GpuOptions {
     }
 }
 
+impl Default for GpuOptions {
+    /// The paper's flagship configuration: a GTX 980 with every published
+    /// optimization on.
+    fn default() -> Self {
+        GpuOptions::new(DeviceConfig::gtx_980())
+    }
+}
+
 /// Which algorithm/hardware counts the triangles.
-#[derive(Clone, Debug)]
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// backends can be added. Every backend has a canonical CLI/jobfile token
+/// ([`Backend::from_str`] / `Display`) — `tcount`, `repro`, and the engine
+/// jobfile parser all parse through that one code path.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub enum Backend {
+    #[default]
     /// Sequential forward — the paper's CPU baseline.
     CpuForward,
     /// Sequential edge-iterator (§II-A reference).
@@ -114,6 +138,135 @@ impl Backend {
     }
 }
 
+/// The canonical token for a device preset, if it has one.
+fn device_token(name: &str) -> Option<&'static str> {
+    match name {
+        "GTX 980" => Some("gtx980"),
+        "Tesla C2050" => Some("c2050"),
+        "NVS 5200M" => Some("nvs5200m"),
+        _ => None,
+    }
+}
+
+/// The device preset for a canonical token.
+fn device_for_token(token: &str) -> Option<DeviceConfig> {
+    match token {
+        "gtx980" => Some(DeviceConfig::gtx_980()),
+        "c2050" => Some(DeviceConfig::tesla_c2050()),
+        "nvs5200m" => Some(DeviceConfig::nvs_5200m()),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Backend {
+    /// The canonical token: what `--backend` and engine jobfiles accept.
+    /// For preset devices with default options, `from_str(&b.to_string())`
+    /// round-trips; a GPU backend on a non-preset device renders as
+    /// `gpu:<name>`, which is informational only.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::CpuForward => f.write_str("forward"),
+            Backend::CpuEdgeIterator => f.write_str("edge-iterator"),
+            Backend::CpuNodeIterator => f.write_str("node-iterator"),
+            Backend::CpuForwardHashed => f.write_str("hashed"),
+            Backend::CpuParallel => f.write_str("parallel"),
+            Backend::CpuHybrid { threshold: None } => f.write_str("hybrid"),
+            Backend::CpuHybrid { threshold: Some(t) } => write!(f, "hybrid:{t}"),
+            Backend::Gpu(o) => match device_token(o.device.name) {
+                Some(tok) => f.write_str(tok),
+                None => write!(f, "gpu:{}", o.device.name),
+            },
+            Backend::MultiGpu { options, devices } => match device_token(options.device.name) {
+                Some(tok) => write!(f, "{devices}x{tok}"),
+                None => write!(f, "{devices}xgpu:{}", options.device.name),
+            },
+            Backend::GpuSplit { options, parts } => match device_token(options.device.name) {
+                Some(tok) => write!(f, "{tok}/split:{parts}"),
+                None => write!(f, "gpu:{}/split:{parts}", options.device.name),
+            },
+        }
+    }
+}
+
+/// A backend token [`Backend::from_str`] could not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackendError {
+    token: String,
+}
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?} (expected forward, edge-iterator, node-iterator, hashed, \
+             parallel, hybrid[:<tau>], gtx980, c2050, nvs5200m, <n>x<device>, or \
+             <device>/split:<parts>)",
+            self.token
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for Backend {
+    type Err = ParseBackendError;
+
+    /// Parse a canonical backend token — the single parser behind `tcount
+    /// --backend`, `repro`, and engine jobfiles.
+    ///
+    /// ```
+    /// use tc_core::Backend;
+    ///
+    /// for token in ["forward", "hybrid:40", "gtx980", "4xc2050", "c2050/split:3"] {
+    ///     let b: Backend = token.parse().unwrap();
+    ///     assert_eq!(b.to_string(), token, "canonical tokens round-trip");
+    /// }
+    /// assert!("warp9".parse::<Backend>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseBackendError { token: s.into() };
+        match s {
+            "forward" => return Ok(Backend::CpuForward),
+            "edge-iterator" => return Ok(Backend::CpuEdgeIterator),
+            "node-iterator" => return Ok(Backend::CpuNodeIterator),
+            "hashed" => return Ok(Backend::CpuForwardHashed),
+            "parallel" => return Ok(Backend::CpuParallel),
+            "hybrid" => return Ok(Backend::CpuHybrid { threshold: None }),
+            _ => {}
+        }
+        if let Some(tau) = s.strip_prefix("hybrid:") {
+            let t = tau.parse::<u32>().map_err(|_| err())?;
+            return Ok(Backend::CpuHybrid { threshold: Some(t) });
+        }
+        if let Some(dev) = device_for_token(s) {
+            return Ok(Backend::Gpu(GpuOptions::new(dev)));
+        }
+        if let Some((tok, parts)) = s.split_once("/split:") {
+            let dev = device_for_token(tok).ok_or_else(err)?;
+            let parts = parts.parse::<usize>().map_err(|_| err())?;
+            if parts == 0 {
+                return Err(err());
+            }
+            return Ok(Backend::GpuSplit {
+                options: GpuOptions::new(dev),
+                parts,
+            });
+        }
+        if let Some((n, tok)) = s.split_once('x') {
+            let devices = n.parse::<usize>().map_err(|_| err())?;
+            let dev = device_for_token(tok).ok_or_else(err)?;
+            if devices == 0 {
+                return Err(err());
+            }
+            return Ok(Backend::MultiGpu {
+                options: GpuOptions::new(dev),
+                devices,
+            });
+        }
+        Err(err())
+    }
+}
+
 /// A count plus where it came from and how long it took.
 #[derive(Clone, Debug)]
 pub struct TriangleCount {
@@ -124,67 +277,149 @@ pub struct TriangleCount {
     pub seconds: f64,
     /// Full GPU report when a single simulated GPU ran.
     pub gpu: Option<GpuReport>,
+    /// Per-phase profiler report, when the request asked for one
+    /// ([`CountRequest::profile`]) and a simulated-GPU backend ran.
+    pub profile: Option<ProfileReport>,
 }
 
-/// Count the triangles of `g` with the chosen backend.
+/// A triangle-count request: the backend plus per-request options, built
+/// fluently and executed with [`CountRequest::run`].
 ///
 /// ```
-/// use tc_core::{count_triangles, Backend};
+/// use tc_core::{Backend, CountRequest};
 /// use tc_graph::EdgeArray;
 ///
 /// // Two triangles sharing the edge (1, 2).
 /// let g = EdgeArray::from_undirected_pairs([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
-/// assert_eq!(count_triangles(&g, Backend::CpuForward).unwrap(), 2);
-/// assert_eq!(count_triangles(&g, Backend::gpu_gtx980()).unwrap(), 2);
+/// assert_eq!(CountRequest::new(Backend::CpuForward).run(&g).unwrap().triangles, 2);
+///
+/// // A profiled GPU run, with the graph named for error/report context.
+/// let r = CountRequest::new(Backend::gpu_gtx980())
+///     .profile(true)
+///     .graph_name("diamond")
+///     .run(&g)
+///     .unwrap();
+/// assert_eq!(r.triangles, 2);
+/// assert!(r.profile.unwrap().span("count/count-kernel").is_some());
 /// ```
+///
+/// A request is reusable: `run` borrows it, so one configured request can
+/// serve many graphs.
+#[derive(Clone, Debug, Default)]
+pub struct CountRequest {
+    backend: Backend,
+    profile: bool,
+    graph_name: Option<String>,
+}
+
+impl CountRequest {
+    pub fn new(backend: Backend) -> Self {
+        CountRequest {
+            backend,
+            profile: false,
+            graph_name: None,
+        }
+    }
+
+    /// Attach a per-phase [`ProfileReport`] to the result (simulated-GPU
+    /// backends only; CPU backends have no device profiler).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Name the graph for error context and serving logs.
+    pub fn graph_name(mut self, name: impl Into<String>) -> Self {
+        self.graph_name = Some(name.into());
+        self
+    }
+
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Count the triangles of `g`. Errors carry the graph name (if set) in
+    /// their [`ErrorContext`].
+    pub fn run(&self, g: &EdgeArray) -> Result<TriangleCount, CoreError> {
+        self.dispatch(g).map_err(|e| {
+            e.with_context(ErrorContext {
+                graph: self.graph_name.clone(),
+                ..Default::default()
+            })
+        })
+    }
+
+    fn dispatch(&self, g: &EdgeArray) -> Result<TriangleCount, CoreError> {
+        let label = self.backend.label();
+        match &self.backend {
+            Backend::CpuForward => timed_cpu(label, || cpu::count_forward(g)),
+            Backend::CpuEdgeIterator => timed_cpu(label, || cpu::count_edge_iterator(g)),
+            Backend::CpuNodeIterator => timed_cpu(label, || cpu::count_node_iterator(g)),
+            Backend::CpuForwardHashed => timed_cpu(label, || cpu::count_forward_hashed(g)),
+            Backend::CpuParallel => timed_cpu(label, || cpu::count_forward_parallel(g)),
+            Backend::CpuHybrid { threshold } => timed_cpu(label, || match threshold {
+                Some(t) => cpu::count_hybrid(g, *t),
+                None => cpu::count_hybrid_auto(g),
+            }),
+            Backend::Gpu(opts) => {
+                let (report, profile) = if self.profile {
+                    let (report, trace) = run_gpu_pipeline_profiled(g, opts)?;
+                    (report, Some(trace.profile))
+                } else {
+                    (run_gpu_pipeline(g, opts)?, None)
+                };
+                Ok(TriangleCount {
+                    triangles: report.triangles,
+                    backend: label,
+                    seconds: report.total_s,
+                    gpu: Some(report),
+                    profile,
+                })
+            }
+            Backend::MultiGpu { options, devices } => {
+                let (report, profile) = if self.profile {
+                    let (report, traces) = run_multi_gpu_profiled(g, options, *devices)?;
+                    (report, Some(merged_profile(&traces)))
+                } else {
+                    (run_multi_gpu(g, options, *devices)?, None)
+                };
+                Ok(TriangleCount {
+                    triangles: report.triangles,
+                    backend: label,
+                    seconds: report.total_s,
+                    gpu: None,
+                    profile,
+                })
+            }
+            Backend::GpuSplit { options, parts } => {
+                let report = crate::gpu::split::count_split(g, options, *parts)?;
+                Ok(TriangleCount {
+                    triangles: report.triangles,
+                    backend: label,
+                    seconds: report.total_s,
+                    gpu: None,
+                    profile: None,
+                })
+            } // `Backend` is non_exhaustive for downstream crates; within
+              // this crate the match stays exhaustive so a new variant is a
+              // compile error here, not a runtime surprise.
+        }
+    }
+}
+
+/// Count the triangles of `g` with the chosen backend.
+#[deprecated(since = "0.1.0", note = "use `CountRequest::new(backend).run(g)`")]
 pub fn count_triangles(g: &EdgeArray, backend: Backend) -> Result<u64, CoreError> {
-    count_triangles_detailed(g, backend).map(|r| r.triangles)
+    CountRequest::new(backend).run(g).map(|r| r.triangles)
 }
 
 /// Count and report timing/profiling detail.
+#[deprecated(since = "0.1.0", note = "use `CountRequest::new(backend).run(g)`")]
 pub fn count_triangles_detailed(
     g: &EdgeArray,
     backend: Backend,
 ) -> Result<TriangleCount, CoreError> {
-    let label = backend.label();
-    match backend {
-        Backend::CpuForward => timed_cpu(label, || cpu::count_forward(g)),
-        Backend::CpuEdgeIterator => timed_cpu(label, || cpu::count_edge_iterator(g)),
-        Backend::CpuNodeIterator => timed_cpu(label, || cpu::count_node_iterator(g)),
-        Backend::CpuForwardHashed => timed_cpu(label, || cpu::count_forward_hashed(g)),
-        Backend::CpuParallel => timed_cpu(label, || cpu::count_forward_parallel(g)),
-        Backend::CpuHybrid { threshold } => timed_cpu(label, || match threshold {
-            Some(t) => cpu::count_hybrid(g, t),
-            None => cpu::count_hybrid_auto(g),
-        }),
-        Backend::Gpu(opts) => {
-            let report = run_gpu_pipeline(g, &opts)?;
-            Ok(TriangleCount {
-                triangles: report.triangles,
-                backend: label,
-                seconds: report.total_s,
-                gpu: Some(report),
-            })
-        }
-        Backend::MultiGpu { options, devices } => {
-            let report = run_multi_gpu(g, &options, devices)?;
-            Ok(TriangleCount {
-                triangles: report.triangles,
-                backend: label,
-                seconds: report.total_s,
-                gpu: None,
-            })
-        }
-        Backend::GpuSplit { options, parts } => {
-            let report = crate::gpu::split::count_split(g, &options, parts)?;
-            Ok(TriangleCount {
-                triangles: report.triangles,
-                backend: label,
-                seconds: report.total_s,
-                gpu: None,
-            })
-        }
-    }
+    CountRequest::new(backend).run(g)
 }
 
 fn timed_cpu<F>(label: String, f: F) -> Result<TriangleCount, CoreError>
@@ -198,6 +433,7 @@ where
         backend: label,
         seconds: start.elapsed().as_secs_f64(),
         gpu: None,
+        profile: None,
     })
 }
 
@@ -244,25 +480,25 @@ mod tests {
         ];
         for b in backends {
             let label = b.label();
-            assert_eq!(count_triangles(&g, b).unwrap(), want, "{label}");
+            let got = CountRequest::new(b).run(&g).unwrap().triangles;
+            assert_eq!(got, want, "{label}");
         }
     }
 
     #[test]
     fn detailed_reports_carry_timing() {
         let g = fixture();
-        let r = count_triangles_detailed(&g, Backend::CpuForward).unwrap();
+        let r = CountRequest::new(Backend::CpuForward).run(&g).unwrap();
         assert!(r.seconds >= 0.0);
         assert!(r.gpu.is_none());
-        let r = count_triangles_detailed(
-            &g,
-            Backend::Gpu(GpuOptions::new(
-                DeviceConfig::gtx_980().with_unlimited_memory(),
-            )),
-        )
+        let r = CountRequest::new(Backend::Gpu(GpuOptions::new(
+            DeviceConfig::gtx_980().with_unlimited_memory(),
+        )))
+        .run(&g)
         .unwrap();
         assert!(r.gpu.is_some());
         assert!(r.seconds > 0.0);
+        assert!(r.profile.is_none(), "profiling is opt-in");
     }
 
     #[test]
@@ -270,5 +506,92 @@ mod tests {
         assert_eq!(Backend::CpuForward.label(), "cpu-forward");
         assert!(Backend::gpu_gtx980().label().contains("GTX 980"));
         assert!(Backend::multi_gpu_c2050(4).label().starts_with("4x-"));
+    }
+
+    #[test]
+    fn profiled_requests_attach_reports() {
+        let g = fixture();
+        let r = CountRequest::new(Backend::Gpu(GpuOptions::new(
+            DeviceConfig::gtx_980().with_unlimited_memory(),
+        )))
+        .profile(true)
+        .run(&g)
+        .unwrap();
+        let profile = r.profile.expect("GPU run with profile(true)");
+        assert!(profile.span("preprocess").is_some());
+        assert!(profile.span("count/count-kernel").is_some());
+        // Multi-GPU profiles merge per-device reports.
+        let r = CountRequest::new(Backend::MultiGpu {
+            options: GpuOptions::new(DeviceConfig::tesla_c2050().with_unlimited_memory()),
+            devices: 2,
+        })
+        .profile(true)
+        .run(&g)
+        .unwrap();
+        assert_eq!(r.profile.expect("multi-GPU profile").devices, 2);
+    }
+
+    #[test]
+    fn run_errors_name_the_graph() {
+        let g = fixture();
+        let opts = GpuOptions::new(DeviceConfig::gtx_980().with_memory_capacity(64));
+        let err = CountRequest::new(Backend::Gpu(opts))
+            .graph_name("fixture-graph")
+            .run(&g)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("graph fixture-graph"), "{msg}");
+        assert!(matches!(
+            err.root(),
+            CoreError::GraphTooLargeForDevice { .. }
+        ));
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_count() {
+        #![allow(deprecated)]
+        let g = fixture();
+        let want = crate::verify::count_brute_force(&g);
+        assert_eq!(count_triangles(&g, Backend::CpuForward).unwrap(), want);
+        let r = count_triangles_detailed(&g, Backend::CpuForward).unwrap();
+        assert_eq!(r.triangles, want);
+    }
+
+    #[test]
+    fn backend_tokens_round_trip() {
+        let canonical = [
+            "forward",
+            "edge-iterator",
+            "node-iterator",
+            "hashed",
+            "parallel",
+            "hybrid",
+            "hybrid:32",
+            "gtx980",
+            "c2050",
+            "nvs5200m",
+            "4xc2050",
+            "2xgtx980",
+            "gtx980/split:3",
+        ];
+        for tok in canonical {
+            let b: Backend = tok.parse().unwrap_or_else(|e| panic!("{tok}: {e}"));
+            assert_eq!(b.to_string(), tok);
+        }
+        for bad in [
+            "",
+            "warp9",
+            "hybrid:",
+            "0xc2050",
+            "3x",
+            "gtx980/split:0",
+            "xc2050",
+        ] {
+            assert!(bad.parse::<Backend>().is_err(), "{bad:?} must not parse");
+        }
+        // Helper constructors print their canonical tokens.
+        assert_eq!(Backend::gpu_gtx980().to_string(), "gtx980");
+        assert_eq!(Backend::multi_gpu_c2050(4).to_string(), "4xc2050");
+        assert_eq!(Backend::default().to_string(), "forward");
     }
 }

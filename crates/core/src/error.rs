@@ -5,7 +5,45 @@ use std::fmt;
 use tc_graph::GraphError;
 use tc_simt::SimtError;
 
-/// Errors surfaced by [`crate::count_triangles`] and the GPU pipeline.
+/// Where an error happened: the graph being counted, the device running
+/// it, and the pipeline phase — the context a serving log needs to triage
+/// a failed job without a debugger.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ErrorContext {
+    /// Caller-supplied graph name (file path, suite row, jobfile label).
+    pub graph: Option<String>,
+    /// Device preset label (e.g. `"GTX 980"`).
+    pub device: Option<String>,
+    /// Pipeline phase (`"preprocess"`, `"count"`, …).
+    pub phase: Option<String>,
+}
+
+impl ErrorContext {
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_none() && self.device.is_none() && self.phase.is_none()
+    }
+}
+
+impl fmt::Display for ErrorContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut item = |f: &mut fmt::Formatter<'_>, key: &str, val: &Option<String>| {
+            if let Some(v) = val {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{key} {v}")?;
+            }
+            Ok(())
+        };
+        item(f, "graph", &self.graph)?;
+        item(f, "device", &self.device)?;
+        item(f, "phase", &self.phase)
+    }
+}
+
+/// Errors surfaced by [`crate::CountRequest`] and the GPU pipeline.
 #[derive(Debug)]
 pub enum CoreError {
     /// The input graph failed validation or indexing.
@@ -18,6 +56,53 @@ pub enum CoreError {
         required_bytes: u64,
         capacity_bytes: u64,
     },
+    /// An underlying error annotated with where it happened.
+    Context {
+        context: ErrorContext,
+        source: Box<CoreError>,
+    },
+}
+
+impl CoreError {
+    /// Wrap with context. Contexts merge rather than nest: wrapping an
+    /// already-contextualized error fills in the fields the inner context
+    /// left empty, so `e.with_context(phase).with_context(graph)` reads as
+    /// one annotation.
+    pub fn with_context(self, context: ErrorContext) -> CoreError {
+        match self {
+            CoreError::Context {
+                context: inner,
+                source,
+            } => CoreError::Context {
+                context: ErrorContext {
+                    graph: inner.graph.or(context.graph),
+                    device: inner.device.or(context.device),
+                    phase: inner.phase.or(context.phase),
+                },
+                source,
+            },
+            other => CoreError::Context {
+                context,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The innermost, context-free error.
+    pub fn root(&self) -> &CoreError {
+        match self {
+            CoreError::Context { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// The attached context, if any.
+    pub fn context(&self) -> Option<&ErrorContext> {
+        match self {
+            CoreError::Context { context, .. } => Some(context),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +118,13 @@ impl fmt::Display for CoreError {
                 "graph needs {required_bytes} device bytes even with CPU preprocessing; \
                  device has {capacity_bytes}"
             ),
+            CoreError::Context { context, source } => {
+                if context.is_empty() {
+                    write!(f, "{source}")
+                } else {
+                    write!(f, "{source} ({context})")
+                }
+            }
         }
     }
 }
@@ -42,6 +134,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Graph(e) => Some(e),
             CoreError::Device(e) => Some(e),
+            CoreError::Context { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -74,5 +167,41 @@ mod tests {
         };
         assert!(e.to_string().contains("10"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn context_annotates_and_merges() {
+        let base = CoreError::from(SimtError::OutOfMemory {
+            requested: 100,
+            available: 10,
+        });
+        let e = base
+            .with_context(ErrorContext {
+                phase: Some("preprocess".into()),
+                device: Some("GTX 980".into()),
+                ..Default::default()
+            })
+            .with_context(ErrorContext {
+                graph: Some("orkut".into()),
+                phase: Some("outer phase loses".into()),
+                ..Default::default()
+            });
+        let msg = e.to_string();
+        assert!(msg.contains("graph orkut"), "{msg}");
+        assert!(msg.contains("device GTX 980"), "{msg}");
+        assert!(msg.contains("phase preprocess"), "{msg}");
+        assert!(!msg.contains("outer phase loses"), "{msg}");
+        assert!(matches!(e.root(), CoreError::Device(_)));
+        // A context wrap has a source chain down to the root.
+        assert!(std::error::Error::source(&e).is_some());
+        let ctx = e.context().unwrap();
+        assert_eq!(ctx.graph.as_deref(), Some("orkut"));
+    }
+
+    #[test]
+    fn empty_context_displays_cleanly() {
+        let e = CoreError::from(GraphError::SelfLoop { vertex: 1 })
+            .with_context(ErrorContext::default());
+        assert!(!e.to_string().contains('('));
     }
 }

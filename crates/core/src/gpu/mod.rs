@@ -12,12 +12,14 @@
 pub mod count_kernel;
 pub mod multi;
 pub mod pipeline;
+pub mod prepared;
 pub mod preprocess;
 pub mod split;
 pub mod warp_centric;
 
 /// Which merge loop the kernel runs (§III-D3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
 pub enum LoopVariant {
     /// The published kernel: heads kept in registers, one load per
     /// non-matching iteration.
@@ -30,6 +32,7 @@ pub enum LoopVariant {
 
 /// Edge-array layout the kernel reads (§III-D1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
 pub enum EdgeLayout {
     /// Structure of arrays after the unzip step — the published layout.
     #[default]

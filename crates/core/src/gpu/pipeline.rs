@@ -4,15 +4,12 @@
 //! back and device memory is freed.
 
 use tc_graph::EdgeArray;
-use tc_simt::primitives::reduce_sum_u64;
 use tc_simt::profiler::{ProfileReport, Span};
-use tc_simt::{Device, KernelStats, LaunchConfig, TimedOp};
+use tc_simt::{KernelStats, TimedOp};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
-use crate::gpu::count_kernel::{CountKernel, KernelArrays};
-use crate::gpu::preprocess::{free_preprocessed, preprocess_auto};
-use crate::gpu::EdgeLayout;
+use crate::gpu::prepared::PreparedGraph;
 
 /// Everything a single-GPU run reports: the count, the paper-style wall
 /// time, the phase breakdown the §III-E Amdahl analysis needs, and the
@@ -69,79 +66,37 @@ pub fn run_gpu_pipeline_with_log(
 
 /// Like [`run_gpu_pipeline`] but also returns the full [`RunTrace`]: leaf
 /// ops, nested phase spans, and the per-phase counter report.
+///
+/// Implemented as one prepare/count/release round trip on a fresh device —
+/// the one-shot path and the serving path
+/// ([`crate::gpu::prepared::PreparedGraph`]) execute the same device
+/// operations by construction.
 pub fn run_gpu_pipeline_profiled(
     g: &EdgeArray,
     opts: &GpuOptions,
 ) -> Result<(GpuReport, RunTrace), CoreError> {
-    let mut dev = Device::new(opts.device.clone());
-    if opts.preinit_context {
-        dev.preinit_context();
-    }
-    dev.reset_clock();
+    let mut prepared = PreparedGraph::prepare(g, opts)?;
+    let preprocess_s = prepared.prepare_s();
+    let counted = prepared.count()?;
+    let host_seconds = prepared.host_seconds();
+    let used_cpu_fallback = prepared.used_cpu_fallback();
+    let m_oriented = prepared.m_oriented();
+    let n = prepared.n();
+    // Teardown stays inside the measured window, like the paper's protocol
+    // (frees charge no simulated time, so the window is unchanged).
+    let dev = prepared.release()?;
 
-    // Launch geometry is fixed up front so preprocessing can reserve room
-    // for the result array in its capacity plan.
-    let lc = opts.launch.unwrap_or_else(|| dev.config().paper_launch());
-    let lc = LaunchConfig {
-        // §III-D5: the reduced-warp trick doubles the launched threads so
-        // the active lane count stays constant.
-        blocks: lc.blocks * opts.warp_split,
-        threads_per_block: lc.threads_per_block,
-        warp_split: opts.warp_split,
-    };
-    let total_threads = lc.active_threads(dev.config().warp_size);
-
-    // ---- preprocessing phase (steps 1–8, §III-B) ----
-    let keep_aos = opts.layout == EdgeLayout::AoS;
-    dev.push_phase("preprocess");
-    let pre = preprocess_auto(&mut dev, g, keep_aos, total_threads as u64 * 8);
-    dev.pop_phase();
-    let pre = pre?;
-    let preprocess_s = dev.elapsed() + pre.host_seconds;
-
-    // ---- counting phase (§III-C) ----
-    dev.push_phase("count");
-    let result = dev.alloc::<u64>(total_threads)?;
-    dev.poke(&result, &vec![0u64; total_threads]);
-
-    let arrays = match opts.layout {
-        EdgeLayout::SoA => KernelArrays::SoA {
-            nbr: pre.nbr,
-            owner: pre.owner,
-        },
-        EdgeLayout::AoS => KernelArrays::AoS {
-            arcs: pre.arcs_aos.expect("AoS layout retains packed arcs"),
-        },
-    };
-    let kernel = CountKernel {
-        arrays,
-        node: pre.node,
-        result,
-        offset: 0,
-        count: pre.m,
-        variant: opts.kernel,
-        use_texture_cache: opts.use_texture_cache,
-    };
-    let kernel_stats =
-        dev.with_phase("count-kernel", |d| d.launch("CountTriangles", lc, &kernel))?;
-    let triangles = dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
-
-    // ---- teardown inside the measured window, like the paper ----
-    dev.free(result)?;
-    free_preprocessed(&mut dev, &pre)?;
-    dev.pop_phase();
-
-    let total_s = dev.elapsed() + pre.host_seconds;
+    let total_s = dev.elapsed() + host_seconds;
     let count_s = total_s - preprocess_s;
     let report = GpuReport {
-        triangles,
+        triangles: counted.triangles,
         total_s,
         preprocess_s,
         count_s,
-        kernel: kernel_stats,
-        used_cpu_fallback: pre.used_cpu_fallback,
-        m_oriented: pre.m,
-        n: pre.n,
+        kernel: counted.kernel,
+        used_cpu_fallback,
+        m_oriented,
+        n,
         peak_device_bytes: dev.mem_peak(),
         preprocess_fraction: if total_s > 0.0 {
             preprocess_s / total_s
@@ -163,6 +118,7 @@ mod tests {
     use super::*;
     use crate::count::GpuOptions;
     use crate::cpu::count_forward;
+    use crate::gpu::EdgeLayout;
     use tc_simt::DeviceConfig;
 
     fn diamond() -> EdgeArray {

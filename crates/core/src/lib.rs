@@ -14,7 +14,7 @@
 //! * [`clustering`] — per-vertex triangle counts, local clustering
 //!   coefficients, and the transitivity ratio (the motivating application,
 //!   §I);
-//! * [`count`] — the one-call front door: [`count_triangles`] with a
+//! * [`count`] — the front door: a [`CountRequest`] built around a
 //!   [`Backend`] selector;
 //! * [`approx`] — the approximation alternatives the paper cites (§V):
 //!   DOULION edge sparsification \[6\] and wedge sampling \[7\];
@@ -29,7 +29,10 @@ pub mod gpu;
 pub mod truss;
 pub mod verify;
 
-pub use count::{count_triangles, count_triangles_detailed, Backend, GpuOptions, TriangleCount};
-pub use error::CoreError;
+#[allow(deprecated)]
+pub use count::{count_triangles, count_triangles_detailed};
+pub use count::{Backend, CountRequest, GpuOptions, ParseBackendError, TriangleCount};
+pub use error::{CoreError, ErrorContext};
 pub use gpu::pipeline::GpuReport;
+pub use gpu::prepared::{PreparedCount, PreparedGraph};
 pub use gpu::{EdgeLayout, LoopVariant};

@@ -1,0 +1,86 @@
+//! Job-level failures. The engine never panics a batch: every way a job
+//! can go wrong — backend failure, modeled deadline blown, queue refusal,
+//! a worker thread dying — is an [`EngineError`] in that job's slot of the
+//! batch report.
+
+use std::fmt;
+
+use tc_core::CoreError;
+
+/// Why one job of a batch failed.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The backend itself failed (graph too large, bad launch config, …).
+    Count(CoreError),
+    /// The job's modeled time exceeded its `timeout-ms` budget. The result
+    /// is discarded; the report records how far over it went.
+    Timeout { limit_ms: f64, needed_ms: f64 },
+    /// A non-blocking submit found the job queue full (capacity attached).
+    /// Blocking submission never returns this — it waits instead; that is
+    /// the backpressure.
+    QueueFull { capacity: usize },
+    /// The worker thread running this job panicked. The panic is contained:
+    /// other jobs and the engine itself keep going.
+    WorkerPanicked { detail: String },
+    /// The jobfile line describing this job could not be parsed.
+    Jobfile(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Count(e) => write!(f, "count failed: {e}"),
+            EngineError::Timeout {
+                limit_ms,
+                needed_ms,
+            } => write!(
+                f,
+                "job needed {needed_ms:.3} ms of modeled time, over its {limit_ms:.3} ms budget"
+            ),
+            EngineError::QueueFull { capacity } => {
+                write!(f, "job queue full ({capacity} slots)")
+            }
+            EngineError::WorkerPanicked { detail } => {
+                write!(f, "worker panicked: {detail}")
+            }
+            EngineError::Jobfile(msg) => write!(f, "jobfile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Count(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Count(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::Timeout {
+            limit_ms: 5.0,
+            needed_ms: 7.5,
+        };
+        assert!(e.to_string().contains("7.500 ms"));
+        let e = EngineError::QueueFull { capacity: 4 };
+        assert!(e.to_string().contains("4 slots"));
+        let e = EngineError::from(CoreError::GraphTooLargeForDevice {
+            required_bytes: 2,
+            capacity_bytes: 1,
+        });
+        assert!(e.to_string().contains("count failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,697 @@
+//! # tc-engine — a batched triangle-counting engine
+//!
+//! The paper measures one graph, one run, one device. This crate is the
+//! serving layer above it: an [`Engine`] accepts a batch of jobs (graph ×
+//! backend × options) and runs them through
+//!
+//! * a **[`PreparedGraph`] cache** keyed by graph content digest and
+//!   backend token — the host-to-device copy and the eight preprocessing
+//!   steps (the majority of the paper's measured window, §III-E) are paid
+//!   once per distinct (graph, backend) and every further count runs only
+//!   the kernel phases;
+//! * a **[`DevicePool`]** leasing warm simulated devices to workers, so
+//!   the ~100 ms context bring-up (§IV) is paid per device, not per job;
+//! * a **bounded job queue** with blocking backpressure, a configurable
+//!   worker fleet, per-job modeled-time budgets, and per-job
+//!   [`ProfileReport`] attribution.
+//!
+//! Batches are deterministic: the same jobs produce the same
+//! [`BatchReport`] JSON regardless of worker count or scheduling, because
+//! every modeled quantity is schedule-independent and cache hits are
+//! assigned by submission order, not by which worker won a race.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tc_engine::{Engine, EngineConfig, Job};
+//! use tc_graph::EdgeArray;
+//!
+//! let g = Arc::new(EdgeArray::from_undirected_pairs([
+//!     (0, 1), (0, 2), (1, 2), (1, 3), (2, 3),
+//! ]));
+//! let engine = Engine::new(EngineConfig::default());
+//! let jobs = (0..3)
+//!     .map(|i| Job::new(format!("diamond#{i}"), Arc::clone(&g), "gtx980".parse().unwrap()))
+//!     .collect();
+//! let report = engine.run_batch(jobs);
+//! assert_eq!(report.cache_hits, 2); // first job prepares, the rest reuse
+//! for job in &report.jobs {
+//!     assert_eq!(job.result.as_ref().unwrap().triangles, 2);
+//! }
+//! ```
+
+pub mod error;
+pub mod jobfile;
+pub mod queue;
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use tc_core::gpu::prepared::PreparedGraph;
+use tc_core::{Backend, CountRequest, GpuOptions};
+use tc_graph::EdgeArray;
+use tc_simt::profiler::ProfileReport;
+use tc_simt::{DevicePool, PoolTicket};
+
+pub use error::EngineError;
+pub use jobfile::parse_jobfile;
+
+/// Engine sizing. Defaults suit tests and CLI batches; a serving
+/// deployment tunes all four.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Job-queue slots; submission blocks (backpressure) when full.
+    pub queue_capacity: usize,
+    /// Distinct (graph, backend) sessions kept device-resident. Batches
+    /// with more distinct cacheable keys run the excess one-shot.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: tc_par::max_threads().clamp(1, 8),
+            queue_capacity: 64,
+            cache_capacity: 8,
+        }
+    }
+}
+
+/// One unit of work: count the triangles of `graph` with `backend`.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Caller-chosen label; carried through to the report.
+    pub name: String,
+    pub graph: Arc<EdgeArray>,
+    pub backend: Backend,
+    /// Attach a per-job [`ProfileReport`] to the result.
+    pub profile: bool,
+    /// Budget for the job's *modeled* time (deterministic, unlike host
+    /// time): a job charged more than this many milliseconds reports
+    /// [`EngineError::Timeout`] instead of a count.
+    pub timeout_ms: Option<f64>,
+}
+
+impl Job {
+    pub fn new(name: impl Into<String>, graph: Arc<EdgeArray>, backend: Backend) -> Self {
+        Job {
+            name: name.into(),
+            graph,
+            backend,
+            profile: false,
+            timeout_ms: None,
+        }
+    }
+
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    pub fn timeout_ms(mut self, ms: f64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+}
+
+/// A successful job: the count and what it cost.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    pub triangles: u64,
+    /// Seconds charged to this job: `prepare_s + count_s` for modeled
+    /// backends (host wall-clock for CPU backends).
+    pub seconds: f64,
+    /// Preprocessing seconds this job paid — zero on a cache hit, which is
+    /// the entire point of the prepared-session cache.
+    pub prepare_s: f64,
+    /// Kernel-phase seconds (or the whole run for non-cacheable backends).
+    pub count_s: f64,
+    /// Whether the count reused an already-prepared session.
+    pub cache_hit: bool,
+    pub profile: Option<ProfileReport>,
+}
+
+/// One job's slot in the batch report.
+#[derive(Debug)]
+pub struct JobRecord {
+    pub name: String,
+    /// Canonical backend token (the `Display` form of [`Backend`]).
+    pub backend: String,
+    pub result: Result<JobResult, EngineError>,
+}
+
+/// Everything one [`Engine::run_batch`] call produced, in submission
+/// order.
+#[derive(Debug)]
+pub struct BatchReport {
+    pub jobs: Vec<JobRecord>,
+    /// Jobs that reused a prepared session.
+    pub cache_hits: usize,
+    /// Jobs that paid a preprocessing pass (cacheable misses and one-shot
+    /// overflow).
+    pub cache_misses: usize,
+    /// Devices the engine's pool has created so far (each paid context
+    /// bring-up once).
+    pub devices_created: usize,
+}
+
+impl BatchReport {
+    /// Deterministic JSON: same jobs → same bytes, regardless of worker
+    /// count (restrict to modeled backends; CPU timings are host-measured).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 256 * self.jobs.len());
+        out.push_str("{\n  \"jobs\": [\n");
+        for (i, job) in self.jobs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&job.name)));
+            out.push_str(&format!(
+                "      \"backend\": {},\n",
+                json_string(&job.backend)
+            ));
+            match &job.result {
+                Ok(r) => {
+                    out.push_str("      \"status\": \"ok\",\n");
+                    out.push_str(&format!("      \"triangles\": {},\n", r.triangles));
+                    out.push_str(&format!("      \"seconds\": {},\n", json_f64(r.seconds)));
+                    out.push_str(&format!(
+                        "      \"prepare_s\": {},\n",
+                        json_f64(r.prepare_s)
+                    ));
+                    out.push_str(&format!("      \"count_s\": {},\n", json_f64(r.count_s)));
+                    out.push_str(&format!("      \"cache_hit\": {}\n", r.cache_hit));
+                }
+                Err(e) => {
+                    out.push_str("      \"status\": \"error\",\n");
+                    out.push_str(&format!(
+                        "      \"error\": {}\n",
+                        json_string(&e.to_string())
+                    ));
+                }
+            }
+            out.push_str("    }");
+            if i + 1 != self.jobs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        out.push_str(&format!("  \"cache_misses\": {},\n", self.cache_misses));
+        out.push_str(&format!(
+            "  \"devices_created\": {}\n}}\n",
+            self.devices_created
+        ));
+        out
+    }
+}
+
+/// Cache key: graph content digest × canonical backend token. Two loads of
+/// the same edge set hit the same session even via different files or
+/// orderings (the digest is order-independent).
+type CacheKey = (u64, String);
+
+struct CacheEntry {
+    prepared: PreparedGraph,
+    ticket: PoolTicket,
+}
+
+/// How the planner routed a job (fixed before execution so reports are
+/// schedule-independent).
+enum Plan {
+    /// Cacheable: count through the shared prepared session. `hit` is true
+    /// for every occurrence of a key after its first.
+    Cached { key: CacheKey, hit: bool },
+    /// Run start-to-finish on a pooled device (non-GPU backends, and
+    /// cacheable jobs beyond `cache_capacity` distinct keys).
+    OneShot,
+}
+
+/// The batched counting engine; see the crate docs.
+pub struct Engine {
+    config: EngineConfig,
+    pool: DevicePool,
+    cache: Mutex<HashMap<CacheKey, Arc<Mutex<Option<CacheEntry>>>>>,
+    /// Keys admitted to the cache, in admission order (bounded by
+    /// `cache_capacity`). Persisted across batches: an engine is a serving
+    /// process, and batch N+1 reuses the sessions batch N prepared.
+    admitted: Mutex<Vec<CacheKey>>,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        // Workers hold at most one transient device each; cache residents
+        // hold at most `cache_capacity` more. Sizing the pool to the sum
+        // means an acquire can always eventually succeed — no deadlock.
+        let pool = DevicePool::new(config.workers.max(1) + config.cache_capacity.max(1));
+        Engine {
+            config,
+            pool,
+            cache: Mutex::new(HashMap::new()),
+            admitted: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Prepared sessions currently resident.
+    pub fn cached_sessions(&self) -> usize {
+        self.admitted.lock().unwrap().len()
+    }
+
+    /// Run a batch; results come back in submission order. Jobs are fed
+    /// through the bounded queue (blocking on backpressure) to
+    /// `config.workers` worker threads.
+    pub fn run_batch(&self, jobs: Vec<Job>) -> BatchReport {
+        let plans = self.plan(&jobs);
+        let results: Vec<Mutex<Option<JobRecord>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let queue: queue::JobQueue<(usize, Job, Plan)> =
+            queue::JobQueue::new(self.config.queue_capacity);
+
+        std::thread::scope(|s| {
+            for _ in 0..self.config.workers.max(1) {
+                let queue = &queue;
+                let results = &results;
+                s.spawn(move || {
+                    while let Some((idx, job, plan)) = queue.pop() {
+                        let record = self.execute(job, plan);
+                        *results[idx].lock().unwrap() = Some(record);
+                    }
+                });
+            }
+            for (idx, pair) in jobs.into_iter().zip(plans).enumerate() {
+                queue.push((idx, pair.0, pair.1));
+            }
+            queue.close();
+        });
+
+        let jobs: Vec<JobRecord> = results
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every job ran"))
+            .collect();
+        let cache_hits = jobs
+            .iter()
+            .filter(|j| matches!(&j.result, Ok(r) if r.cache_hit))
+            .count();
+        let cache_misses = jobs
+            .iter()
+            .filter(|j| matches!(&j.result, Ok(r) if !r.cache_hit))
+            .count();
+        BatchReport {
+            jobs,
+            cache_hits,
+            cache_misses,
+            devices_created: self.pool.devices_created(),
+        }
+    }
+
+    /// Decide, in submission order, which jobs count through the cache and
+    /// which occurrence of each key pays the prepare. Doing this before any
+    /// worker runs makes the reported hit flags (and the JSON) independent
+    /// of scheduling.
+    fn plan(&self, jobs: &[Job]) -> Vec<Plan> {
+        let mut admitted = self.admitted.lock().unwrap();
+        let mut cache = self.cache.lock().unwrap();
+        jobs.iter()
+            .map(|job| {
+                let Backend::Gpu(_) = &job.backend else {
+                    return Plan::OneShot;
+                };
+                let key: CacheKey = (job.graph.digest(), job.backend.to_string());
+                if !admitted.contains(&key) {
+                    if admitted.len() >= self.config.cache_capacity {
+                        return Plan::OneShot;
+                    }
+                    admitted.push(key.clone());
+                    cache.entry(key.clone()).or_default();
+                    return Plan::Cached { key, hit: false };
+                }
+                // Resident already — from a previous batch, or because an
+                // earlier job in this one was planned as the paying miss.
+                Plan::Cached { key, hit: true }
+            })
+            .collect()
+    }
+
+    fn execute(&self, job: Job, plan: Plan) -> JobRecord {
+        let name = job.name.clone();
+        let backend = job.backend.to_string();
+        let result = catch_unwind(AssertUnwindSafe(|| self.execute_inner(&job, &plan)))
+            .unwrap_or_else(|panic| {
+                let detail = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "unknown panic".into());
+                Err(EngineError::WorkerPanicked { detail })
+            });
+        JobRecord {
+            name,
+            backend,
+            result,
+        }
+    }
+
+    fn execute_inner(&self, job: &Job, plan: &Plan) -> Result<JobResult, EngineError> {
+        let result = match plan {
+            Plan::Cached { key, hit } => self.run_cached(job, key, *hit)?,
+            Plan::OneShot => self.run_oneshot(job)?,
+        };
+        if let Some(limit_ms) = job.timeout_ms {
+            let needed_ms = result.seconds * 1e3;
+            if needed_ms > limit_ms {
+                return Err(EngineError::Timeout {
+                    limit_ms,
+                    needed_ms,
+                });
+            }
+        }
+        Ok(result)
+    }
+
+    fn run_cached(&self, job: &Job, key: &CacheKey, hit: bool) -> Result<JobResult, EngineError> {
+        let Backend::Gpu(opts) = &job.backend else {
+            unreachable!("only single-GPU backends are planned as cached");
+        };
+        let slot = Arc::clone(
+            self.cache
+                .lock()
+                .unwrap()
+                .get(key)
+                .expect("planner created the slot"),
+        );
+        // The slot lock serializes jobs for the same session; jobs for
+        // *different* sessions proceed in parallel on other workers.
+        let mut entry = slot.lock().unwrap();
+        if entry.is_none() {
+            let lease = self.pool.acquire(&opts.device);
+            let (device, ticket) = lease.detach();
+            match PreparedGraph::prepare_on(device, &job.graph, opts) {
+                Ok(prepared) => *entry = Some(CacheEntry { prepared, ticket }),
+                Err(e) => {
+                    // The ticket drops here, freeing the pool slot; the
+                    // next job for this key will retry the prepare.
+                    return Err(EngineError::Count(e));
+                }
+            }
+        }
+        let entry = entry.as_mut().expect("just prepared");
+        let counted = entry.prepared.count().map_err(EngineError::Count)?;
+        // The prepare is charged to the first-occurrence job from the
+        // plan, not to whichever worker happened to run it first: the
+        // modeled prepare cost is deterministic, so the report is too.
+        let prepare_s = if hit { 0.0 } else { entry.prepared.prepare_s() };
+        Ok(JobResult {
+            triangles: counted.triangles,
+            seconds: prepare_s + counted.count_s,
+            prepare_s,
+            count_s: counted.count_s,
+            cache_hit: hit,
+            profile: job.profile.then_some(counted.profile),
+        })
+    }
+
+    fn run_oneshot(&self, job: &Job) -> Result<JobResult, EngineError> {
+        if let Backend::Gpu(opts) = &job.backend {
+            // Uncached GPU job: full prepare+count+release session on a
+            // pooled (warm) device.
+            let lease = self.pool.acquire(&opts.device);
+            let (device, ticket) = lease.detach();
+            let outcome = Self::oneshot_session(device, &job.graph, opts, job.profile);
+            match outcome {
+                Ok((result, device)) => {
+                    ticket.restore(device);
+                    Ok(result)
+                }
+                Err(e) => Err(EngineError::Count(e)),
+            }
+        } else {
+            let r = CountRequest::new(job.backend.clone())
+                .profile(job.profile)
+                .graph_name(&job.name)
+                .run(&job.graph)
+                .map_err(EngineError::Count)?;
+            Ok(JobResult {
+                triangles: r.triangles,
+                seconds: r.seconds,
+                prepare_s: r.gpu.as_ref().map_or(0.0, |g| g.preprocess_s),
+                count_s: r.gpu.as_ref().map_or(r.seconds, |g| g.count_s),
+                cache_hit: false,
+                profile: r.profile,
+            })
+        }
+    }
+
+    fn oneshot_session(
+        device: tc_simt::Device,
+        graph: &EdgeArray,
+        opts: &GpuOptions,
+        profile: bool,
+    ) -> Result<(JobResult, tc_simt::Device), tc_core::CoreError> {
+        let mut prepared = PreparedGraph::prepare_on(device, graph, opts)?;
+        let prepare_s = prepared.prepare_s();
+        let counted = prepared.count()?;
+        let device = prepared.release()?;
+        Ok((
+            JobResult {
+                triangles: counted.triangles,
+                seconds: prepare_s + counted.count_s,
+                prepare_s,
+                count_s: counted.count_s,
+                cache_hit: false,
+                profile: profile.then_some(counted.profile),
+            },
+            device,
+        ))
+    }
+
+    /// Release every prepared session, returning its warm device to the
+    /// pool. The engine stays usable; the next batch re-admits from
+    /// scratch.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().unwrap();
+        for (_, slot) in cache.drain() {
+            if let Some(entry) = slot.lock().unwrap().take() {
+                if let Ok(device) = entry.prepared.release() {
+                    entry.ticket.restore(device);
+                }
+            }
+        }
+        self.admitted.lock().unwrap().clear();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.clear_cache();
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_simt::DeviceConfig;
+
+    fn diamond() -> Arc<EdgeArray> {
+        Arc::new(EdgeArray::from_undirected_pairs([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        ]))
+    }
+
+    fn gpu() -> Backend {
+        Backend::Gpu(GpuOptions::new(
+            DeviceConfig::gtx_980().with_unlimited_memory(),
+        ))
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            cache_capacity: 2,
+        }
+    }
+
+    #[test]
+    fn repeated_jobs_hit_the_cache_and_agree() {
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| Job::new(format!("j{i}"), Arc::clone(&g), gpu()))
+            .collect();
+        let report = engine.run_batch(jobs);
+        assert_eq!(report.cache_hits, 4);
+        assert_eq!(report.cache_misses, 1);
+        for job in &report.jobs {
+            let r = job.result.as_ref().unwrap();
+            assert_eq!(r.triangles, 2);
+            if r.cache_hit {
+                assert_eq!(r.prepare_s, 0.0);
+            } else {
+                assert!(r.prepare_s > 0.0);
+            }
+        }
+        // The session survives into the next batch.
+        let report2 = engine.run_batch(vec![Job::new("late", g, gpu())]);
+        assert_eq!(report2.cache_hits, 1);
+        assert_eq!(engine.cached_sessions(), 1);
+    }
+
+    #[test]
+    fn non_gpu_backends_run_oneshot() {
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let report = engine.run_batch(vec![
+            Job::new("cpu", Arc::clone(&g), Backend::CpuForward),
+            Job::new("gpu", g, gpu()),
+        ]);
+        let cpu = report.jobs[0].result.as_ref().unwrap();
+        assert_eq!(cpu.triangles, 2);
+        assert!(!cpu.cache_hit);
+        assert_eq!(report.jobs[0].backend, "forward");
+    }
+
+    #[test]
+    fn cache_overflow_falls_back_to_oneshot() {
+        let mut cfg = small_config();
+        cfg.cache_capacity = 1;
+        let engine = Engine::new(cfg);
+        let g1 = diamond();
+        let g2 = Arc::new(EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (0, 2)]));
+        let jobs = vec![
+            Job::new("a0", Arc::clone(&g1), gpu()),
+            Job::new("b0", Arc::clone(&g2), gpu()),
+            Job::new("a1", g1, gpu()),
+            Job::new("b1", g2, gpu()),
+        ];
+        let report = engine.run_batch(jobs);
+        // g1 is admitted; g2 overflows and runs one-shot both times.
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.cache_misses, 3);
+        assert_eq!(report.jobs[1].result.as_ref().unwrap().triangles, 1);
+        assert!(!report.jobs[3].result.as_ref().unwrap().cache_hit);
+    }
+
+    #[test]
+    fn timeouts_use_modeled_time() {
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let report = engine.run_batch(vec![
+            Job::new("fast-enough", Arc::clone(&g), gpu()).timeout_ms(10_000.0),
+            Job::new("impossible", g, gpu()).timeout_ms(1e-9),
+        ]);
+        assert!(report.jobs[0].result.is_ok());
+        match &report.jobs[1].result {
+            Err(EngineError::Timeout {
+                limit_ms,
+                needed_ms,
+            }) => {
+                assert!(needed_ms > limit_ms);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_jobs_report_errors_without_poisoning_the_batch() {
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let tiny = Backend::Gpu(GpuOptions::new(
+            DeviceConfig::gtx_980().with_memory_capacity(64),
+        ));
+        let report = engine.run_batch(vec![
+            Job::new("too-big", Arc::clone(&g), tiny),
+            Job::new("fine", g, gpu()),
+        ]);
+        assert!(matches!(report.jobs[0].result, Err(EngineError::Count(_))));
+        assert_eq!(report.jobs[1].result.as_ref().unwrap().triangles, 2);
+    }
+
+    #[test]
+    fn tiny_queue_backpressure_still_completes_every_job() {
+        let mut cfg = small_config();
+        cfg.queue_capacity = 1;
+        cfg.workers = 3;
+        let engine = Engine::new(cfg);
+        let g = diamond();
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| Job::new(format!("j{i}"), Arc::clone(&g), gpu()))
+            .collect();
+        let report = engine.run_batch(jobs);
+        assert_eq!(report.jobs.len(), 12);
+        assert!(report.jobs.iter().all(|j| j.result.is_ok()));
+    }
+
+    #[test]
+    fn batch_json_is_deterministic_across_worker_counts() {
+        let g = diamond();
+        let mk_jobs = || -> Vec<Job> {
+            (0..6)
+                .map(|i| Job::new(format!("j{i}"), Arc::clone(&g), gpu()))
+                .collect()
+        };
+        let mut json = Vec::new();
+        for workers in [1, 4] {
+            let engine = Engine::new(EngineConfig {
+                workers,
+                queue_capacity: 2,
+                cache_capacity: 2,
+            });
+            json.push(engine.run_batch(mk_jobs()).to_json());
+        }
+        assert_eq!(json[0], json[1]);
+        assert!(json[0].contains("\"cache_hit\": true"));
+    }
+
+    #[test]
+    fn profiles_attach_per_job() {
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let report = engine.run_batch(vec![
+            Job::new("profiled", Arc::clone(&g), gpu()).profile(true),
+            Job::new("plain", g, gpu()),
+        ]);
+        let profiled = report.jobs[0].result.as_ref().unwrap();
+        let spans = &profiled.profile.as_ref().unwrap().spans;
+        assert!(spans.iter().any(|s| s.path == "count/count-kernel"));
+        assert!(report.jobs[1].result.as_ref().unwrap().profile.is_none());
+    }
+}

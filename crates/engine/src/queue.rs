@@ -1,0 +1,182 @@
+//! A bounded MPMC job queue with blocking backpressure.
+//!
+//! `push` blocks while the queue is full — a producer feeding the engine
+//! faster than its workers drain is slowed down, not buffered without
+//! bound. `try_push` refuses instead ([`EngineError::QueueFull`]) for
+//! callers that would rather shed load than wait.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::error::EngineError;
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded queue; see the module docs.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a job queue needs at least one slot");
+        JobQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, blocking while the queue is full (the backpressure path).
+    /// Panics if the queue was already closed — producers close it exactly
+    /// once, after the last push.
+    pub fn push(&self, item: T) {
+        let mut state = self.state.lock().unwrap();
+        while state.items.len() >= self.capacity {
+            state = self.not_full.wait(state).unwrap();
+        }
+        assert!(!state.closed, "push after close");
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Enqueue only if a slot is free right now.
+    pub fn try_push(&self, item: T) -> Result<(), EngineError> {
+        let mut state = self.state.lock().unwrap();
+        if state.items.len() >= self.capacity {
+            return Err(EngineError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        assert!(!state.closed, "push after close");
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item arrives; `None` once the queue is
+    /// closed and drained (the workers' exit signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// No more pushes will come; blocked `pop`s return `None` once drained.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn try_push_refuses_when_full() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(EngineError::QueueFull { capacity: 2 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn push_blocks_until_a_slot_frees() {
+        let q = JobQueue::new(1);
+        q.push(1);
+        let pushed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                q.push(2); // blocks: queue is full
+                pushed.store(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(pushed.load(Ordering::SeqCst), 0, "push must be blocked");
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+        });
+        assert_eq!(pushed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn close_drains_then_signals_workers() {
+        let q = JobQueue::new(4);
+        q.push(10);
+        q.push(11);
+        q.close();
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queue keeps returning None");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_move_every_item() {
+        let q = JobQueue::new(3);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let _ = w;
+                    while let Some(item) = q.pop() {
+                        seen.lock().unwrap().push(item);
+                    }
+                });
+            }
+            for i in 0..100 {
+                q.push(i);
+            }
+            q.close();
+        });
+        let mut got = seen.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

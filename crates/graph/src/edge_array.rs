@@ -204,6 +204,34 @@ impl EdgeArray {
         self.edges.len() * std::mem::size_of::<Edge>()
     }
 
+    /// Content digest of the graph: a 64-bit fingerprint over the arc
+    /// multiset, independent of arc order (preprocessing sorts anyway, so
+    /// two loads of the same graph in different arc orders are the same
+    /// workload). Used by the serving layer to key its `PreparedGraph`
+    /// cache.
+    ///
+    /// ```
+    /// use tc_graph::EdgeArray;
+    /// let a = EdgeArray::from_undirected_pairs([(0, 1), (1, 2)]);
+    /// let b = EdgeArray::from_undirected_pairs([(1, 2), (0, 1)]);
+    /// let c = EdgeArray::from_undirected_pairs([(0, 1), (1, 3)]);
+    /// assert_eq!(a.digest(), b.digest());
+    /// assert_ne!(a.digest(), c.digest());
+    /// ```
+    pub fn digest(&self) -> u64 {
+        // Commutative combine (wrapping sum + xor) of a strong per-arc
+        // mix (splitmix64), finalized with the arc count so the empty
+        // graph and near-misses separate.
+        let mut sum = 0u64;
+        let mut xor = 0u64;
+        for e in &self.edges {
+            let h = splitmix64(e.as_u64_first_major());
+            sum = sum.wrapping_add(h);
+            xor ^= h.rotate_left(17);
+        }
+        splitmix64(sum ^ xor.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.edges.len() as u64)
+    }
+
     /// Split into a structure of arrays (preprocessing step 7, "unzipping").
     pub fn unzip(&self) -> EdgeSoA {
         let mut src = Vec::with_capacity(self.edges.len());
@@ -214,6 +242,15 @@ impl EdgeArray {
         }
         EdgeSoA { src, dst }
     }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash step.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl FromIterator<Edge> for EdgeArray {
@@ -358,5 +395,27 @@ mod tests {
     #[test]
     fn bytes_counts_eight_per_arc() {
         assert_eq!(triangle().bytes(), 6 * 8);
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_content_sensitive() {
+        let a = EdgeArray::from_arcs_unchecked(vec![
+            Edge::new(0, 1),
+            Edge::new(1, 0),
+            Edge::new(1, 2),
+            Edge::new(2, 1),
+        ]);
+        let b = EdgeArray::from_arcs_unchecked(vec![
+            Edge::new(2, 1),
+            Edge::new(1, 2),
+            Edge::new(1, 0),
+            Edge::new(0, 1),
+        ]);
+        assert_eq!(a.digest(), b.digest(), "arc order must not matter");
+        let c = EdgeArray::from_undirected_pairs([(0, 1), (1, 3)]);
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(EdgeArray::default().digest(), a.digest());
+        // Stable across calls.
+        assert_eq!(a.digest(), a.digest());
     }
 }

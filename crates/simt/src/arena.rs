@@ -174,6 +174,23 @@ impl Arena {
         }
     }
 
+    /// Rewind the bump pointer and the high-water mark for a fresh session,
+    /// if nothing is live. Within a session addresses are never reused (live
+    /// buffers must not alias, and the cache model's address→set mapping
+    /// must stay stable), but once every allocation has been freed a rewind
+    /// is semantically clean — it makes a recycled device allocate the same
+    /// addresses a fresh one would, which keeps pooled reuse byte-identical
+    /// to cold starts. Returns whether the rewind happened.
+    pub fn reset_unused(&mut self) -> bool {
+        if !self.live.is_empty() {
+            return false;
+        }
+        self.next = 0;
+        self.used = 0;
+        self.peak = 0;
+        true
+    }
+
     /// Bytes currently allocated.
     #[inline]
     pub fn used(&self) -> u64 {

@@ -102,6 +102,16 @@ impl Device {
         self.spans.clear();
     }
 
+    /// Prepare a (warm) device for a fresh measured session: zero the clock
+    /// and profiler state like [`Device::reset_clock`], and — when no
+    /// allocations are live — rewind the arena so the session allocates the
+    /// same addresses a cold device would. The context stays warm, which is
+    /// the point of recycling. Returns whether the arena rewind happened.
+    pub fn recycle(&mut self) -> bool {
+        self.reset_clock();
+        self.arena.reset_unused()
+    }
+
     /// The operations charged so far.
     pub fn time_log(&self) -> &[TimedOp] {
         &self.log

@@ -90,7 +90,7 @@ pub struct PendingWrite {
 
 /// Aggregated observable results of one kernel launch — the quantities
 /// Table II reports, plus enough detail for the ablation benches.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct KernelStats {
     /// Slowest SM's pipeline time in cycles.
     pub sm_cycles: f64,

@@ -35,6 +35,7 @@ pub mod error;
 pub mod executor;
 pub mod kernel;
 pub mod multi;
+pub mod pool;
 pub mod primitives;
 pub mod profiler;
 pub mod trace;
@@ -46,4 +47,5 @@ pub use error::SimtError;
 pub use executor::{KernelStats, LaunchConfig};
 pub use kernel::{Effect, Kernel, Lane, MemView};
 pub use multi::DeviceGroup;
+pub use pool::{DeviceLease, DevicePool, PoolTicket};
 pub use profiler::{Counters, ProfileReport, Span};

@@ -12,7 +12,7 @@
 //! ```
 
 use triangles::core::approx::{doulion, wedge_sampling};
-use triangles::core::count::{count_triangles, Backend, GpuOptions};
+use triangles::core::count::{Backend, CountRequest, GpuOptions};
 use triangles::core::gpu::split::count_split;
 use triangles::gen::kronecker::Rmat;
 use triangles::gen::Seed;
@@ -20,7 +20,10 @@ use triangles::simt::DeviceConfig;
 
 fn main() {
     let graph = Rmat::scale(11).edge_factor(24).generate(Seed(9));
-    let exact = count_triangles(&graph, Backend::CpuForward).expect("exact");
+    let exact = CountRequest::new(Backend::CpuForward)
+        .run(&graph)
+        .expect("exact")
+        .triangles;
     println!(
         "graph: {} nodes, {} edges, {} triangles (exact)\n",
         graph.num_nodes(),
@@ -58,7 +61,10 @@ fn main() {
         },
     ] {
         let label = backend.label();
-        let n = count_triangles(&graph, backend).expect("hybrid");
+        let n = CountRequest::new(backend)
+            .run(&graph)
+            .expect("hybrid")
+            .triangles;
         assert_eq!(n, exact);
         println!("{label:<24}: {n} ✓");
     }

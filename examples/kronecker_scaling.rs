@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use triangles::core::count::{count_triangles_detailed, Backend};
+use triangles::core::count::{Backend, CountRequest};
 use triangles::core::cpu::count_forward;
 use triangles::gen::kronecker::Rmat;
 use triangles::gen::Seed;
@@ -24,7 +24,9 @@ fn main() {
         let cpu_triangles = count_forward(&graph).expect("cpu");
         let cpu_s = start.elapsed().as_secs_f64();
 
-        let gpu = count_triangles_detailed(&graph, Backend::gpu_gtx980()).expect("gpu");
+        let gpu = CountRequest::new(Backend::gpu_gtx980())
+            .run(&graph)
+            .expect("gpu");
         assert_eq!(gpu.triangles, cpu_triangles);
 
         println!(

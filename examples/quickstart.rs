@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use triangles::core::count::{count_triangles_detailed, Backend};
+use triangles::core::count::{Backend, CountRequest};
 use triangles::gen::kronecker::Rmat;
 use triangles::gen::Seed;
 use triangles::graph::GraphStats;
@@ -22,7 +22,9 @@ fn main() {
     );
 
     // The paper's CPU baseline: the sequential forward algorithm.
-    let cpu = count_triangles_detailed(&graph, Backend::CpuForward).expect("cpu count");
+    let cpu = CountRequest::new(Backend::CpuForward)
+        .run(&graph)
+        .expect("cpu count");
     println!(
         "cpu-forward       : {:>12} triangles in {:8.2} ms (measured)",
         cpu.triangles,
@@ -31,7 +33,9 @@ fn main() {
 
     // The paper's contribution: the parallel forward algorithm on a
     // (simulated) GTX 980.
-    let gpu = count_triangles_detailed(&graph, Backend::gpu_gtx980()).expect("gpu count");
+    let gpu = CountRequest::new(Backend::gpu_gtx980())
+        .run(&graph)
+        .expect("gpu count");
     let report = gpu.gpu.as_ref().expect("single-GPU run carries a report");
     println!(
         "gpu-sim (GTX 980) : {:>12} triangles in {:8.2} ms (simulated), speedup {:.1}x",

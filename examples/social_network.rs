@@ -11,7 +11,7 @@
 //! ```
 
 use triangles::core::clustering::{average_clustering, local_clustering, transitivity};
-use triangles::core::count::{count_triangles, Backend};
+use triangles::core::count::{Backend, CountRequest};
 use triangles::gen::copaper::CoPaper;
 use triangles::gen::Seed;
 
@@ -26,7 +26,11 @@ fn main() {
         network.num_edges()
     );
 
-    let triangles = count_triangles(&network, Backend::CpuParallel).expect("count");
+    let triangles = CountRequest::new(Backend::CpuParallel)
+        .graph_name("co-authorship")
+        .run(&network)
+        .expect("count")
+        .triangles;
     println!("triangles (collaboration cliques of three): {triangles}");
 
     let c = local_clustering(&network).expect("clustering");

@@ -21,4 +21,23 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace --release -q
 
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> deprecated entry points"
+# count_triangles/count_triangles_detailed are deprecated shims over
+# CountRequest; only their own definition site (and the facade re-exports,
+# which carry #[allow(deprecated)]) may mention them.
+deprecated_calls=$(grep -rn --include='*.rs' \
+    -e 'count_triangles(' -e 'count_triangles_detailed(' \
+    src crates tests examples \
+    | grep -v '^crates/core/src/count.rs:' \
+    | grep -v '^crates/core/src/lib.rs:' \
+    | grep -v '^src/lib.rs:' || true)
+if [ -n "$deprecated_calls" ]; then
+    echo "error: in-tree callers of deprecated entry points:" >&2
+    echo "$deprecated_calls" >&2
+    exit 1
+fi
+
 echo "==> ci OK"

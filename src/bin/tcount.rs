@@ -4,9 +4,12 @@
 //! tcount <path> [--format text|binary|metis] [--backend NAME]
 //!               [--clustering] [--validate] [--trace FILE]
 //!               [--profile [FILE]]
+//! tcount batch <jobfile> [--scale smoke|bench|large] [--workers N]
+//!                        [--json FILE]
 //!
 //! backends: forward (default) | edge-iterator | node-iterator | hashed |
-//!           parallel | hybrid | gtx980 | c2050 | nvs5200m | 4xc2050
+//!           parallel | hybrid[:<tau>] | gtx980 | c2050 | nvs5200m |
+//!           <n>x<device> | <device>/split:<parts>
 //! ```
 //!
 //! `--trace FILE` (simulated GPU backends, single- or multi-device) writes
@@ -23,13 +26,19 @@
 //! Reads an edge list (SNAP-style text by default), counts its triangles
 //! with the chosen backend, and optionally reports clustering statistics —
 //! the workflow the paper's introduction motivates.
+//!
+//! `tcount batch <jobfile>` runs many jobs through the `tc-engine` batched
+//! counting engine: repeated counts of the same graph reuse one prepared
+//! device session (see the jobfile format in `tc_engine::jobfile`).
 
 use std::process::ExitCode;
 
 use triangles::core::clustering::{average_clustering, transitivity};
-use triangles::core::count::{count_triangles_detailed, Backend, TriangleCount};
+use triangles::core::count::{Backend, CountRequest, TriangleCount};
 use triangles::core::gpu::multi::{merged_profile, run_multi_gpu_profiled};
 use triangles::core::gpu::pipeline::{run_gpu_pipeline_profiled, RunTrace};
+use triangles::engine::{parse_jobfile, Engine, EngineConfig};
+use triangles::gen::Scale;
 use triangles::graph::{io, EdgeArray, GraphStats};
 use triangles::simt::trace::{write_chrome_trace_spanned, TraceThread};
 
@@ -56,26 +65,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tcount <path> [--format text|binary|metis] [--backend NAME]\n\
          \x20             [--clustering] [--validate] [--trace FILE] [--profile [FILE]]\n\
+         \x20      tcount batch <jobfile> [--scale smoke|bench|large] [--workers N]\n\
+         \x20                             [--json FILE]\n\
          backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
-         \x20         hybrid | gtx980 | c2050 | nvs5200m | 4xc2050"
+         \x20         hybrid[:<tau>] | gtx980 | c2050 | nvs5200m | <n>x<device> |\n\
+         \x20         <device>/split:<parts>"
     );
     ExitCode::from(2)
-}
-
-fn parse_backend(name: &str) -> Option<Backend> {
-    Some(match name {
-        "forward" => Backend::CpuForward,
-        "edge-iterator" => Backend::CpuEdgeIterator,
-        "node-iterator" => Backend::CpuNodeIterator,
-        "hashed" => Backend::CpuForwardHashed,
-        "parallel" => Backend::CpuParallel,
-        "hybrid" => Backend::CpuHybrid { threshold: None },
-        "gtx980" => Backend::gpu_gtx980(),
-        "c2050" => Backend::gpu_tesla_c2050(),
-        "nvs5200m" => Backend::gpu_nvs_5200m(),
-        "4xc2050" => Backend::multi_gpu_c2050(4),
-        _ => return None,
-    })
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -105,8 +101,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--backend" => {
                 let name = args.next().ok_or("missing backend name")?;
-                parsed.backend =
-                    parse_backend(&name).ok_or_else(|| format!("unknown backend {name:?}"))?;
+                parsed.backend = name.parse().map_err(|e| format!("{e}"))?;
             }
             "--clustering" => parsed.clustering = true,
             "--validate" => parsed.validate = true,
@@ -174,6 +169,7 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
                 triangles: report.triangles,
                 backend: args.backend.label(),
                 seconds: report.total_s,
+                profile: Some(trace.profile),
                 gpu: Some(report),
             })
         }
@@ -190,6 +186,7 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
                 triangles: report.triangles,
                 backend: args.backend.label(),
                 seconds: report.total_s,
+                profile: Some(merged_profile(&traces)),
                 gpu: None,
             })
         }
@@ -221,7 +218,10 @@ fn run(args: Args) -> Result<(), String> {
     let result = if args.trace.is_some() || args.profile.is_some() {
         run_gpu_observed(&graph, &args)?
     } else {
-        count_triangles_detailed(&graph, args.backend).map_err(|e| format!("counting: {e}"))?
+        CountRequest::new(args.backend.clone())
+            .graph_name(&args.path)
+            .run(&graph)
+            .map_err(|e| format!("counting: {e}"))?
     };
     println!(
         "triangles: {} ({} in {:.3} ms)",
@@ -253,7 +253,120 @@ fn run(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+struct BatchArgs {
+    jobfile: String,
+    scale: Scale,
+    workers: Option<usize>,
+    json: Option<String>,
+}
+
+fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
+    let jobfile = args.next().ok_or("missing jobfile path")?;
+    let mut parsed = BatchArgs {
+        jobfile,
+        scale: Scale::Smoke,
+        workers: None,
+        json: None,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                parsed.scale = match args.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("bench") => Scale::Bench,
+                    Some("large") => Scale::Large,
+                    other => return Err(format!("unknown scale {other:?}")),
+                }
+            }
+            "--workers" => {
+                let n = args.next().ok_or("missing worker count")?;
+                parsed.workers = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("workers must be a positive integer, got {n:?}"))?,
+                );
+            }
+            "--json" => parsed.json = Some(args.next().ok_or("missing json path")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// `tcount batch <jobfile>`: run a jobfile through the batched engine.
+fn run_batch_cmd(args: BatchArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.jobfile)
+        .map_err(|e| format!("reading {}: {e}", args.jobfile))?;
+    let jobs = parse_jobfile(&text, args.scale).map_err(|e| e.to_string())?;
+    let mut config = EngineConfig::default();
+    if let Some(w) = args.workers {
+        config.workers = w;
+    }
+    println!(
+        "batch: {} jobs, {} workers, queue {} slots, cache {} sessions",
+        jobs.len(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity
+    );
+    let engine = Engine::new(config);
+    let report = engine.run_batch(jobs);
+    let mut failures = 0usize;
+    for job in &report.jobs {
+        match &job.result {
+            Ok(r) => println!(
+                "  {:<40} {:>12} triangles  {:>10.3} ms  {}",
+                job.name,
+                r.triangles,
+                r.seconds * 1e3,
+                if r.cache_hit { "cache-hit" } else { "prepared" }
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("  {:<40} error: {e}", job.name);
+            }
+        }
+    }
+    println!(
+        "{} ok, {} failed; {} cache hits, {} prepares; {} devices created",
+        report.jobs.len() - failures,
+        failures,
+        report.cache_hits,
+        report.cache_misses,
+        report.devices_created
+    );
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if failures > 0 {
+        Err(format!("{failures} job(s) failed"))
+    } else {
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("batch") {
+        argv.next();
+        return match parse_batch_args(argv) {
+            Ok(args) => match run_batch_cmd(args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                if !e.is_empty() {
+                    eprintln!("error: {e}");
+                }
+                usage()
+            }
+        };
+    }
     match parse_args() {
         Ok(args) => match run(args) {
             Ok(()) => ExitCode::SUCCESS,

@@ -2,13 +2,18 @@
 //! on every graph — classic fixtures with closed-form counts, the full
 //! smoke-scale evaluation suite, and the brute-force reference.
 
-use triangles::core::count::{count_triangles, Backend, GpuOptions};
+use triangles::core::count::{Backend, CountRequest, GpuOptions};
 use triangles::core::verify::count_brute_force;
-use triangles::core::{EdgeLayout, LoopVariant};
+use triangles::core::{CoreError, EdgeLayout, LoopVariant};
 use triangles::gen::suite::{full_suite, Scale};
 use triangles::gen::{classic, watts_strogatz::WattsStrogatz, Seed};
 use triangles::graph::EdgeArray;
 use triangles::simt::DeviceConfig;
+
+/// The [`CountRequest`] front door, narrowed to the bare count.
+fn count(g: &EdgeArray, backend: Backend) -> Result<u64, CoreError> {
+    CountRequest::new(backend).run(g).map(|r| r.triangles)
+}
 
 fn all_backends() -> Vec<Backend> {
     vec![
@@ -42,7 +47,7 @@ fn all_backends() -> Vec<Backend> {
 fn assert_all_agree(g: &EdgeArray, expected: u64, context: &str) {
     for backend in all_backends() {
         let label = backend.label();
-        let got = count_triangles(g, backend).unwrap_or_else(|e| panic!("{context}/{label}: {e}"));
+        let got = count(g, backend).unwrap_or_else(|e| panic!("{context}/{label}: {e}"));
         assert_eq!(got, expected, "{context}: backend {label} disagrees");
     }
 }
@@ -74,7 +79,7 @@ fn watts_strogatz_lattice_closed_form() {
 #[test]
 fn suite_graphs_agree_with_brute_force_where_small() {
     for row in full_suite(Scale::Smoke) {
-        let expected = count_triangles(&row.graph, Backend::CpuForward).unwrap();
+        let expected = count(&row.graph, Backend::CpuForward).unwrap();
         if row.graph.num_nodes() <= 1200 {
             assert_eq!(
                 expected,
@@ -94,7 +99,7 @@ fn every_gpu_option_combination_agrees() {
         .find(|r| r.name == "citeseer")
         .expect("suite has citeseer")
         .graph;
-    let expected = count_triangles(&g, Backend::CpuForward).unwrap();
+    let expected = count(&g, Backend::CpuForward).unwrap();
     for layout in [EdgeLayout::SoA, EdgeLayout::AoS] {
         for variant in [LoopVariant::FinalReadAvoiding, LoopVariant::Preliminary] {
             for cached in [true, false] {
@@ -104,7 +109,7 @@ fn every_gpu_option_combination_agrees() {
                     opts.kernel = variant;
                     opts.use_texture_cache = cached;
                     opts.warp_split = split;
-                    let got = count_triangles(&g, Backend::Gpu(opts)).unwrap();
+                    let got = count(&g, Backend::Gpu(opts)).unwrap();
                     assert_eq!(
                         got, expected,
                         "layout={layout:?} variant={variant:?} cached={cached} split={split}"

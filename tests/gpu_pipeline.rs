@@ -105,12 +105,19 @@ fn graph_too_large_even_for_fallback_errors_cleanly() {
     let g = erdos_renyi::gnm(300, 3_000, Seed(6));
     let opts = GpuOptions::new(DeviceConfig::gtx_980().with_memory_capacity(1024));
     match run_gpu_pipeline(&g, &opts) {
-        Err(triangles::core::CoreError::GraphTooLargeForDevice {
-            required_bytes,
-            capacity_bytes,
-        }) => {
-            assert!(required_bytes > capacity_bytes);
-        }
+        Err(e) => match e.root() {
+            triangles::core::CoreError::GraphTooLargeForDevice {
+                required_bytes,
+                capacity_bytes,
+            } => {
+                assert!(required_bytes > capacity_bytes);
+                // The context annotation names the device and phase.
+                let msg = e.to_string();
+                assert!(msg.contains("GTX 980"), "{msg}");
+                assert!(msg.contains("preprocess"), "{msg}");
+            }
+            other => panic!("expected GraphTooLargeForDevice, got {other:?}"),
+        },
         other => panic!("expected GraphTooLargeForDevice, got {other:?}"),
     }
 }

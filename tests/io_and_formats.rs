@@ -1,7 +1,8 @@
 //! Integration tests for graph I/O and format conversions: counts survive
 //! round trips through every on-disk and in-memory representation.
 
-use triangles::core::count::{count_triangles, Backend};
+use triangles::core::count::{Backend, CountRequest};
+use triangles::core::CoreError;
 use triangles::gen::{erdos_renyi, Seed};
 use triangles::graph::{io, AdjacencyList, Csr, EdgeArray};
 
@@ -9,52 +10,51 @@ fn fixture() -> EdgeArray {
     erdos_renyi::gnm(120, 600, Seed(9))
 }
 
+/// The [`CountRequest`] front door, narrowed to the bare count.
+fn count(g: &EdgeArray, backend: Backend) -> Result<u64, CoreError> {
+    CountRequest::new(backend).run(g).map(|r| r.triangles)
+}
+
 #[test]
 fn count_survives_text_roundtrip() {
     let g = fixture();
-    let expected = count_triangles(&g, Backend::CpuForward).unwrap();
+    let expected = count(&g, Backend::CpuForward).unwrap();
     let dir = std::env::temp_dir().join("tc_integration_io");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("g.txt");
     io::write_text(&g, &path).unwrap();
     let h = io::read_text(&path).unwrap();
-    assert_eq!(count_triangles(&h, Backend::CpuForward).unwrap(), expected);
+    assert_eq!(count(&h, Backend::CpuForward).unwrap(), expected);
     assert_eq!(h.num_edges(), g.num_edges());
 }
 
 #[test]
 fn count_survives_binary_roundtrip() {
     let g = fixture();
-    let expected = count_triangles(&g, Backend::CpuForward).unwrap();
+    let expected = count(&g, Backend::CpuForward).unwrap();
     let dir = std::env::temp_dir().join("tc_integration_io");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("g.bin");
     io::write_binary(&g, &path).unwrap();
     let h = io::read_binary(&path).unwrap();
     h.validate().unwrap();
-    assert_eq!(count_triangles(&h, Backend::CpuForward).unwrap(), expected);
+    assert_eq!(count(&h, Backend::CpuForward).unwrap(), expected);
 }
 
 #[test]
 fn count_survives_representation_conversions() {
     let g = fixture();
-    let expected = count_triangles(&g, Backend::CpuForward).unwrap();
+    let expected = count(&g, Backend::CpuForward).unwrap();
 
     // edge array -> adjacency list -> edge array
     let adj = AdjacencyList::from_edge_array(&g);
     let back = adj.to_edge_array();
-    assert_eq!(
-        count_triangles(&back, Backend::CpuForward).unwrap(),
-        expected
-    );
+    assert_eq!(count(&back, Backend::CpuForward).unwrap(), expected);
 
     // edge array -> CSR -> edge array
     let csr = Csr::from_edge_array(&g).unwrap();
     let back = csr.to_edge_array();
-    assert_eq!(
-        count_triangles(&back, Backend::CpuForward).unwrap(),
-        expected
-    );
+    assert_eq!(count(&back, Backend::CpuForward).unwrap(), expected);
 }
 
 #[test]

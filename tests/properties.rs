@@ -7,11 +7,17 @@
 //! no external property-testing dependency needed.
 
 use triangles::core::clustering::{local_clustering, per_vertex_triangles};
-use triangles::core::count::{count_triangles, Backend, GpuOptions};
+use triangles::core::count::{Backend, CountRequest, GpuOptions};
 use triangles::core::verify::{count_brute_force, per_vertex_brute_force};
+use triangles::core::CoreError;
 use triangles::graph::convert::{random_permutation, relabel, shuffle_arcs};
 use triangles::graph::{EdgeArray, Orientation};
 use triangles::simt::DeviceConfig;
+
+/// The [`CountRequest`] front door, narrowed to the bare count.
+fn count(g: &EdgeArray, backend: Backend) -> Result<u64, CoreError> {
+    CountRequest::new(backend).run(g).map(|r| r.triangles)
+}
 
 struct Lcg(u64);
 
@@ -45,29 +51,20 @@ fn all_cpu_backends_match_brute_force() {
         let g = random_graph(case);
         let expected = count_brute_force(&g);
         assert_eq!(
-            count_triangles(&g, Backend::CpuForward).unwrap(),
+            count(&g, Backend::CpuForward).unwrap(),
             expected,
             "case {case}"
         );
+        assert_eq!(count(&g, Backend::CpuEdgeIterator).unwrap(), expected);
+        assert_eq!(count(&g, Backend::CpuNodeIterator).unwrap(), expected);
+        assert_eq!(count(&g, Backend::CpuForwardHashed).unwrap(), expected);
+        assert_eq!(count(&g, Backend::CpuParallel).unwrap(), expected);
         assert_eq!(
-            count_triangles(&g, Backend::CpuEdgeIterator).unwrap(),
+            count(&g, Backend::CpuHybrid { threshold: None }).unwrap(),
             expected
         );
         assert_eq!(
-            count_triangles(&g, Backend::CpuNodeIterator).unwrap(),
-            expected
-        );
-        assert_eq!(
-            count_triangles(&g, Backend::CpuForwardHashed).unwrap(),
-            expected
-        );
-        assert_eq!(count_triangles(&g, Backend::CpuParallel).unwrap(), expected);
-        assert_eq!(
-            count_triangles(&g, Backend::CpuHybrid { threshold: None }).unwrap(),
-            expected
-        );
-        assert_eq!(
-            count_triangles(&g, Backend::CpuHybrid { threshold: Some(3) }).unwrap(),
+            count(&g, Backend::CpuHybrid { threshold: Some(3) }).unwrap(),
             expected
         );
     }
@@ -80,7 +77,7 @@ fn gpu_sim_matches_brute_force() {
         let expected = count_brute_force(&g);
         let opts = GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
         assert_eq!(
-            count_triangles(&g, Backend::Gpu(opts)).unwrap(),
+            count(&g, Backend::Gpu(opts)).unwrap(),
             expected,
             "case {case}"
         );
@@ -94,8 +91,8 @@ fn count_is_relabeling_invariant() {
         let perm = random_permutation(g.num_nodes(), case * 31 + 7);
         let h = relabel(&g, &perm);
         assert_eq!(
-            count_triangles(&g, Backend::CpuForward).unwrap(),
-            count_triangles(&h, Backend::CpuForward).unwrap(),
+            count(&g, Backend::CpuForward).unwrap(),
+            count(&h, Backend::CpuForward).unwrap(),
             "case {case}"
         );
     }
@@ -108,8 +105,8 @@ fn count_ignores_arc_order() {
         let mut h = g.clone();
         shuffle_arcs(&mut h, case * 17 + 3);
         assert_eq!(
-            count_triangles(&g, Backend::CpuForward).unwrap(),
-            count_triangles(&h, Backend::CpuForward).unwrap(),
+            count(&g, Backend::CpuForward).unwrap(),
+            count(&h, Backend::CpuForward).unwrap(),
             "case {case}"
         );
     }

@@ -17,8 +17,10 @@ fn tcount_bin() -> PathBuf {
 
 fn fixture_file() -> (PathBuf, u64) {
     let g = erdos_renyi::gnm(100, 600, Seed(42));
-    let expected =
-        triangles::core::count_triangles(&g, triangles::core::Backend::CpuForward).unwrap();
+    let expected = triangles::core::CountRequest::new(triangles::core::Backend::CpuForward)
+        .run(&g)
+        .unwrap()
+        .triangles;
     let dir = std::env::temp_dir().join("tcount_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("fixture.txt");
