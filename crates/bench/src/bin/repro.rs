@@ -5,7 +5,8 @@
 //!                    [--seed S] [--csv DIR]
 //!
 //! experiments: table1 | table2 | figure1 | ablations | amdahl |
-//!              input-format | approx | tuning | profile | throughput | all
+//!              input-format | approx | tuning | profile | throughput |
+//!              balance | all
 //! ```
 //!
 //! `profile` prints the counting-kernel hardware counters for every suite
@@ -16,8 +17,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tc_bench::experiments::{
-    ablations, amdahl, approx_comparison, figure1, input_format, profile, table1, table2,
-    throughput, tuning, ExpConfig,
+    ablations, amdahl, approx_comparison, balance, bench_json, figure1, input_format, profile,
+    table1, table2, throughput, tuning, ExpConfig,
 };
 use tc_bench::report::Table;
 use tc_gen::{Scale, Seed};
@@ -26,12 +27,13 @@ struct Args {
     experiment: String,
     cfg: ExpConfig,
     csv_dir: Option<PathBuf>,
+    out: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|all>\n\
-         \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR]"
+        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|balance|bench|all>\n\
+         \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -41,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let experiment = args.next().ok_or("missing experiment")?;
     let mut cfg = ExpConfig::default();
     let mut csv_dir = None;
+    let mut out = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -67,6 +70,9 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => {
                 csv_dir = Some(PathBuf::from(args.next().ok_or("missing --csv dir")?));
             }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().ok_or("missing --out file")?));
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         experiment,
         cfg,
         csv_dir,
+        out,
     })
 }
 
@@ -87,7 +94,13 @@ fn emit(table: Table, csv_dir: &Option<PathBuf>) {
     }
 }
 
-fn run_experiment(name: &str, cfg: &ExpConfig, csv_dir: &Option<PathBuf>) -> Result<(), String> {
+fn run_experiment(args: &Args) -> Result<(), String> {
+    run_experiment_named(&args.experiment, args)
+}
+
+fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
+    let cfg = &args.cfg;
+    let csv_dir = &args.csv_dir;
     match name {
         "table1" => emit(table1::render(&table1::run(cfg)), csv_dir),
         "table2" => emit(table2::render(&table2::run(cfg)), csv_dir),
@@ -105,6 +118,18 @@ fn run_experiment(name: &str, cfg: &ExpConfig, csv_dir: &Option<PathBuf>) -> Res
         ),
         "tuning" => emit(tuning::render(&tuning::run(cfg)), csv_dir),
         "throughput" => emit(throughput::render(&throughput::run(cfg)), csv_dir),
+        "balance" => emit(balance::render(&balance::run(cfg)), csv_dir),
+        "bench" => {
+            let entries = bench_json::run(cfg);
+            emit(bench_json::render(&entries), csv_dir);
+            let path = args
+                .out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", bench_json::BENCH_SEQ)));
+            std::fs::write(&path, bench_json::to_json(&entries, cfg))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
         "profile" => {
             let rows = profile::run(cfg);
             emit(profile::render(&rows), csv_dir);
@@ -124,8 +149,9 @@ fn run_experiment(name: &str, cfg: &ExpConfig, csv_dir: &Option<PathBuf>) -> Res
                 "approx",
                 "profile",
                 "throughput",
+                "balance",
             ] {
-                run_experiment(exp, cfg, csv_dir)?;
+                run_experiment_named(exp, args)?;
             }
         }
         other => return Err(format!("unknown experiment {other}")),
@@ -147,7 +173,7 @@ fn main() -> ExitCode {
          GPU simulated — see DESIGN.md)",
         args.cfg.repeats, args.cfg.seed.0
     );
-    match run_experiment(&args.experiment, &args.cfg, &args.csv_dir) {
+    match run_experiment(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

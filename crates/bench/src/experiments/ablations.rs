@@ -70,7 +70,7 @@ fn kernel_ms(g: &EdgeArray, opts: &GpuOptions) -> f64 {
 /// Counting-kernel time of the §III-D7 virtual warp-centric variant.
 fn warp_centric_kernel_ms(g: &EdgeArray, device: &DeviceConfig) -> f64 {
     use tc_core::gpu::preprocess::preprocess_full_gpu;
-    use tc_core::gpu::warp_centric::WarpCentricKernel;
+    use tc_core::gpu::warp_centric::{IntersectStrategy, WarpCentricKernel};
     let mut dev = Device::new(device.clone());
     dev.preinit_context();
     dev.reset_clock();
@@ -80,13 +80,16 @@ fn warp_centric_kernel_ms(g: &EdgeArray, device: &DeviceConfig) -> f64 {
     let result = dev.alloc::<u64>(total).expect("result buffer");
     dev.poke(&result, &vec![0u64; total]);
     let kernel = WarpCentricKernel {
-        nbr: pre.nbr,
-        owner: pre.owner,
+        adj: pre.nbr,
+        edge_u: pre.owner,
+        edge_v: pre.nbr,
         node: pre.node,
         result,
+        offset: 0,
         count: pre.m,
         virtual_warp: 4,
         use_texture_cache: true,
+        strategy: IntersectStrategy::BinarySearch,
     };
     let stats = dev.launch("warp-centric", lc, &kernel).expect("launch");
     stats.time_s * 1e3

@@ -1,0 +1,168 @@
+//! Workload-balanced scheduling vs the paper's thread-per-edge mapping.
+//!
+//! For every suite graph this experiment prepares the graph twice on a
+//! GTX 980 — once under the default §III-C schedule, once under the
+//! auto-tuned `balanced` schedule — and compares:
+//!
+//! * **kernel speedup**: thread-per-edge count phase / balanced count
+//!   phase (the per-request win a serving deployment sees after the plan
+//!   is amortized);
+//! * **prepare overhead**: the charged binning passes (work-estimate keys,
+//!   radix sort, gather), paid once per prepared graph;
+//! * **end-to-end ratio**: `(prepare + count)` balanced / baseline — the
+//!   one-shot view where the binning cost must be recovered by a single
+//!   count.
+//!
+//! Shape criterion (bench scale): ≥ 1.3× kernel speedup on the skewed
+//! graphs (orkut, the large Kronecker rungs, Barabási–Albert) and ≤ 1.05×
+//! end-to-end slowdown on the uniform Watts–Strogatz graph, where the
+//! auto-tuner declines to build a plan at all.
+
+use tc_core::count::GpuOptions;
+use tc_core::gpu::prepared::PreparedGraph;
+use tc_gen::suite::full_suite_seeded;
+use tc_simt::DeviceConfig;
+
+use crate::report::{ratio, Table};
+
+use super::ExpConfig;
+
+/// One graph's balanced-vs-baseline comparison.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub name: String,
+    /// Oriented arcs (= undirected edges).
+    pub m: usize,
+    /// Human-readable tuned plan (`-` when the tuner declined).
+    pub plan: String,
+    /// Thread-per-edge count phase (kernel + reduce), modeled ms.
+    pub baseline_count_ms: f64,
+    /// Balanced count phase, modeled ms.
+    pub balanced_count_ms: f64,
+    /// Charged binning overhead in the balanced prepare, modeled ms.
+    pub schedule_overhead_ms: f64,
+    /// Balanced / baseline full window (prepare + one count).
+    pub end_to_end_ratio: f64,
+    pub triangles: u64,
+}
+
+impl Row {
+    /// `baseline / balanced` count phase: > 1 means balancing helps.
+    pub fn kernel_speedup(&self) -> f64 {
+        self.baseline_count_ms / self.balanced_count_ms
+    }
+}
+
+fn describe_plan(prepared: &PreparedGraph) -> String {
+    match prepared.bin_plan() {
+        None => "-".into(),
+        Some(plan) => {
+            let m = prepared.m_oriented().max(1);
+            plan.occupied()
+                .map(|b| {
+                    let pct = 100.0 * b.len as f64 / m as f64;
+                    if b.width == 1 {
+                        format!("merge {pct:.1}%")
+                    } else {
+                        format!("warp{} {pct:.1}%", b.width)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" | ")
+        }
+    }
+}
+
+/// Compare the two schedules on every suite graph.
+pub fn run(cfg: &ExpConfig) -> Vec<Row> {
+    let device = DeviceConfig::gtx_980().with_unlimited_memory();
+    full_suite_seeded(cfg.scale, cfg.seed)
+        .into_iter()
+        .map(|item| {
+            let baseline_opts = GpuOptions::new(device.clone());
+            let mut base = PreparedGraph::prepare(&item.graph, &baseline_opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", item.name));
+            let base_count = base.count().unwrap();
+            let base_prepare_s = base.prepare_s();
+            base.release().unwrap();
+
+            let balanced_opts = GpuOptions::balanced(device.clone());
+            let mut bal = PreparedGraph::prepare(&item.graph, &balanced_opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", item.name));
+            let bal_count = bal.count().unwrap();
+            let bal_prepare_s = bal.prepare_s();
+            assert_eq!(
+                bal_count.triangles, base_count.triangles,
+                "{}: balanced count must match",
+                item.name
+            );
+            let row = Row {
+                name: item.name,
+                m: bal.m_oriented(),
+                plan: describe_plan(&bal),
+                baseline_count_ms: base_count.count_s * 1e3,
+                balanced_count_ms: bal_count.count_s * 1e3,
+                schedule_overhead_ms: (bal_prepare_s - base_prepare_s) * 1e3,
+                end_to_end_ratio: (bal_prepare_s + bal_count.count_s)
+                    / (base_prepare_s + base_count.count_s),
+                triangles: bal_count.triangles,
+            };
+            bal.release().unwrap();
+            row
+        })
+        .collect()
+}
+
+pub fn render(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Balanced scheduling vs thread-per-edge (GTX 980, modeled)",
+        &[
+            "graph",
+            "edges",
+            "tuned plan",
+            "tpe count [ms]",
+            "balanced count [ms]",
+            "kernel speedup",
+            "bin overhead [ms]",
+            "end-to-end",
+        ],
+    );
+    for r in rows {
+        t.push(vec![
+            r.name.clone(),
+            r.m.to_string(),
+            r.plan.clone(),
+            format!("{:.4}", r.baseline_count_ms),
+            format!("{:.4}", r.balanced_count_ms),
+            ratio(r.kernel_speedup()),
+            format!("{:.4}", r.schedule_overhead_ms),
+            ratio(r.end_to_end_ratio),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_balance_counts_match_and_uniform_graphs_opt_out() {
+        let rows = run(&ExpConfig::smoke());
+        assert_eq!(rows.len(), 13);
+        for r in &rows {
+            assert!(r.balanced_count_ms > 0.0, "{}", r.name);
+            assert!(r.end_to_end_ratio > 0.0, "{}", r.name);
+        }
+        let ws = rows
+            .iter()
+            .find(|r| r.name.contains("watts"))
+            .expect("watts-strogatz in suite");
+        // Uniform degrees: the auto-tuner declines, so the balanced run is
+        // byte-identical to the baseline — zero overhead, ratio exactly 1.
+        assert_eq!(ws.plan, "-", "{}", ws.plan);
+        assert!(ws.schedule_overhead_ms.abs() < 1e-12);
+        assert!((ws.end_to_end_ratio - 1.0).abs() < 1e-12);
+        assert!((ws.kernel_speedup() - 1.0).abs() < 1e-12);
+    }
+}

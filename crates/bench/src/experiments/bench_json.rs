@@ -1,0 +1,176 @@
+//! `repro bench` — the machine-readable perf trajectory artifact.
+//!
+//! Runs every suite graph against a fixed backend matrix (CPU forward,
+//! the paper's GTX 980 pipeline, and the workload-balanced scheduler) and
+//! emits one `BENCH_<n>.json` at the repo root per PR so modeled and
+//! host-wall times can be tracked across the project's history. Modeled
+//! milliseconds are deterministic (the simulator is exact); host wall
+//! milliseconds are whatever this machine did today and are tracked for
+//! trend only.
+
+use std::str::FromStr;
+use std::time::Instant;
+
+use tc_core::{Backend, CountRequest};
+use tc_gen::suite::full_suite_seeded;
+
+use crate::report::Table;
+
+use super::ExpConfig;
+
+/// The bench artifact's schema/sequence number: `BENCH_3.json` belongs to
+/// the PR that introduced the balanced scheduler.
+pub const BENCH_SEQ: u32 = 3;
+
+/// Backend tokens benched per graph (parsed through the canonical
+/// [`Backend`] grammar, so the JSON records exactly the tokens a user
+/// would pass to `tcount`).
+pub const BACKENDS: [&str; 3] = ["forward", "gtx980", "gtx980/balanced"];
+
+/// One graph × backend measurement.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    pub graph: String,
+    pub backend: String,
+    pub triangles: u64,
+    /// Simulated device milliseconds (`None` for CPU backends, whose
+    /// `seconds` are host time).
+    pub modeled_ms: Option<f64>,
+    /// Wall milliseconds the whole count took on this host.
+    pub host_wall_ms: f64,
+}
+
+/// Run the backend matrix over the suite.
+pub fn run(cfg: &ExpConfig) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for item in full_suite_seeded(cfg.scale, cfg.seed) {
+        for token in BACKENDS {
+            let backend = Backend::from_str(token).expect("bench backend token");
+            let modeled = !matches!(backend, Backend::CpuForward);
+            let req = CountRequest::new(backend).graph_name(item.name.clone());
+            let t0 = Instant::now();
+            let tc = req
+                .run(&item.graph)
+                .unwrap_or_else(|e| panic!("{} on {token}: {e}", item.name));
+            let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            entries.push(Entry {
+                graph: item.name.clone(),
+                backend: token.to_string(),
+                triangles: tc.triangles,
+                modeled_ms: modeled.then_some(tc.seconds * 1e3),
+                host_wall_ms,
+            });
+        }
+    }
+    entries
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Serialize the artifact (stable field order, newline-terminated).
+pub fn to_json(entries: &[Entry], cfg: &ExpConfig) -> String {
+    let mut out = String::with_capacity(256 + 160 * entries.len());
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": {BENCH_SEQ},\n"));
+    out.push_str(&format!(
+        "  \"scale\": {},\n",
+        json_string(&format!("{:?}", cfg.scale).to_lowercase())
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed.0));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"graph\": {},\n", json_string(&e.graph)));
+        out.push_str(&format!(
+            "      \"backend\": {},\n",
+            json_string(&e.backend)
+        ));
+        out.push_str(&format!("      \"triangles\": {},\n", e.triangles));
+        out.push_str(&format!(
+            "      \"modeled_ms\": {},\n",
+            e.modeled_ms.map_or("null".into(), json_f64)
+        ));
+        out.push_str(&format!(
+            "      \"host_wall_ms\": {}\n",
+            json_f64(e.host_wall_ms)
+        ));
+        out.push_str(if i + 1 == entries.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Human-readable view of the same matrix.
+pub fn render(entries: &[Entry]) -> Table {
+    let mut t = Table::new(
+        "Bench matrix (modeled GPU ms are deterministic; wall ms are this host)",
+        &["graph", "backend", "triangles", "modeled [ms]", "wall [ms]"],
+    );
+    for e in entries {
+        t.push(vec![
+            e.graph.clone(),
+            e.backend.clone(),
+            e.triangles.to_string(),
+            e.modeled_ms.map_or("-".into(), |ms| format!("{ms:.4}")),
+            format!("{:.1}", e.host_wall_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_matrix_is_consistent_and_serializes() {
+        let cfg = ExpConfig::smoke();
+        let entries = run(&cfg);
+        assert_eq!(entries.len(), 13 * BACKENDS.len());
+        // Every backend agrees on every graph's count.
+        for chunk in entries.chunks(BACKENDS.len()) {
+            for e in chunk {
+                assert_eq!(e.triangles, chunk[0].triangles, "{} {}", e.graph, e.backend);
+                assert!(e.host_wall_ms >= 0.0);
+            }
+            assert!(
+                chunk[0].modeled_ms.is_none(),
+                "cpu entry has no modeled time"
+            );
+            assert!(chunk[1].modeled_ms.is_some());
+            assert!(chunk[2].modeled_ms.is_some());
+        }
+        let json = to_json(&entries, &cfg);
+        assert!(json.starts_with("{\n  \"bench\": 3,\n"));
+        assert!(json.ends_with("]\n}\n"));
+        assert_eq!(json.matches("\"graph\":").count(), entries.len());
+        // Balanced JSON braces (cheap well-formedness check; ci.sh runs a
+        // real parser over the emitted file).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -5,6 +5,8 @@
 pub mod ablations;
 pub mod amdahl;
 pub mod approx_comparison;
+pub mod balance;
+pub mod bench_json;
 pub mod figure1;
 pub mod input_format;
 pub mod profile;

@@ -12,7 +12,7 @@ use crate::cpu;
 use crate::error::{CoreError, ErrorContext};
 use crate::gpu::multi::{merged_profile, run_multi_gpu, run_multi_gpu_profiled};
 use crate::gpu::pipeline::{run_gpu_pipeline, run_gpu_pipeline_profiled, GpuReport};
-use crate::gpu::{EdgeLayout, LoopVariant};
+use crate::gpu::{EdgeLayout, KernelSchedule, LoopVariant};
 
 /// Configuration of a simulated-GPU run: the device preset plus every
 /// §III-D optimization toggle (all default to the paper's published
@@ -35,6 +35,9 @@ pub struct GpuOptions {
     pub launch: Option<LaunchConfig>,
     /// Pre-create the context before the measured window (§IV).
     pub preinit_context: bool,
+    /// Workload-balanced kernel scheduling (degree-binned dispatch; the
+    /// default is the paper's thread-per-edge mapping).
+    pub schedule: KernelSchedule,
 }
 
 impl GpuOptions {
@@ -48,7 +51,15 @@ impl GpuOptions {
             warp_split: 1,
             launch: None,
             preinit_context: true,
+            schedule: KernelSchedule::ThreadPerEdge,
         }
+    }
+
+    /// The same configuration with the workload-balanced scheduler on.
+    pub fn balanced(device: DeviceConfig) -> Self {
+        let mut o = GpuOptions::new(device);
+        o.schedule = KernelSchedule::Balanced;
+        o
     }
 }
 
@@ -127,13 +138,30 @@ impl Backend {
             Backend::CpuParallel => "cpu-parallel".into(),
             Backend::CpuHybrid { threshold: Some(t) } => format!("cpu-hybrid(tau={t})"),
             Backend::CpuHybrid { threshold: None } => "cpu-hybrid(auto)".into(),
-            Backend::Gpu(o) => format!("gpu-sim({})", o.device.name),
-            Backend::MultiGpu { options, devices } => {
-                format!("{}x-gpu-sim({})", devices, options.device.name)
-            }
+            Backend::Gpu(o) => match o.schedule {
+                KernelSchedule::ThreadPerEdge => format!("gpu-sim({})", o.device.name),
+                s => format!("gpu-sim({}, {s})", o.device.name),
+            },
+            Backend::MultiGpu { options, devices } => match options.schedule {
+                KernelSchedule::ThreadPerEdge => {
+                    format!("{}x-gpu-sim({})", devices, options.device.name)
+                }
+                s => format!("{}x-gpu-sim({}, {s})", devices, options.device.name),
+            },
             Backend::GpuSplit { options, parts } => {
                 format!("gpu-split({}, {} parts)", options.device.name, parts)
             }
+        }
+    }
+
+    /// The scheduling knob of the backend's GPU options, if it has one.
+    fn schedule_mut(&mut self) -> Option<&mut KernelSchedule> {
+        match self {
+            Backend::Gpu(o) => Some(&mut o.schedule),
+            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
+                Some(&mut options.schedule)
+            }
+            _ => None,
         }
     }
 }
@@ -172,18 +200,27 @@ impl fmt::Display for Backend {
             Backend::CpuParallel => f.write_str("parallel"),
             Backend::CpuHybrid { threshold: None } => f.write_str("hybrid"),
             Backend::CpuHybrid { threshold: Some(t) } => write!(f, "hybrid:{t}"),
-            Backend::Gpu(o) => match device_token(o.device.name) {
-                Some(tok) => f.write_str(tok),
-                None => write!(f, "gpu:{}", o.device.name),
-            },
-            Backend::MultiGpu { options, devices } => match device_token(options.device.name) {
-                Some(tok) => write!(f, "{devices}x{tok}"),
-                None => write!(f, "{devices}xgpu:{}", options.device.name),
-            },
-            Backend::GpuSplit { options, parts } => match device_token(options.device.name) {
-                Some(tok) => write!(f, "{tok}/split:{parts}"),
-                None => write!(f, "gpu:{}/split:{parts}", options.device.name),
-            },
+            Backend::Gpu(o) => {
+                match device_token(o.device.name) {
+                    Some(tok) => f.write_str(tok)?,
+                    None => write!(f, "gpu:{}", o.device.name)?,
+                }
+                f.write_str(&o.schedule.token_suffix())
+            }
+            Backend::MultiGpu { options, devices } => {
+                match device_token(options.device.name) {
+                    Some(tok) => write!(f, "{devices}x{tok}")?,
+                    None => write!(f, "{devices}xgpu:{}", options.device.name)?,
+                }
+                f.write_str(&options.schedule.token_suffix())
+            }
+            Backend::GpuSplit { options, parts } => {
+                match device_token(options.device.name) {
+                    Some(tok) => write!(f, "{tok}/split:{parts}")?,
+                    None => write!(f, "gpu:{}/split:{parts}", options.device.name)?,
+                }
+                f.write_str(&options.schedule.token_suffix())
+            }
         }
     }
 }
@@ -200,7 +237,8 @@ impl fmt::Display for ParseBackendError {
             f,
             "unknown backend {:?} (expected forward, edge-iterator, node-iterator, hashed, \
              parallel, hybrid[:<tau>], gtx980, c2050, nvs5200m, <n>x<device>, or \
-             <device>/split:<parts>)",
+             <device>/split:<parts>, each GPU form optionally followed by \
+             /balanced[:<t>x<w>])",
             self.token
         )
     }
@@ -214,17 +252,39 @@ impl FromStr for Backend {
     /// Parse a canonical backend token — the single parser behind `tcount
     /// --backend`, `repro`, and engine jobfiles.
     ///
+    /// The workload-balanced scheduler is a `/balanced[:<t>x<w>]` suffix on
+    /// any GPU form: `gtx980/balanced` auto-tunes, `gtx980/balanced:16x8`
+    /// fixes the light/heavy work threshold and heavy-bin virtual-warp
+    /// width.
+    ///
     /// ```
     /// use tc_core::Backend;
     ///
-    /// for token in ["forward", "hybrid:40", "gtx980", "4xc2050", "c2050/split:3"] {
+    /// for token in [
+    ///     "forward",
+    ///     "hybrid:40",
+    ///     "gtx980",
+    ///     "4xc2050",
+    ///     "c2050/split:3",
+    ///     "gtx980/balanced",
+    ///     "2xc2050/balanced:16x8",
+    /// ] {
     ///     let b: Backend = token.parse().unwrap();
     ///     assert_eq!(b.to_string(), token, "canonical tokens round-trip");
     /// }
     /// assert!("warp9".parse::<Backend>().is_err());
+    /// assert!("forward/balanced".parse::<Backend>().is_err());
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseBackendError { token: s.into() };
+        // Peel the scheduling suffix first: it composes with every GPU
+        // form (`gtx980/balanced`, `2xc2050/balanced:16x8`, …).
+        if let Some(pos) = s.find("/balanced") {
+            let schedule = KernelSchedule::parse_clause(&s[pos + 1..]).ok_or_else(err)?;
+            let mut backend: Backend = s[..pos].parse().map_err(|_| err())?;
+            *backend.schedule_mut().ok_or_else(err)? = schedule;
+            return Ok(backend);
+        }
         match s {
             "forward" => return Ok(Backend::CpuForward),
             "edge-iterator" => return Ok(Backend::CpuEdgeIterator),
@@ -573,6 +633,12 @@ mod tests {
             "4xc2050",
             "2xgtx980",
             "gtx980/split:3",
+            "gtx980/balanced",
+            "c2050/balanced:16x8",
+            "nvs5200m/balanced:0x32",
+            "4xc2050/balanced",
+            "2xgtx980/balanced:100x4",
+            "gtx980/split:3/balanced",
         ];
         for tok in canonical {
             let b: Backend = tok.parse().unwrap_or_else(|e| panic!("{tok}: {e}"));
@@ -586,9 +652,20 @@ mod tests {
             "3x",
             "gtx980/split:0",
             "xc2050",
+            "forward/balanced",
+            "hybrid/balanced",
+            "gtx980/balanced:16",
+            "gtx980/balanced:16x3",
+            "gtx980/balanced:x8",
+            "/balanced",
         ] {
             assert!(bad.parse::<Backend>().is_err(), "{bad:?} must not parse");
         }
+        // The scheduling knob is part of the canonical token — the engine's
+        // cache key — so differently scheduled jobs can never collide.
+        let plain: Backend = "gtx980".parse().unwrap();
+        let balanced: Backend = "gtx980/balanced".parse().unwrap();
+        assert_ne!(plain.to_string(), balanced.to_string());
         // Helper constructors print their canonical tokens.
         assert_eq!(Backend::gpu_gtx980().to_string(), "gtx980");
         assert_eq!(Backend::multi_gpu_c2050(4).to_string(), "4xc2050");

@@ -31,6 +31,15 @@ pub enum KernelArrays {
     },
     /// Packed `(owner << 32) | nbr` arcs.
     AoS { arcs: DeviceBuffer<u64> },
+    /// Bin-ordered gathered endpoints (the balanced scheduler's layout):
+    /// `eu[i]`/`ev[i]` are the edge's endpoints in work-sorted order,
+    /// while merges still read the *original* adjacency array `adj` that
+    /// the node array points into.
+    Gathered {
+        eu: DeviceBuffer<u32>,
+        ev: DeviceBuffer<u32>,
+        adj: DeviceBuffer<u32>,
+    },
 }
 
 /// The triangle-counting kernel.
@@ -118,6 +127,7 @@ impl CountLane {
         match self.k.arrays {
             KernelArrays::SoA { nbr, .. } => (nbr.addr() + idx as u64 * 4, 4),
             KernelArrays::AoS { arcs } => (arcs.addr() + idx as u64 * 8, 8),
+            KernelArrays::Gathered { adj, .. } => (adj.addr() + idx as u64 * 4, 4),
         }
     }
 
@@ -127,6 +137,7 @@ impl CountLane {
         match self.k.arrays {
             KernelArrays::SoA { nbr, .. } => mem.read_u32(nbr.addr() + idx as u64 * 4),
             KernelArrays::AoS { arcs } => mem.read_u32(arcs.addr() + idx as u64 * 8),
+            KernelArrays::Gathered { adj, .. } => mem.read_u32(adj.addr() + idx as u64 * 4),
         }
     }
 
@@ -164,15 +175,22 @@ impl Lane for CountLane {
                             self.phase = Phase::LoadNodeU;
                             return self.read(arcs.addr() + self.i as u64 * 8, 8);
                         }
+                        KernelArrays::Gathered { eu, .. } => {
+                            self.u = mem.read_u32(eu.addr() + self.i as u64 * 4);
+                            self.phase = Phase::LoadEdge2;
+                            return self.read(eu.addr() + self.i as u64 * 4, 4);
+                        }
                     }
                 }
                 Phase::LoadEdge2 => {
-                    let KernelArrays::SoA { nbr, .. } = self.k.arrays else {
-                        unreachable!()
+                    let second = match self.k.arrays {
+                        KernelArrays::SoA { nbr, .. } => nbr,
+                        KernelArrays::Gathered { ev, .. } => ev,
+                        KernelArrays::AoS { .. } => unreachable!(),
                     };
-                    self.v = mem.read_u32(nbr.addr() + self.i as u64 * 4);
+                    self.v = mem.read_u32(second.addr() + self.i as u64 * 4);
                     self.phase = Phase::LoadNodeU;
-                    return self.read(nbr.addr() + self.i as u64 * 4, 4);
+                    return self.read(second.addr() + self.i as u64 * 4, 4);
                 }
                 Phase::LoadNodeU => {
                     let addr = self.k.node.addr() + self.u as u64 * 4;

@@ -14,8 +14,11 @@ pub mod multi;
 pub mod pipeline;
 pub mod prepared;
 pub mod preprocess;
+pub mod schedule;
 pub mod split;
 pub mod warp_centric;
+
+pub use schedule::KernelSchedule;
 
 /// Which merge loop the kernel runs (§III-D3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

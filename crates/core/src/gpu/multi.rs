@@ -16,6 +16,8 @@ use crate::error::CoreError;
 use crate::gpu::count_kernel::{CountKernel, KernelArrays};
 use crate::gpu::pipeline::RunTrace;
 use crate::gpu::preprocess::preprocess_auto;
+use crate::gpu::schedule::build_plan;
+use crate::gpu::warp_centric::{IntersectStrategy, WarpCentricKernel};
 use crate::gpu::EdgeLayout;
 
 /// Results of a multi-GPU run.
@@ -81,9 +83,17 @@ pub fn run_multi_gpu_profiled(
     let pre = preprocess_auto(group.device_mut(0), g, false, reserve);
     group.device_mut(0).pop_phase();
     let pre = pre?;
+
+    // The balanced bin plan, built and charged on device 0 like the
+    // preprocessing it extends.
+    group.device_mut(0).push_phase("schedule");
+    let plan = build_plan(group.device_mut(0), &pre, opts.schedule);
+    group.device_mut(0).pop_phase();
+    let plan = plan?;
     let preprocess_s = group.device(0).elapsed() + pre.host_seconds;
 
-    // Broadcast the three arrays. Target clocks start accumulating here.
+    // Broadcast the shared arrays (plus the gathered bin-ordered edge
+    // copies under a balanced plan). Target clocks start accumulating here.
     let t_before: Vec<f64> = (0..devices).map(|i| group.device(i).elapsed()).collect();
     for i in 0..devices {
         group.device_mut(i).push_phase("broadcast");
@@ -91,11 +101,17 @@ pub fn run_multi_gpu_profiled(
     let nbr = group.broadcast(0, &pre.nbr)?;
     let owner = group.broadcast(0, &pre.owner)?;
     let node = group.broadcast(0, &pre.node)?;
+    let gathered = match &plan {
+        Some(plan) => Some((group.broadcast(0, &plan.eu)?, group.broadcast(0, &plan.ev)?)),
+        None => None,
+    };
     for i in 0..devices {
         group.device_mut(i).pop_phase();
     }
 
-    // Each device counts its stripe.
+    // Each device counts its stripe — of the whole edge array under the
+    // paper's scheme, of every occupied bin under a balanced plan (so each
+    // device sees the same light/heavy mix and the stripes stay even).
     let mut triangles = 0u64;
     let mut kernel_stats: Option<KernelStats> = None;
     for i in 0..devices {
@@ -109,28 +125,84 @@ pub fn run_multi_gpu_profiled(
         let total_threads = lc.active_threads(dev.config().warp_size);
         dev.push_phase("count");
         let result = dev.alloc::<u64>(total_threads)?;
-        dev.poke(&result, &vec![0u64; total_threads]);
-        let offset = pre.m * i / devices;
-        let count = pre.m * (i + 1) / devices - offset;
-        let kernel = CountKernel {
-            arrays: KernelArrays::SoA {
-                nbr: nbr[i],
-                owner: owner[i],
-            },
-            node: node[i],
-            result,
-            offset,
-            count,
-            variant: opts.kernel,
-            use_texture_cache: opts.use_texture_cache,
-        };
-        let stats = dev.with_phase("count-kernel", |d| {
-            d.launch("CountTriangles(stripe)", lc, &kernel)
-        })?;
-        if i == 0 {
-            kernel_stats = Some(stats);
+        match (&plan, &gathered) {
+            (Some(plan), Some((eu, ev))) => {
+                let mut slowest: Option<KernelStats> = None;
+                for bin in plan.occupied() {
+                    dev.poke(&result, &vec![0u64; total_threads]);
+                    let offset = bin.start + bin.len * i / devices;
+                    let count = bin.start + bin.len * (i + 1) / devices - offset;
+                    if count == 0 {
+                        continue;
+                    }
+                    let stats = if bin.width == 1 {
+                        let kernel = CountKernel {
+                            arrays: KernelArrays::Gathered {
+                                eu: eu[i],
+                                ev: ev[i],
+                                adj: nbr[i],
+                            },
+                            node: node[i],
+                            result,
+                            offset,
+                            count,
+                            variant: opts.kernel,
+                            use_texture_cache: opts.use_texture_cache,
+                        };
+                        dev.with_phase("count-kernel", |d| {
+                            d.launch("CountTriangles(bin stripe)", lc, &kernel)
+                        })?
+                    } else {
+                        let kernel = WarpCentricKernel {
+                            adj: nbr[i],
+                            edge_u: eu[i],
+                            edge_v: ev[i],
+                            node: node[i],
+                            result,
+                            offset,
+                            count,
+                            virtual_warp: bin.width,
+                            use_texture_cache: opts.use_texture_cache,
+                            strategy: IntersectStrategy::ChunkScan,
+                        };
+                        dev.with_phase("count-kernel", |d| {
+                            d.launch("CountTrianglesWarp(bin stripe)", lc, &kernel)
+                        })?
+                    };
+                    if slowest.as_ref().is_none_or(|s| stats.time_s > s.time_s) {
+                        slowest = Some(stats);
+                    }
+                    triangles += dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
+                }
+                if i == 0 {
+                    kernel_stats = Some(slowest.unwrap_or_default());
+                }
+            }
+            _ => {
+                dev.poke(&result, &vec![0u64; total_threads]);
+                let offset = pre.m * i / devices;
+                let count = pre.m * (i + 1) / devices - offset;
+                let kernel = CountKernel {
+                    arrays: KernelArrays::SoA {
+                        nbr: nbr[i],
+                        owner: owner[i],
+                    },
+                    node: node[i],
+                    result,
+                    offset,
+                    count,
+                    variant: opts.kernel,
+                    use_texture_cache: opts.use_texture_cache,
+                };
+                let stats = dev.with_phase("count-kernel", |d| {
+                    d.launch("CountTriangles(stripe)", lc, &kernel)
+                })?;
+                if i == 0 {
+                    kernel_stats = Some(stats);
+                }
+                triangles += dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
+            }
         }
-        triangles += dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
         dev.free(result)?;
         dev.pop_phase();
     }
@@ -226,6 +298,30 @@ mod tests {
         // Preprocessing is identical (device 0 does it alone).
         let rel = (four.preprocess_s - one.preprocess_s).abs() / one.preprocess_s;
         assert!(rel < 1e-9, "preprocessing must not depend on device count");
+    }
+
+    #[test]
+    fn balanced_multi_gpu_counts_match_cpu_for_every_device_count() {
+        let g = dense_graph();
+        let want = count_forward(&g).unwrap();
+        let dev = DeviceConfig::tesla_c2050().with_unlimited_memory();
+        for schedule in [
+            crate::KernelSchedule::Balanced,
+            crate::KernelSchedule::BalancedFixed {
+                threshold: 32,
+                width: 8,
+            },
+        ] {
+            let mut opts = GpuOptions::new(dev.clone());
+            opts.schedule = schedule;
+            for devices in [1, 2, 3, 4] {
+                let report = run_multi_gpu(&g, &opts, devices).unwrap();
+                assert_eq!(
+                    report.triangles, want,
+                    "schedule = {schedule}, devices = {devices}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,8 @@ use crate::count::GpuOptions;
 use crate::error::{CoreError, ErrorContext};
 use crate::gpu::count_kernel::{CountKernel, KernelArrays};
 use crate::gpu::preprocess::{free_preprocessed, preprocess_auto, Preprocessed};
+use crate::gpu::schedule::{build_plan, free_plan, BinPlan};
+use crate::gpu::warp_centric::{IntersectStrategy, WarpCentricKernel};
 use crate::gpu::EdgeLayout;
 
 /// A graph preprocessed onto a device, ready to serve counts.
@@ -37,6 +39,9 @@ pub struct PreparedGraph {
     lc: LaunchConfig,
     total_threads: usize,
     result: DeviceBuffer<u64>,
+    /// Balanced-scheduler bin plan (`None` under the default schedule, or
+    /// when the auto-tuner found the graph uniform).
+    plan: Option<BinPlan>,
     digest: u64,
     prepare_s: f64,
     counts_served: u64,
@@ -106,6 +111,18 @@ impl PreparedGraph {
             })
         })?;
 
+        // ---- scheduling phase: the balanced bin plan, charged once ----
+        dev.push_phase("schedule");
+        let plan = build_plan(&mut dev, &pre, opts.schedule);
+        dev.pop_phase();
+        let plan = plan.map_err(|e| {
+            e.with_context(ErrorContext {
+                device: Some(dev.config().name.to_string()),
+                phase: Some("schedule".into()),
+                ..Default::default()
+            })
+        })?;
+
         // The per-thread result array lives as long as the prepared graph;
         // counts re-zero it instead of reallocating, so repeated counts
         // see identical device addresses (and therefore identical cache
@@ -126,6 +143,7 @@ impl PreparedGraph {
             lc,
             total_threads,
             result,
+            plan,
             digest: g.digest(),
             prepare_s,
             counts_served: 0,
@@ -135,50 +153,33 @@ impl PreparedGraph {
     /// Run the counting phase (§III-C): zero the result array, launch
     /// `CountTriangles`, reduce. Only kernel phases are charged; the
     /// preprocessing cost stays amortized in [`PreparedGraph::prepare_s`].
+    ///
+    /// Under a balanced schedule with a bin plan, one kernel runs per
+    /// occupied bin — the merge kernel over the gathered light edges, the
+    /// warp-centric kernel (per-bin virtual-warp width) over the heavy
+    /// ones — and the partial reductions sum. [`PreparedCount::kernel`]
+    /// then reports the slowest bin's launch (the representative stripe).
     pub fn count(&mut self) -> Result<PreparedCount, CoreError> {
         let span_mark = self.dev.spans().len();
         let t0 = self.dev.elapsed();
         let counters0 = *self.dev.counters();
 
         self.dev.push_phase("count");
-        self.dev.poke(&self.result, &vec![0u64; self.total_threads]);
-        let arrays = match self.opts.layout {
-            EdgeLayout::SoA => KernelArrays::SoA {
-                nbr: self.pre.nbr,
-                owner: self.pre.owner,
-            },
-            EdgeLayout::AoS => KernelArrays::AoS {
-                arcs: self.pre.arcs_aos.expect("AoS layout retains packed arcs"),
-            },
+        let counted = match self.plan.clone() {
+            None => self.count_thread_per_edge(),
+            Some(plan) => self.count_balanced(&plan),
         };
-        let kernel = CountKernel {
-            arrays,
-            node: self.pre.node,
-            result: self.result,
-            offset: 0,
-            count: self.pre.m,
-            variant: self.opts.kernel,
-            use_texture_cache: self.opts.use_texture_cache,
-        };
-        let lc = self.lc;
-        let launched = self
-            .dev
-            .with_phase("count-kernel", |d| d.launch("CountTriangles", lc, &kernel));
-        let kernel_stats = match launched {
-            Ok(stats) => stats,
+        let (triangles, kernel_stats) = match counted {
+            Ok(pair) => pair,
             Err(e) => {
                 self.dev.pop_phase();
-                return Err(CoreError::from(e).with_context(ErrorContext {
+                return Err(e.with_context(ErrorContext {
                     device: Some(self.dev.config().name.to_string()),
                     phase: Some("count".into()),
                     ..Default::default()
                 }));
             }
         };
-        let result = self.result;
-        let triangles = self
-            .dev
-            .with_phase("reduce", |d| reduce_sum_u64(d, &result));
         self.dev.pop_phase();
         self.counts_served += 1;
 
@@ -199,11 +200,100 @@ impl PreparedGraph {
         })
     }
 
+    /// The paper's single thread-per-edge launch (§III-C).
+    fn count_thread_per_edge(&mut self) -> Result<(u64, KernelStats), CoreError> {
+        self.dev.poke(&self.result, &vec![0u64; self.total_threads]);
+        let arrays = match self.opts.layout {
+            EdgeLayout::SoA => KernelArrays::SoA {
+                nbr: self.pre.nbr,
+                owner: self.pre.owner,
+            },
+            EdgeLayout::AoS => KernelArrays::AoS {
+                arcs: self.pre.arcs_aos.expect("AoS layout retains packed arcs"),
+            },
+        };
+        let kernel = CountKernel {
+            arrays,
+            node: self.pre.node,
+            result: self.result,
+            offset: 0,
+            count: self.pre.m,
+            variant: self.opts.kernel,
+            use_texture_cache: self.opts.use_texture_cache,
+        };
+        let lc = self.lc;
+        let stats = self
+            .dev
+            .with_phase("count-kernel", |d| d.launch("CountTriangles", lc, &kernel))?;
+        let result = self.result;
+        let triangles = self
+            .dev
+            .with_phase("reduce", |d| reduce_sum_u64(d, &result));
+        Ok((triangles, stats))
+    }
+
+    /// The balanced scheduler's dispatch: one launch + reduction per
+    /// occupied bin, partials summed. Returns the slowest bin's stats.
+    fn count_balanced(&mut self, plan: &BinPlan) -> Result<(u64, KernelStats), CoreError> {
+        let lc = self.lc;
+        let result = self.result;
+        let mut triangles = 0u64;
+        let mut slowest: Option<KernelStats> = None;
+        for bin in plan.occupied() {
+            self.dev.poke(&self.result, &vec![0u64; self.total_threads]);
+            let stats = if bin.width == 1 {
+                let kernel = CountKernel {
+                    arrays: KernelArrays::Gathered {
+                        eu: plan.eu,
+                        ev: plan.ev,
+                        adj: self.pre.nbr,
+                    },
+                    node: self.pre.node,
+                    result,
+                    offset: bin.start,
+                    count: bin.len,
+                    variant: self.opts.kernel,
+                    use_texture_cache: self.opts.use_texture_cache,
+                };
+                self.dev.with_phase("count-kernel", |d| {
+                    d.launch("CountTriangles(bin)", lc, &kernel)
+                })?
+            } else {
+                let kernel = WarpCentricKernel {
+                    adj: self.pre.nbr,
+                    edge_u: plan.eu,
+                    edge_v: plan.ev,
+                    node: self.pre.node,
+                    result,
+                    offset: bin.start,
+                    count: bin.len,
+                    virtual_warp: bin.width,
+                    use_texture_cache: self.opts.use_texture_cache,
+                    strategy: IntersectStrategy::ChunkScan,
+                };
+                self.dev.with_phase("count-kernel", |d| {
+                    d.launch("CountTrianglesWarp(bin)", lc, &kernel)
+                })?
+            };
+            triangles += self
+                .dev
+                .with_phase("reduce", |d| reduce_sum_u64(d, &result));
+            if slowest.as_ref().is_none_or(|s| stats.time_s > s.time_s) {
+                slowest = Some(stats);
+            }
+        }
+        // An empty plan (m = 0) still answers: zero triangles, zero stats.
+        Ok((triangles, slowest.unwrap_or_default()))
+    }
+
     /// Free every device buffer this prepared graph holds and hand the
     /// (still warm) device back — e.g. to return it to a pool. The frees
     /// charge no simulated time, matching the paper's protocol where the
     /// measured window ends at the free.
     pub fn release(mut self) -> Result<Device, CoreError> {
+        if let Some(plan) = self.plan.take() {
+            free_plan(&mut self.dev, &plan)?;
+        }
         self.dev.free(self.result)?;
         free_preprocessed(&mut self.dev, &self.pre)?;
         Ok(self.dev)
@@ -255,6 +345,13 @@ impl PreparedGraph {
     #[inline]
     pub fn options(&self) -> &GpuOptions {
         &self.opts
+    }
+
+    /// The balanced scheduler's bin plan, if one was built (`None` under
+    /// the default schedule or when the auto-tuner found the graph uniform).
+    #[inline]
+    pub fn bin_plan(&self) -> Option<&BinPlan> {
+        self.plan.as_ref()
     }
 
     /// The underlying device (for reports, traces, and memory stats).

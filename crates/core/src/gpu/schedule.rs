@@ -1,0 +1,464 @@
+//! Workload-balanced kernel scheduling: degree-binned dispatch with a
+//! deterministic auto-tuner.
+//!
+//! Polak's §III-C kernel assigns one thread per edge, so on skewed graphs
+//! a few heavy edges (huge adjacency intersections) dominate the slowest
+//! warp while most lanes idle. The fix, following the workload-balancing
+//! line of Wang et al. (2018) and TRUST (2021), is to *bin* edges by an
+//! estimated intersection work and dispatch each bin to the kernel that
+//! wins there:
+//!
+//! * the per-edge work estimate is `min(outdeg(u), outdeg(v))` over the
+//!   oriented CSR — an upper bound on the merge's match count and a good
+//!   proxy for its length, available from the `node` array already
+//!   resident after preprocessing;
+//! * a charged on-device pass builds `(work << 32) | edge` keys, radix
+//!   sorts them with the same [`tc_simt::primitives::sort_u64`] the
+//!   preprocessing phase uses, and gathers the bin-ordered endpoint
+//!   arrays `eu`/`ev` (the adjacency array itself is *not* reordered —
+//!   `node` keeps pointing into it);
+//! * light bins run the merge [`CountKernel`](super::count_kernel::CountKernel)
+//!   over the gathered arrays (sorted order alone balances per-lane totals
+//!   and keeps warp-mates on similar-length merges), heavy bins run the
+//!   [`WarpCentricKernel`](super::warp_centric::WarpCentricKernel) with a
+//!   per-bin virtual-warp width so one hub edge is shared by `W` lanes.
+//!
+//! The auto-tuner is **static and deterministic**: it reads only the work
+//! histogram (no measurement feedback), so a given graph + schedule always
+//! produces the same plan, the same device operations, and byte-identical
+//! counts — the property the engine cache and the golden perf tests rely
+//! on. Uniform low-degree graphs (mean work below the gate) tune to *no
+//! plan* at all: the scheduler charges nothing and the default
+//! thread-per-edge kernel runs unchanged. Calibration against the
+//! simulated GTX 980 showed the chunk-scan kernel dominating the merge
+//! kernel at every work level above the gate, so the *auto* plan uses
+//! chunk-scan bins only; the merge-light-bin shape stays reachable
+//! through [`KernelSchedule::BalancedFixed`].
+
+use std::fmt;
+
+use tc_simt::primitives::{charge_transform_pass, sort_u64};
+use tc_simt::{Device, DeviceBuffer};
+
+use crate::error::CoreError;
+use crate::gpu::preprocess::Preprocessed;
+
+/// How counting work is mapped onto the grid — the scheduling knob on
+/// [`crate::GpuOptions`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
+pub enum KernelSchedule {
+    /// The paper's §III-C mapping: thread `tid` takes edges `tid`,
+    /// `tid + grid`, … in input order. No binning pass, no extra memory.
+    #[default]
+    ThreadPerEdge,
+    /// Degree-binned dispatch with auto-tuned bin thresholds and widths
+    /// (token `balanced`). Falls back to no plan at all when the tuner
+    /// finds the graph uniform and low-degree.
+    Balanced,
+    /// Degree-binned dispatch with an explicit light/heavy threshold and
+    /// heavy-bin virtual-warp width (token `balanced:<t>x<w>`): edges with
+    /// work `< t` go to the merge kernel, the rest to the warp-centric
+    /// kernel with width `w`. `t = 0` sends everything heavy;
+    /// `t = u32::MAX` keeps everything in the sorted light bin.
+    BalancedFixed { threshold: u32, width: u32 },
+}
+
+impl KernelSchedule {
+    /// Virtual-warp widths the heavy bins may use (must divide the warp
+    /// size of every device preset).
+    pub const WIDTHS: [u32; 5] = [2, 4, 8, 16, 32];
+
+    /// Is this the default schedule (no binning pass, no token suffix)?
+    #[inline]
+    pub fn is_default(&self) -> bool {
+        matches!(self, KernelSchedule::ThreadPerEdge)
+    }
+
+    /// The token suffix appended to a backend device token (`""` for the
+    /// default schedule).
+    pub fn token_suffix(&self) -> String {
+        match self {
+            KernelSchedule::ThreadPerEdge => String::new(),
+            KernelSchedule::Balanced => "/balanced".into(),
+            KernelSchedule::BalancedFixed { threshold, width } => {
+                format!("/balanced:{threshold}x{width}")
+            }
+        }
+    }
+
+    /// Parse the `balanced[:<t>x<w>]` part of a backend token (the part
+    /// after the `/`). `None` when it is not a schedule clause.
+    pub fn parse_clause(clause: &str) -> Option<KernelSchedule> {
+        if clause == "balanced" {
+            return Some(KernelSchedule::Balanced);
+        }
+        let spec = clause.strip_prefix("balanced:")?;
+        let (t, w) = spec.split_once('x')?;
+        let threshold = t.parse::<u32>().ok()?;
+        let width = w.parse::<u32>().ok()?;
+        if width != 1 && !Self::WIDTHS.contains(&width) {
+            return None;
+        }
+        Some(KernelSchedule::BalancedFixed { threshold, width })
+    }
+}
+
+impl fmt::Display for KernelSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelSchedule::ThreadPerEdge => f.write_str("thread-per-edge"),
+            KernelSchedule::Balanced => f.write_str("balanced"),
+            KernelSchedule::BalancedFixed { threshold, width } => {
+                write!(f, "balanced(t={threshold}, w={width})")
+            }
+        }
+    }
+}
+
+/// One work bin of a [`BinPlan`]: a contiguous range of the bin-ordered
+/// edge arrays plus the kernel strategy that serves it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Bin {
+    /// First index into the gathered `eu`/`ev` arrays.
+    pub start: usize,
+    /// Edges in the bin.
+    pub len: usize,
+    /// Virtual-warp width: 1 = merge
+    /// [`CountKernel`](super::count_kernel::CountKernel), >1 =
+    /// [`WarpCentricKernel`](super::warp_centric::WarpCentricKernel) with
+    /// `width` lanes per edge.
+    pub width: u32,
+}
+
+/// A tuned bin boundary: edges with work `< max_work` (and above the
+/// previous spec's bound) belong to a bin served at `width`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BinSpec {
+    /// Exclusive upper work bound (`u32::MAX` = open-ended last bin).
+    pub max_work: u32,
+    /// Virtual-warp width of the bin's kernel (1 = merge kernel).
+    pub width: u32,
+}
+
+/// The device-resident schedule: bin-ordered endpoint arrays plus the bin
+/// table. Built once per prepared graph (cost charged to the schedule
+/// phase), reused by every count, freed on release.
+#[derive(Clone, Debug)]
+pub struct BinPlan {
+    /// First endpoints, bin order (gathered copy; coalesced kernel reads).
+    pub eu: DeviceBuffer<u32>,
+    /// Second endpoints, bin order.
+    pub ev: DeviceBuffer<u32>,
+    /// Disjoint bins covering `[0, m)` in ascending work order.
+    pub bins: Vec<Bin>,
+}
+
+impl BinPlan {
+    /// Bins that actually contain edges.
+    pub fn occupied(&self) -> impl Iterator<Item = &Bin> {
+        self.bins.iter().filter(|b| b.len > 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic static auto-tuner.
+//
+// All constants are structural (calibrated once against the simulator, not
+// measured per run): the tuner sees only the work multiset, so the plan is
+// a pure function of the graph + schedule.
+// ---------------------------------------------------------------------------
+
+/// Mean work below which binning cannot pay for itself: on uniform
+/// low-degree graphs (the Watts–Strogatz regime) the thread-per-edge
+/// merge is already balanced, its short intersections leave nothing for
+/// the chunk loads to amortize, and the binning passes plus the per-bin
+/// launch overhead outweigh the win.
+const UNIFORM_MEAN_WORK: f64 = 10.0;
+/// One 32-byte line holds 8 × u32: a chunk of 8 longer-list elements is
+/// exactly one coalesced transaction, the structural optimum for the
+/// chunk-scan width (wider chunks over-fetch when the scan ends early,
+/// narrower ones waste the line).
+const LINE_WIDTH: u32 = 8;
+/// Edges at or above this work estimate go to a wider bin: their long
+/// scans amortize the bigger chunk's over-fetch.
+const TAIL_WORK: u32 = 256;
+/// Minimum fraction of edges the tail bin must hold to justify its extra
+/// kernel launch.
+const TAIL_MIN_FRACTION: f64 = 0.01;
+
+/// Per-edge work estimate over the oriented CSR: `min` of the endpoint
+/// out-degrees (an upper bound on the intersection size and a proxy for
+/// the merge length).
+pub fn edge_work(owner: &[u32], nbr: &[u32], node: &[u32]) -> Vec<u32> {
+    owner
+        .iter()
+        .zip(nbr)
+        .map(|(&u, &v)| {
+            let du = node[u as usize + 1] - node[u as usize];
+            let dv = node[v as usize + 1] - node[v as usize];
+            du.min(dv)
+        })
+        .collect()
+}
+
+/// The static auto-tuner: pick bin specs from the work multiset, or `None`
+/// when binning cannot pay for itself. Deterministic — a pure function of
+/// its input.
+pub fn auto_bin_specs(work: &[u32]) -> Option<Vec<BinSpec>> {
+    let m = work.len();
+    if m == 0 {
+        return None;
+    }
+    let mean = work.iter().map(|&w| w as u64).sum::<u64>() as f64 / m as f64;
+    if mean < UNIFORM_MEAN_WORK {
+        // Uniform low-degree: the thread-per-edge kernel is already
+        // balanced and the binning passes cannot pay for themselves.
+        return None;
+    }
+    // Calibration against the simulated GTX 980: the chunk-scan kernel
+    // beats the merge kernel at *every* work level once the mean clears
+    // the gate — a light merge bin never recovered its extra launch — so
+    // the plan is chunk-scan bins only, line-width chunks, with a wider
+    // bin for the heavy tail when it holds enough edges to amortize its
+    // launch.
+    let tail = work.iter().filter(|&&w| w >= TAIL_WORK).count();
+    if (tail as f64) >= TAIL_MIN_FRACTION * m as f64 {
+        return Some(vec![
+            BinSpec {
+                max_work: TAIL_WORK,
+                width: LINE_WIDTH,
+            },
+            BinSpec {
+                max_work: u32::MAX,
+                width: 32,
+            },
+        ]);
+    }
+    Some(vec![BinSpec {
+        max_work: u32::MAX,
+        width: LINE_WIDTH,
+    }])
+}
+
+/// Bin specs for a schedule, or `None` when no plan should be built.
+fn bin_specs(schedule: KernelSchedule, work: &[u32]) -> Option<Vec<BinSpec>> {
+    match schedule {
+        KernelSchedule::ThreadPerEdge => None,
+        KernelSchedule::Balanced => auto_bin_specs(work),
+        KernelSchedule::BalancedFixed { threshold, width } => {
+            if work.is_empty() {
+                return None;
+            }
+            Some(vec![
+                BinSpec {
+                    max_work: threshold,
+                    width: 1,
+                },
+                BinSpec {
+                    max_work: u32::MAX,
+                    width: width.max(1),
+                },
+            ])
+        }
+    }
+}
+
+/// Build the device-resident [`BinPlan`] for a preprocessed graph, or
+/// `None` when the schedule needs none. Every data movement is charged:
+///
+/// 1. a work-estimate pass reads the edge endpoints and their four node
+///    cells and writes packed `(work << 32) | edge` keys;
+/// 2. [`sort_u64`] bins the keys (radix passes + the double-buffer peak,
+///    exactly like preprocessing's edge sort);
+/// 3. a gather pass reads the sorted keys and the endpoint arrays and
+///    writes the bin-ordered `eu`/`ev` copies.
+///
+/// Bin boundaries are partition points of the sorted work values — the
+/// tuner already knows the work multiset, so no extra device pass is
+/// needed to find them.
+pub(crate) fn build_plan(
+    dev: &mut Device,
+    pre: &Preprocessed,
+    schedule: KernelSchedule,
+) -> Result<Option<BinPlan>, CoreError> {
+    let m = pre.m;
+    // Host mirror of the oriented CSR: free *planning* reads (the tuner is
+    // host code, like every launch-geometry decision); the charged passes
+    // below do the actual device data movement.
+    let owner = dev.peek(&pre.owner);
+    let nbr = dev.peek(&pre.nbr);
+    let node = dev.peek(&pre.node);
+    let work = edge_work(&owner, &nbr, &node);
+    let Some(specs) = bin_specs(schedule, &work) else {
+        return Ok(None);
+    };
+    for spec in &specs {
+        assert!(
+            spec.width == 1 || dev.config().warp_size.is_multiple_of(spec.width),
+            "virtual-warp width {} must divide the warp size {}",
+            spec.width,
+            dev.config().warp_size
+        );
+    }
+
+    let mb = m as u64;
+    // Pass 1: work-estimate keys. Reads eu/ev (8 B) + four node cells
+    // (16 B) per edge, writes one u64 key per edge.
+    let keys = dev.alloc::<u64>(m)?;
+    let mut host_keys: Vec<u64> = work
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| ((w as u64) << 32) | i as u64)
+        .collect();
+    dev.poke(&keys, &host_keys);
+    charge_transform_pass(dev, "schedule: work-estimate keys", mb * 24, mb * 8);
+
+    // Pass 2: radix sort by (work, edge index) — the stable tiebreak keeps
+    // the plan independent of anything but the graph.
+    sort_u64(dev, &keys, m)?;
+    host_keys.sort_unstable();
+
+    // Pass 3: gather the bin-ordered endpoint arrays. Reads the sorted
+    // keys (8 B) plus two scattered endpoint loads (8 B), writes 8 B.
+    let eu = dev.alloc::<u32>(m)?;
+    let ev = dev.alloc::<u32>(m)?;
+    let gathered_u: Vec<u32> = host_keys
+        .iter()
+        .map(|&k| owner[(k & 0xffff_ffff) as usize])
+        .collect();
+    let gathered_v: Vec<u32> = host_keys
+        .iter()
+        .map(|&k| nbr[(k & 0xffff_ffff) as usize])
+        .collect();
+    dev.poke(&eu, &gathered_u);
+    dev.poke(&ev, &gathered_v);
+    charge_transform_pass(dev, "schedule: bin gather", mb * 16, mb * 8);
+    dev.free(keys)?;
+
+    // Bin boundaries: partition points of the sorted work sequence.
+    let sorted_work: Vec<u32> = host_keys.iter().map(|&k| (k >> 32) as u32).collect();
+    let mut bins = Vec::with_capacity(specs.len());
+    let mut start = 0usize;
+    for (i, spec) in specs.iter().enumerate() {
+        let end = if i + 1 == specs.len() {
+            m
+        } else {
+            sorted_work.partition_point(|&w| w < spec.max_work)
+        };
+        bins.push(Bin {
+            start,
+            len: end - start,
+            width: spec.width,
+        });
+        start = end;
+    }
+    debug_assert_eq!(start, m, "bins must cover every edge");
+    Ok(Some(BinPlan { eu, ev, bins }))
+}
+
+/// Free the plan's device buffers.
+pub(crate) fn free_plan(dev: &mut Device, plan: &BinPlan) -> Result<(), CoreError> {
+    dev.free(plan.eu)?;
+    dev.free(plan.ev)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_per_edge_never_plans() {
+        assert!(bin_specs(KernelSchedule::ThreadPerEdge, &[1, 2, 900]).is_none());
+    }
+
+    #[test]
+    fn low_mean_work_tunes_to_no_plan() {
+        // Regular low degrees (Watts–Strogatz regime): mean below the gate.
+        let work: Vec<u32> = (0..1000).map(|i| 7 + (i % 3)).collect();
+        assert!(auto_bin_specs(&work).is_none());
+        assert!(auto_bin_specs(&[]).is_none());
+        // Tiny degrees never profit, whatever the skew.
+        assert!(auto_bin_specs(&[1, 1, 1, 32]).is_none());
+    }
+
+    #[test]
+    fn heavy_tail_tunes_to_line_plus_wide_bin() {
+        // A heavy tail (> 1% of edges at work ≥ TAIL_WORK) gets its own
+        // wider chunk-scan bin.
+        let mut work: Vec<u32> = vec![20; 5_000];
+        work.extend([2000u32; 100]);
+        let specs = auto_bin_specs(&work).expect("skewed graph must plan");
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].width, LINE_WIDTH);
+        assert_eq!(specs[0].max_work, TAIL_WORK);
+        assert_eq!(specs[1].width, 32);
+        assert_eq!(specs[1].max_work, u32::MAX);
+    }
+
+    #[test]
+    fn mid_work_without_tail_tunes_to_single_line_width_bin() {
+        // Mean above the gate but no meaningful tail: one chunk-scan bin
+        // at the line width serves everything.
+        let mut work: Vec<u32> = vec![25; 10_000];
+        work.extend([300u32; 10]); // tail < TAIL_MIN_FRACTION
+        let specs = auto_bin_specs(&work).expect("mean above the gate");
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].width, LINE_WIDTH);
+        assert_eq!(specs[0].max_work, u32::MAX);
+    }
+
+    #[test]
+    fn tuner_is_deterministic() {
+        let mut work: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 97) as u32).collect();
+        work.extend([900u32; 20]);
+        assert_eq!(auto_bin_specs(&work), auto_bin_specs(&work));
+    }
+
+    #[test]
+    fn schedule_tokens_round_trip() {
+        for s in [
+            KernelSchedule::Balanced,
+            KernelSchedule::BalancedFixed {
+                threshold: 16,
+                width: 8,
+            },
+            KernelSchedule::BalancedFixed {
+                threshold: 0,
+                width: 32,
+            },
+        ] {
+            let suffix = s.token_suffix();
+            let clause = suffix.strip_prefix('/').unwrap();
+            assert_eq!(KernelSchedule::parse_clause(clause), Some(s), "{suffix}");
+        }
+        assert_eq!(KernelSchedule::ThreadPerEdge.token_suffix(), "");
+        for bad in [
+            "balanced:",
+            "balanced:8",
+            "balanced:8x3",
+            "balanced:x8",
+            "split:2",
+        ] {
+            assert_eq!(KernelSchedule::parse_clause(bad), None, "{bad:?}");
+        }
+        // Width 1 is legal in the fixed form: an all-light (sorted) plan.
+        assert_eq!(
+            KernelSchedule::parse_clause("balanced:9x1"),
+            Some(KernelSchedule::BalancedFixed {
+                threshold: 9,
+                width: 1
+            })
+        );
+    }
+
+    #[test]
+    fn edge_work_takes_the_min_out_degree() {
+        // CSR: v0 -> [1,2,3], v1 -> [2], v2 -> [], v3 -> []
+        let node = vec![0u32, 3, 4, 4, 4];
+        let owner = vec![0u32, 0, 0, 1];
+        let nbr = vec![1u32, 2, 3, 2];
+        assert_eq!(edge_work(&owner, &nbr, &node), vec![1, 0, 0, 0]);
+    }
+}

@@ -1,33 +1,70 @@
-//! The virtual warp-centric kernel — one of §III-D7's *unsuccessful*
-//! optimization attempts ("we tried the virtual warp-centric method \[10\]…
+//! The virtual warp-centric kernel: a *virtual warp* of `W` lanes
+//! cooperates on each edge's intersection, in one of two strategies.
+//!
+//! [`IntersectStrategy::BinarySearch`] is §III-D7's *unsuccessful*
+//! optimization attempt ("we tried the virtual warp-centric method \[10\]…
 //! none of these optimizations increased the performance of our
 //! implementation, probably due to a high overhead compared to possible
-//! gains").
+//! gains"): the lanes stride over the shorter endpoint list and each
+//! tests its elements against the longer list by binary search. That
+//! parallelizes the intersection (the idea Green et al. \[15\] build on)
+//! but replaces the merge's ~1 sequential read per element with
+//! ~log₂(len) *scattered* reads — exactly the overhead the paper
+//! observed. The ablation bench keeps this variant to demonstrate the
+//! negative result.
 //!
-//! Instead of one thread per edge, a *virtual warp* of `W` lanes
-//! cooperates on each edge: the lanes stride over the shorter endpoint
-//! list and each tests its elements against the longer list by binary
-//! search. That parallelizes the intersection (the idea Green et al. \[15\]
-//! build on) but replaces the merge's ~1 sequential read per element with
-//! ~log₂(len) scattered reads — exactly the overhead the paper observed.
-//! The kernel exists so the ablation bench can demonstrate the paper's
-//! negative result; counts are exact.
+//! [`IntersectStrategy::ChunkScan`] is the balanced scheduler's variant
+//! (the workload-balancing line of Hu et al. and TRUST): the `W` lanes
+//! coalesce-load a `W`-element chunk of the *longer* list into registers
+//! (the chunk's last element reaching every lane by register shuffle),
+//! then scan the *shorter* list with lockstep vectorized reads — every
+//! lane loads the same `int4`-style quad, so a scan step costs one or two
+//! transactions for `4 × W` comparisons. Per edge the memory pipeline
+//! sees roughly `short/3 + long/8` transactions instead of the merge's
+//! `short + long`, which is what makes the virtual-warp idea profitable
+//! after all on the transaction-throughput-bound counting kernel. Counts
+//! are exact under both strategies.
 
 use tc_simt::{DeviceBuffer, Effect, Kernel, Lane, MemView};
 
-/// Virtual-warp-centric triangle counting over the preprocessed SoA arrays.
+/// How the `W` lanes of a virtual warp intersect the two adjacency lists.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IntersectStrategy {
+    /// §III-D7's attempt: stride the shorter list, binary search the
+    /// longer one. Scattered probe reads; the paper's negative result.
+    #[default]
+    BinarySearch,
+    /// The balanced scheduler's strategy: coalesced chunk loads of the
+    /// longer list + lockstep broadcast scan of the shorter one.
+    ChunkScan,
+}
+
+/// Virtual-warp-centric triangle counting.
+///
+/// Endpoint loads come from `edge_u`/`edge_v` (the preprocessed
+/// `owner`/`nbr` pair, or the balanced scheduler's bin-ordered gathered
+/// copies); merges and binary searches read the adjacency array `adj`
+/// that the `node` array points into.
 #[derive(Clone, Copy, Debug)]
 pub struct WarpCentricKernel {
-    pub nbr: DeviceBuffer<u32>,
-    pub owner: DeviceBuffer<u32>,
+    /// Adjacency storage (`node[v] .. node[v+1]` spans vertex `v`'s list).
+    pub adj: DeviceBuffer<u32>,
+    /// First endpoint per edge.
+    pub edge_u: DeviceBuffer<u32>,
+    /// Second endpoint per edge.
+    pub edge_v: DeviceBuffer<u32>,
     pub node: DeviceBuffer<u32>,
     pub result: DeviceBuffer<u64>,
+    /// First edge index of this launch's stripe/bin (0 otherwise).
+    pub offset: usize,
     /// Edges in the launch (single GPU: the oriented `m`).
     pub count: usize,
     /// Virtual warp width `W` (lanes cooperating per edge); must divide the
     /// physical warp size.
     pub virtual_warp: u32,
     pub use_texture_cache: bool,
+    /// How the virtual warp intersects the two lists.
+    pub strategy: IntersectStrategy,
 }
 
 impl Kernel for WarpCentricKernel {
@@ -37,7 +74,7 @@ impl Kernel for WarpCentricKernel {
         let w = self.virtual_warp as usize;
         WarpCentricLane {
             k: *self,
-            edge: tid / w,
+            edge: self.offset + tid / w,
             edge_stride: total / w,
             role: (tid % w) as u32,
             tid,
@@ -52,6 +89,10 @@ impl Kernel for WarpCentricKernel {
             needle: 0,
             bs_lo: 0,
             bs_hi: 0,
+            chunk_base: 0,
+            chunk_val: 0,
+            chunk_last: 0,
+            chunk_dead: false,
         }
     }
 }
@@ -64,10 +105,18 @@ enum Phase {
     LoadNodeUEnd,
     LoadNodeV,
     LoadNodeVEnd,
-    /// Load the lane's next element of the shorter list.
+    /// Binary search: load the lane's next element of the shorter list.
     LoadNeedle,
-    /// One probe of the binary search over the longer list.
+    /// Binary search: one probe over the longer list.
     Probe,
+    /// Chunk scan: coalesced load of this lane's element of the longer
+    /// list's current `W`-wide chunk (the chunk's last element — the scan
+    /// bound — reaches every lane by register shuffle, no extra traffic).
+    ChunkLoad,
+    /// Chunk scan: lockstep vectorized read (`int4`-style, up to four
+    /// elements) of the shorter list; each lane compares the loaded values
+    /// against its private chunk element.
+    Scan,
     WriteResult,
     Finished,
 }
@@ -93,6 +142,15 @@ pub struct WarpCentricLane {
     needle: u32,
     bs_lo: u32,
     bs_hi: u32,
+    /// Chunk scan: first index of the longer list's current chunk.
+    chunk_base: u32,
+    /// Chunk scan: this lane's private element of the chunk.
+    chunk_val: u32,
+    /// Chunk scan: the chunk's last element (scan advance bound).
+    chunk_last: u32,
+    /// Chunk scan: this lane's chunk slot is past the list end (its
+    /// clamped load must not count matches).
+    chunk_dead: bool,
 }
 
 impl WarpCentricLane {
@@ -111,17 +169,17 @@ impl Lane for WarpCentricLane {
         loop {
             match self.phase {
                 Phase::NextEdge => {
-                    if self.edge >= self.k.count {
+                    if self.edge >= self.k.offset + self.k.count {
                         self.phase = Phase::WriteResult;
                         continue;
                     }
-                    let addr = self.k.owner.addr_of(self.edge);
+                    let addr = self.k.edge_u.addr_of(self.edge);
                     self.u = mem.read_u32(addr);
                     self.phase = Phase::LoadEdge2;
                     return self.read(addr);
                 }
                 Phase::LoadEdge2 => {
-                    let addr = self.k.nbr.addr_of(self.edge);
+                    let addr = self.k.edge_v.addr_of(self.edge);
                     self.v = mem.read_u32(addr);
                     self.phase = Phase::LoadNodeU;
                     return self.read(addr);
@@ -147,14 +205,25 @@ impl Lane for WarpCentricLane {
                 Phase::LoadNodeVEnd => {
                     let addr = self.k.node.addr_of(self.v as usize + 1);
                     self.long_hi = mem.read_u32(addr);
-                    // Walk the shorter list, search the longer one.
+                    // Walk the shorter list, search/chunk the longer one.
                     if self.long_hi - self.long_lo < self.short_end - self.short_it {
                         std::mem::swap(&mut self.short_it, &mut self.long_lo);
                         std::mem::swap(&mut self.short_end, &mut self.long_hi);
                     }
-                    // This lane's stripe of the shorter list.
-                    self.short_it += self.role;
-                    self.phase = Phase::LoadNeedle;
+                    match self.k.strategy {
+                        IntersectStrategy::BinarySearch => {
+                            // This lane's stripe of the shorter list.
+                            self.short_it += self.role;
+                            self.phase = Phase::LoadNeedle;
+                        }
+                        IntersectStrategy::ChunkScan => {
+                            // Every lane scans the full shorter list in
+                            // lockstep; the chunk walk starts at the
+                            // longer list's head.
+                            self.chunk_base = self.long_lo;
+                            self.phase = Phase::ChunkLoad;
+                        }
+                    }
                     return self.read(addr);
                 }
                 Phase::LoadNeedle => {
@@ -163,7 +232,7 @@ impl Lane for WarpCentricLane {
                         self.phase = Phase::NextEdge;
                         continue;
                     }
-                    let addr = self.k.nbr.addr_of(self.short_it as usize);
+                    let addr = self.k.adj.addr_of(self.short_it as usize);
                     self.needle = mem.read_u32(addr);
                     self.bs_lo = self.long_lo;
                     self.bs_hi = self.long_hi;
@@ -178,7 +247,7 @@ impl Lane for WarpCentricLane {
                         continue;
                     }
                     let mid = self.bs_lo + (self.bs_hi - self.bs_lo) / 2;
-                    let addr = self.k.nbr.addr_of(mid as usize);
+                    let addr = self.k.adj.addr_of(mid as usize);
                     let val = mem.read_u32(addr);
                     match self.needle.cmp(&val) {
                         std::cmp::Ordering::Equal => {
@@ -190,6 +259,74 @@ impl Lane for WarpCentricLane {
                         std::cmp::Ordering::Greater => self.bs_lo = mid + 1,
                     }
                     return self.read(addr);
+                }
+                Phase::ChunkLoad => {
+                    if self.chunk_base >= self.long_hi || self.short_it >= self.short_end {
+                        // Either list exhausted: no more matches possible.
+                        self.edge += self.edge_stride;
+                        self.phase = Phase::NextEdge;
+                        continue;
+                    }
+                    // The W lanes read W consecutive elements — one or two
+                    // coalesced line transactions. Slots past the end clamp
+                    // to the last element but must never count a match.
+                    let slot = self.chunk_base + self.role;
+                    self.chunk_dead = slot >= self.long_hi;
+                    let idx = slot.min(self.long_hi - 1);
+                    let addr = self.k.adj.addr_of(idx as usize);
+                    self.chunk_val = mem.read_u32(addr);
+                    // The chunk's last element is the scan's advance bound.
+                    // The lane holding it just loaded it, so every other
+                    // lane gets it by register shuffle (`__shfl_sync`) —
+                    // no extra memory traffic.
+                    let last = (self.chunk_base + self.k.virtual_warp).min(self.long_hi) - 1;
+                    self.chunk_last = mem.read_u32(self.k.adj.addr_of(last as usize));
+                    self.phase = Phase::Scan;
+                    return self.read(addr);
+                }
+                Phase::Scan => {
+                    if self.short_it >= self.short_end {
+                        self.edge += self.edge_stride;
+                        self.phase = Phase::NextEdge;
+                        continue;
+                    }
+                    // Lockstep vectorized read: the whole virtual warp loads
+                    // the same up-to-four consecutive shorter-list elements
+                    // (an `int4`-style load — one effect, one or two line
+                    // transactions for `4 × W` comparisons). Adjacency lists
+                    // are strictly sorted, so each loaded value is consumed
+                    // by exactly one chunk: values `< chunk_last` stay in
+                    // this chunk, a value `== chunk_last` is consumed here
+                    // and ends the chunk, values above wait for the next.
+                    let valid = 4.min(self.short_end - self.short_it);
+                    let addr = self.k.adj.addr_of(self.short_it as usize);
+                    let mut consumed = 0u32;
+                    let mut hit_last = false;
+                    for j in 0..valid {
+                        let s_val = mem.read_u32(self.k.adj.addr_of((self.short_it + j) as usize));
+                        if s_val > self.chunk_last {
+                            break;
+                        }
+                        consumed += 1;
+                        if !self.chunk_dead && s_val == self.chunk_val {
+                            self.count += 1;
+                        }
+                        if s_val == self.chunk_last {
+                            hit_last = true;
+                            break;
+                        }
+                    }
+                    self.short_it += consumed;
+                    if consumed < valid || hit_last {
+                        // Later shorter-list elements exceed this chunk.
+                        self.chunk_base += self.k.virtual_warp;
+                        self.phase = Phase::ChunkLoad;
+                    }
+                    return Effect::Read {
+                        addr,
+                        bytes: 4 * valid,
+                        cached: self.k.use_texture_cache,
+                    };
                 }
                 Phase::WriteResult => {
                     self.phase = Phase::Finished;
@@ -215,6 +352,10 @@ mod tests {
     use tc_simt::{Device, DeviceConfig, LaunchConfig};
 
     fn run_warp_centric(g: &EdgeArray, w: u32) -> (u64, f64) {
+        run_with_strategy(g, w, IntersectStrategy::BinarySearch)
+    }
+
+    fn run_with_strategy(g: &EdgeArray, w: u32, strategy: IntersectStrategy) -> (u64, f64) {
         let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
         dev.preinit_context();
         dev.reset_clock();
@@ -224,13 +365,16 @@ mod tests {
         let result = dev.alloc::<u64>(total).unwrap();
         dev.poke(&result, &vec![0u64; total]);
         let kernel = WarpCentricKernel {
-            nbr: pre.nbr,
-            owner: pre.owner,
+            adj: pre.nbr,
+            edge_u: pre.owner,
+            edge_v: pre.nbr,
             node: pre.node,
             result,
+            offset: 0,
             count: pre.m,
             virtual_warp: w,
             use_texture_cache: true,
+            strategy,
         };
         let stats = dev.launch("warp-centric", lc, &kernel).unwrap();
         (dev.peek(&result).iter().sum(), stats.time_s)
@@ -285,6 +429,37 @@ mod tests {
     }
 
     #[test]
+    fn chunk_scan_counts_match_the_merge_kernel() {
+        let g = messy_graph();
+        let (merge_count, _) = run_merge(&g);
+        for w in [2u32, 4, 8, 16, 32] {
+            let (count, _) = run_with_strategy(&g, w, IntersectStrategy::ChunkScan);
+            assert_eq!(count, merge_count, "virtual warp {w}");
+        }
+    }
+
+    #[test]
+    fn chunk_scan_works_on_degenerate_graphs() {
+        // Path (no triangles), single triangle, and a clique whose
+        // adjacency lists exercise chunk boundaries at every width.
+        let path = EdgeArray::from_undirected_pairs(vec![(0, 1), (1, 2), (2, 3)]);
+        let tri = EdgeArray::from_undirected_pairs(vec![(0, 1), (1, 2), (0, 2)]);
+        let mut clique = Vec::new();
+        for a in 0..40u32 {
+            for b in (a + 1)..40 {
+                clique.push((a, b));
+            }
+        }
+        let clique = EdgeArray::from_undirected_pairs(clique);
+        for (g, want) in [(&path, 0u64), (&tri, 1), (&clique, 40 * 39 * 38 / 6)] {
+            for w in [2u32, 8, 32] {
+                let (count, _) = run_with_strategy(g, w, IntersectStrategy::ChunkScan);
+                assert_eq!(count, want, "virtual warp {w}");
+            }
+        }
+    }
+
+    #[test]
     fn warp_centric_is_not_faster_here() {
         // The paper's §III-D7 negative result: the cooperative kernel's
         // log-factor of extra scattered reads outweighs its intra-edge
@@ -313,13 +488,16 @@ mod tests {
         let result = dev.alloc::<u64>(total).unwrap();
         dev.poke(&result, &vec![0u64; total]);
         let kernel = WarpCentricKernel {
-            nbr: pre.nbr,
-            owner: pre.owner,
+            adj: pre.nbr,
+            edge_u: pre.owner,
+            edge_v: pre.nbr,
             node: pre.node,
             result,
+            offset: 0,
             count: pre.m,
             virtual_warp: 4,
             use_texture_cache: true,
+            strategy: IntersectStrategy::BinarySearch,
         };
         let stats = dev
             .with_phase("warp-centric", |d| d.launch("warp-centric", lc, &kernel))

@@ -35,4 +35,5 @@ pub use count::{Backend, CountRequest, GpuOptions, ParseBackendError, TriangleCo
 pub use error::{CoreError, ErrorContext};
 pub use gpu::pipeline::GpuReport;
 pub use gpu::prepared::{PreparedCount, PreparedGraph};
+pub use gpu::schedule::KernelSchedule;
 pub use gpu::{EdgeLayout, LoopVariant};

@@ -45,6 +45,17 @@ pub(crate) fn charge_pass(dev: &mut Device, label: &str, read_bytes: u64, write_
     dev.charge_stream_pass(label, secs, read_bytes, write_bytes);
 }
 
+/// Charge one Thrust-style streaming transform pass that the caller
+/// executed functionally on the host (compute + `Device::poke`). This is
+/// the extension point for composed transform kernels living outside this
+/// crate (e.g. tc-core's edge-binning pass): the caller states the bytes
+/// the pass would read and write on hardware and gets exactly the same
+/// accounting — analytic seconds on the clock, DRAM bytes and one kernel
+/// launch in the counters — as the primitives in this module.
+pub fn charge_transform_pass(dev: &mut Device, label: &str, read_bytes: u64, write_bytes: u64) {
+    charge_pass(dev, label, read_bytes, write_bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

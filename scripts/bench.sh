@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Refresh the machine-readable perf artifact at the repo root.
+#
+# Usage: scripts/bench.sh [--scale smoke|bench|paper] [extra repro flags...]
+#
+# Runs the `repro bench` matrix (every suite graph x CPU forward, GTX 980,
+# GTX 980 balanced) and writes BENCH_<n>.json, the per-PR perf trajectory
+# record. Modeled milliseconds are deterministic; host wall milliseconds
+# are this machine's.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+./target/release/repro bench "$@"

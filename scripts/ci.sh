@@ -21,6 +21,27 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace --release -q
 
+echo "==> modeled-perf golden snapshot"
+# The simulator is deterministic: kernel cycle counts and cache counters
+# must match tests/golden/modeled_perf.txt exactly (TC_BLESS=1 regenerates).
+cargo test --release -q --test modeled_perf_golden
+
+echo "==> balanced scheduler smoke"
+./target/release/repro balance --scale smoke > /dev/null
+
+echo "==> bench artifact is valid JSON"
+./target/release/repro bench --scale smoke --out /tmp/tc_bench_smoke.json > /dev/null
+python3 - <<'PY'
+import json
+for path in ["/tmp/tc_bench_smoke.json", "BENCH_3.json"]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == 3 and doc["entries"], path
+    for e in doc["entries"]:
+        assert {"graph", "backend", "triangles", "modeled_ms", "host_wall_ms"} <= e.keys(), path
+print("bench artifacts OK")
+PY
+
 echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

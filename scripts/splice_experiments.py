@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Splice the `repro all` output into EXPERIMENTS.md.
 
-Usage: python3 scripts/splice_experiments.py [repro_output.txt]
+Usage: python3 scripts/splice_experiments.py [results/repro_output.txt ...]
 
 Replaces the `<!-- SECTION -->` placeholders (or previously spliced fenced
 blocks that follow them) with fenced code blocks containing the matching
@@ -21,6 +21,7 @@ MARKERS = {
     "INPUT_FORMAT": "== Section III-A",
     "APPROX": "== Section V:",
     "TUNING": "== Section III-C:",
+    "BALANCE": "== Balanced scheduling",
 }
 
 
@@ -40,7 +41,11 @@ def split_sections(text: str) -> dict:
 
 
 def main() -> int:
-    srcs = sys.argv[1:] if len(sys.argv) > 1 else ["repro_output.txt"]
+    srcs = (
+        sys.argv[1:]
+        if len(sys.argv) > 1
+        else ["results/repro_output.txt", "results/tuning_output.txt"]
+    )
     sections = {}
     for src in srcs:
         sections.update(split_sections(open(src).read()))

@@ -10,6 +10,11 @@
 //! backends: forward (default) | edge-iterator | node-iterator | hashed |
 //!           parallel | hybrid[:<tau>] | gtx980 | c2050 | nvs5200m |
 //!           <n>x<device> | <device>/split:<parts>
+//!
+//! Any simulated-GPU backend takes a `/balanced[:<t>x<w>]` suffix to turn
+//! on the workload-balanced kernel scheduler: `gtx980/balanced` auto-tunes
+//! the bin plan, `gtx980/balanced:16x8` splits at work 16 with a
+//! virtual-warp width of 8 (see DESIGN.md "Kernel scheduling").
 //! ```
 //!
 //! `--trace FILE` (simulated GPU backends, single- or multi-device) writes
@@ -69,7 +74,9 @@ fn usage() -> ExitCode {
          \x20                             [--json FILE]\n\
          backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
          \x20         hybrid[:<tau>] | gtx980 | c2050 | nvs5200m | <n>x<device> |\n\
-         \x20         <device>/split:<parts>"
+         \x20         <device>/split:<parts>\n\
+         \x20         GPU backends accept /balanced[:<t>x<w>] for the\n\
+         \x20         workload-balanced kernel scheduler"
     );
     ExitCode::from(2)
 }

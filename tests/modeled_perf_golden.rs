@@ -1,0 +1,105 @@
+//! Golden modeled-performance regression gate. The simulator is fully
+//! deterministic, so the counting kernel's cycle count, transaction count,
+//! and cache counters are exact functions of (graph, device, schedule) —
+//! any drift is a real modeled-perf change and must be deliberate.
+//!
+//! On mismatch, rerun with `TC_BLESS=1` to regenerate the snapshot, then
+//! review the diff like any other code change:
+//!
+//! ```text
+//! TC_BLESS=1 cargo test --release --test modeled_perf_golden
+//! ```
+
+use std::fmt::Write as _;
+
+use triangles::core::count::GpuOptions;
+use triangles::core::gpu::pipeline::run_gpu_pipeline;
+use triangles::core::KernelSchedule;
+use triangles::gen::suite::{full_suite, Scale};
+use triangles::simt::DeviceConfig;
+
+const GOLDEN_PATH: &str = "tests/golden/modeled_perf.txt";
+
+/// The snapshot matrix: skewed + uniform smoke graphs × both measured
+/// device presets × both schedules. Small enough to run in seconds, broad
+/// enough that a change to coalescing, caching, binning, or either
+/// counting kernel moves at least one row.
+const GRAPHS: [&str; 4] = [
+    "internet-topology",
+    "kronecker-10",
+    "barabasi-albert",
+    "watts-strogatz",
+];
+
+fn devices() -> [(&'static str, DeviceConfig); 2] {
+    [
+        ("gtx980", DeviceConfig::gtx_980()),
+        ("c2050", DeviceConfig::tesla_c2050()),
+    ]
+}
+
+fn schedules() -> [(&'static str, KernelSchedule); 2] {
+    [
+        ("tpe", KernelSchedule::ThreadPerEdge),
+        ("balanced", KernelSchedule::Balanced),
+    ]
+}
+
+fn snapshot() -> String {
+    let suite = full_suite(Scale::Smoke);
+    let mut out = String::from(
+        "# graph device schedule sm_cycles transactions tex_hits/accesses l2_hits/accesses\n",
+    );
+    for name in GRAPHS {
+        let row = suite
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from the smoke suite"));
+        for (dev_tok, device) in devices() {
+            for (sched_tok, schedule) in schedules() {
+                let mut opts = GpuOptions::new(device.clone().with_unlimited_memory());
+                opts.schedule = schedule;
+                let report = run_gpu_pipeline(&row.graph, &opts)
+                    .unwrap_or_else(|e| panic!("{name}/{dev_tok}/{sched_tok}: {e}"));
+                let k = &report.kernel;
+                writeln!(
+                    out,
+                    "{name} {dev_tok} {sched_tok} {} {} {}/{} {}/{}",
+                    k.sm_cycles,
+                    k.transactions,
+                    k.tex.hits,
+                    k.tex.accesses,
+                    k.l2.hits,
+                    k.l2.accesses,
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn modeled_perf_matches_the_golden_snapshot() {
+    let got = snapshot();
+    if std::env::var_os("TC_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden snapshot");
+        eprintln!("blessed {GOLDEN_PATH}");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .unwrap_or_else(|e| panic!("{GOLDEN_PATH}: {e} (run with TC_BLESS=1 to create it)"));
+    if got != want {
+        let diff: Vec<String> = want
+            .lines()
+            .zip(got.lines())
+            .filter(|(w, g)| w != g)
+            .map(|(w, g)| format!("  -{w}\n  +{g}"))
+            .collect();
+        panic!(
+            "modeled perf drifted from {GOLDEN_PATH} — if intentional, rerun \
+             with TC_BLESS=1 and commit the new snapshot.\n{}",
+            diff.join("\n")
+        );
+    }
+}
