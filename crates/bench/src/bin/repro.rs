@@ -13,6 +13,8 @@
 //! graph (Table II's nvprof columns plus divergence/stall/occupancy) and
 //! the per-phase breakdown of the first graph's run.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -11,6 +11,8 @@
 //! Experiment-to-paper mapping lives in DESIGN.md §4; paper-vs-measured
 //! results are recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod profile;
 pub mod report;

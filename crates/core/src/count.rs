@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use tc_graph::EdgeArray;
 use tc_simt::profiler::ProfileReport;
-use tc_simt::{DeviceConfig, LaunchConfig};
+use tc_simt::{DeviceConfig, LaunchConfig, SanitizerMode, SanitizerReport};
 
 use crate::cpu;
 use crate::error::{CoreError, ErrorContext};
@@ -38,6 +38,11 @@ pub struct GpuOptions {
     /// Workload-balanced kernel scheduling (degree-binned dispatch; the
     /// default is the paper's thread-per-edge mapping).
     pub schedule: KernelSchedule,
+    /// Compute-sanitizer mode for the run (memcheck/initcheck/racecheck
+    /// over the simulated memory path; `Off` is a true no-op). The
+    /// effective mode is the stricter of this and the device config's own
+    /// `sanitizer` field.
+    pub sanitizer: SanitizerMode,
 }
 
 impl GpuOptions {
@@ -52,6 +57,7 @@ impl GpuOptions {
             launch: None,
             preinit_context: true,
             schedule: KernelSchedule::ThreadPerEdge,
+            sanitizer: SanitizerMode::Off,
         }
     }
 
@@ -164,6 +170,58 @@ impl Backend {
             _ => None,
         }
     }
+
+    /// The sanitizer knob of the backend's GPU options, if it has one.
+    fn sanitizer_mut(&mut self) -> Option<&mut SanitizerMode> {
+        match self {
+            Backend::Gpu(o) => Some(&mut o.sanitizer),
+            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
+                Some(&mut options.sanitizer)
+            }
+            _ => None,
+        }
+    }
+
+    /// Set the sanitizer mode on a GPU backend. Returns whether the
+    /// backend has a sanitizer knob (CPU backends do not).
+    pub fn set_sanitizer(&mut self, mode: SanitizerMode) -> bool {
+        match self.sanitizer_mut() {
+            Some(slot) => {
+                *slot = mode;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The backend's sanitizer mode (`Off` for CPU backends).
+    pub fn sanitizer(&self) -> SanitizerMode {
+        match self {
+            Backend::Gpu(o) => o.sanitizer,
+            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
+                options.sanitizer
+            }
+            _ => SanitizerMode::Off,
+        }
+    }
+}
+
+/// The `/sanitize[:paranoid]` token suffix for a sanitizer mode.
+fn sanitize_suffix(mode: SanitizerMode) -> &'static str {
+    match mode {
+        SanitizerMode::Off => "",
+        SanitizerMode::Check => "/sanitize",
+        SanitizerMode::Paranoid => "/sanitize:paranoid",
+    }
+}
+
+/// Parse a `sanitize` clause (the part after the `/`).
+fn parse_sanitize_clause(clause: &str) -> Option<SanitizerMode> {
+    match clause {
+        "sanitize" => Some(SanitizerMode::Check),
+        "sanitize:paranoid" => Some(SanitizerMode::Paranoid),
+        _ => None,
+    }
 }
 
 /// The canonical token for a device preset, if it has one.
@@ -205,21 +263,24 @@ impl fmt::Display for Backend {
                     Some(tok) => f.write_str(tok)?,
                     None => write!(f, "gpu:{}", o.device.name)?,
                 }
-                f.write_str(&o.schedule.token_suffix())
+                f.write_str(&o.schedule.token_suffix())?;
+                f.write_str(sanitize_suffix(o.sanitizer))
             }
             Backend::MultiGpu { options, devices } => {
                 match device_token(options.device.name) {
                     Some(tok) => write!(f, "{devices}x{tok}")?,
                     None => write!(f, "{devices}xgpu:{}", options.device.name)?,
                 }
-                f.write_str(&options.schedule.token_suffix())
+                f.write_str(&options.schedule.token_suffix())?;
+                f.write_str(sanitize_suffix(options.sanitizer))
             }
             Backend::GpuSplit { options, parts } => {
                 match device_token(options.device.name) {
                     Some(tok) => write!(f, "{tok}/split:{parts}")?,
                     None => write!(f, "gpu:{}/split:{parts}", options.device.name)?,
                 }
-                f.write_str(&options.schedule.token_suffix())
+                f.write_str(&options.schedule.token_suffix())?;
+                f.write_str(sanitize_suffix(options.sanitizer))
             }
         }
     }
@@ -238,7 +299,7 @@ impl fmt::Display for ParseBackendError {
             "unknown backend {:?} (expected forward, edge-iterator, node-iterator, hashed, \
              parallel, hybrid[:<tau>], gtx980, c2050, nvs5200m, <n>x<device>, or \
              <device>/split:<parts>, each GPU form optionally followed by \
-             /balanced[:<t>x<w>])",
+             /balanced[:<t>x<w>] and/or /sanitize[:paranoid])",
             self.token
         )
     }
@@ -255,7 +316,8 @@ impl FromStr for Backend {
     /// The workload-balanced scheduler is a `/balanced[:<t>x<w>]` suffix on
     /// any GPU form: `gtx980/balanced` auto-tunes, `gtx980/balanced:16x8`
     /// fixes the light/heavy work threshold and heavy-bin virtual-warp
-    /// width.
+    /// width. The compute-sanitizer is a final `/sanitize[:paranoid]`
+    /// suffix on any GPU form.
     ///
     /// ```
     /// use tc_core::Backend;
@@ -268,17 +330,30 @@ impl FromStr for Backend {
     ///     "c2050/split:3",
     ///     "gtx980/balanced",
     ///     "2xc2050/balanced:16x8",
+    ///     "gtx980/sanitize",
+    ///     "c2050/sanitize:paranoid",
+    ///     "gtx980/balanced/sanitize",
     /// ] {
     ///     let b: Backend = token.parse().unwrap();
     ///     assert_eq!(b.to_string(), token, "canonical tokens round-trip");
     /// }
     /// assert!("warp9".parse::<Backend>().is_err());
     /// assert!("forward/balanced".parse::<Backend>().is_err());
+    /// assert!("forward/sanitize".parse::<Backend>().is_err());
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseBackendError { token: s.into() };
-        // Peel the scheduling suffix first: it composes with every GPU
-        // form (`gtx980/balanced`, `2xc2050/balanced:16x8`, …).
+        // Peel the sanitizer suffix first: it is the last suffix of every
+        // canonical GPU token (`gtx980/sanitize`,
+        // `2xc2050/balanced:16x8/sanitize:paranoid`, …).
+        if let Some(pos) = s.find("/sanitize") {
+            let mode = parse_sanitize_clause(&s[pos + 1..]).ok_or_else(err)?;
+            let mut backend: Backend = s[..pos].parse().map_err(|_| err())?;
+            *backend.sanitizer_mut().ok_or_else(err)? = mode;
+            return Ok(backend);
+        }
+        // Then the scheduling suffix: it composes with every GPU form
+        // (`gtx980/balanced`, `2xc2050/balanced:16x8`, …).
         if let Some(pos) = s.find("/balanced") {
             let schedule = KernelSchedule::parse_clause(&s[pos + 1..]).ok_or_else(err)?;
             let mut backend: Backend = s[..pos].parse().map_err(|_| err())?;
@@ -340,6 +415,9 @@ pub struct TriangleCount {
     /// Per-phase profiler report, when the request asked for one
     /// ([`CountRequest::profile`]) and a simulated-GPU backend ran.
     pub profile: Option<ProfileReport>,
+    /// Sanitizer findings/lints, when a GPU backend ran with the
+    /// compute-sanitizer on (`None` otherwise).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// A triangle-count request: the backend plus per-request options, built
@@ -432,6 +510,7 @@ impl CountRequest {
                     triangles: report.triangles,
                     backend: label,
                     seconds: report.total_s,
+                    sanitizer: report.sanitizer.clone(),
                     gpu: Some(report),
                     profile,
                 })
@@ -447,6 +526,7 @@ impl CountRequest {
                     triangles: report.triangles,
                     backend: label,
                     seconds: report.total_s,
+                    sanitizer: report.sanitizer,
                     gpu: None,
                     profile,
                 })
@@ -457,6 +537,7 @@ impl CountRequest {
                     triangles: report.triangles,
                     backend: label,
                     seconds: report.total_s,
+                    sanitizer: report.sanitizer,
                     gpu: None,
                     profile: None,
                 })
@@ -465,21 +546,6 @@ impl CountRequest {
               // compile error here, not a runtime surprise.
         }
     }
-}
-
-/// Count the triangles of `g` with the chosen backend.
-#[deprecated(since = "0.1.0", note = "use `CountRequest::new(backend).run(g)`")]
-pub fn count_triangles(g: &EdgeArray, backend: Backend) -> Result<u64, CoreError> {
-    CountRequest::new(backend).run(g).map(|r| r.triangles)
-}
-
-/// Count and report timing/profiling detail.
-#[deprecated(since = "0.1.0", note = "use `CountRequest::new(backend).run(g)`")]
-pub fn count_triangles_detailed(
-    g: &EdgeArray,
-    backend: Backend,
-) -> Result<TriangleCount, CoreError> {
-    CountRequest::new(backend).run(g)
 }
 
 fn timed_cpu<F>(label: String, f: F) -> Result<TriangleCount, CoreError>
@@ -494,6 +560,7 @@ where
         seconds: start.elapsed().as_secs_f64(),
         gpu: None,
         profile: None,
+        sanitizer: None,
     })
 }
 
@@ -608,16 +675,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_still_count() {
-        #![allow(deprecated)]
-        let g = fixture();
-        let want = crate::verify::count_brute_force(&g);
-        assert_eq!(count_triangles(&g, Backend::CpuForward).unwrap(), want);
-        let r = count_triangles_detailed(&g, Backend::CpuForward).unwrap();
-        assert_eq!(r.triangles, want);
-    }
-
-    #[test]
     fn backend_tokens_round_trip() {
         let canonical = [
             "forward",
@@ -639,6 +696,13 @@ mod tests {
             "4xc2050/balanced",
             "2xgtx980/balanced:100x4",
             "gtx980/split:3/balanced",
+            "gtx980/sanitize",
+            "nvs5200m/sanitize:paranoid",
+            "4xc2050/sanitize",
+            "gtx980/balanced/sanitize",
+            "c2050/balanced:16x8/sanitize:paranoid",
+            "gtx980/split:3/sanitize",
+            "gtx980/split:3/balanced/sanitize",
         ];
         for tok in canonical {
             let b: Backend = tok.parse().unwrap_or_else(|e| panic!("{tok}: {e}"));
@@ -658,6 +722,12 @@ mod tests {
             "gtx980/balanced:16x3",
             "gtx980/balanced:x8",
             "/balanced",
+            "forward/sanitize",
+            "gtx980/sanitize:off",
+            "gtx980/sanitize:check",
+            "gtx980/sanitizer",
+            "gtx980/sanitize/balanced",
+            "/sanitize",
         ] {
             assert!(bad.parse::<Backend>().is_err(), "{bad:?} must not parse");
         }
@@ -666,6 +736,16 @@ mod tests {
         let plain: Backend = "gtx980".parse().unwrap();
         let balanced: Backend = "gtx980/balanced".parse().unwrap();
         assert_ne!(plain.to_string(), balanced.to_string());
+        // So is the sanitizer mode: a sanitized run must never serve a
+        // cached unsanitized entry (and vice versa).
+        let sanitized: Backend = "gtx980/sanitize".parse().unwrap();
+        assert_eq!(sanitized.sanitizer(), SanitizerMode::Check);
+        assert_ne!(plain.to_string(), sanitized.to_string());
+        let mut toggled = plain.clone();
+        assert!(toggled.set_sanitizer(SanitizerMode::Paranoid));
+        assert_eq!(toggled.to_string(), "gtx980/sanitize:paranoid");
+        let mut cpu = Backend::CpuForward;
+        assert!(!cpu.set_sanitizer(SanitizerMode::Check));
         // Helper constructors print their canonical tokens.
         assert_eq!(Backend::gpu_gtx980().to_string(), "gtx980");
         assert_eq!(Backend::multi_gpu_c2050(4).to_string(), "4xc2050");

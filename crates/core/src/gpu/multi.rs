@@ -9,7 +9,7 @@
 use tc_graph::EdgeArray;
 use tc_simt::primitives::reduce_sum_u64;
 use tc_simt::profiler::ProfileReport;
-use tc_simt::{DeviceGroup, KernelStats, LaunchConfig};
+use tc_simt::{DeviceGroup, KernelStats, LaunchConfig, SanitizerReport};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
@@ -37,6 +37,9 @@ pub struct MultiGpuReport {
     pub per_device_s: Vec<f64>,
     /// Counting-kernel profile of device 0 (representative stripe).
     pub kernel: KernelStats,
+    /// Merged compute-sanitizer findings across every device, in device
+    /// index order (`None` when the sanitizer was off).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// Run the §III-E scheme on `devices` identical simulated cards.
@@ -61,7 +64,11 @@ pub fn run_multi_gpu_profiled(
         opts.layout == EdgeLayout::SoA,
         "the multi-GPU scheme broadcasts the production SoA layout"
     );
-    let mut group = DeviceGroup::homogeneous(opts.device.clone(), devices);
+    // Fold the per-run sanitizer request into the device preset so every
+    // striped device installs its shadow map at construction.
+    let mut cfg = opts.device.clone();
+    cfg.sanitizer = cfg.sanitizer.max(opts.sanitizer);
+    let mut group = DeviceGroup::homogeneous(cfg, devices);
     if opts.preinit_context {
         group.preinit_all();
     }
@@ -223,6 +230,14 @@ pub fn run_multi_gpu_profiled(
             }
         })
         .collect();
+    let per_device_reports: Vec<SanitizerReport> = (0..devices)
+        .filter_map(|i| group.device(i).sanitizer_report())
+        .collect();
+    let sanitizer = if per_device_reports.is_empty() {
+        None
+    } else {
+        Some(SanitizerReport::merged(&per_device_reports))
+    };
     let report = MultiGpuReport {
         triangles,
         total_s,
@@ -232,6 +247,7 @@ pub fn run_multi_gpu_profiled(
         used_cpu_fallback: pre.used_cpu_fallback,
         per_device_s,
         kernel: kernel_stats.expect("at least one device"),
+        sanitizer,
     };
     Ok((report, traces))
 }

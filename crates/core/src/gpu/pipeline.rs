@@ -5,7 +5,7 @@
 
 use tc_graph::EdgeArray;
 use tc_simt::profiler::{ProfileReport, Span};
-use tc_simt::{KernelStats, TimedOp};
+use tc_simt::{KernelStats, SanitizerReport, TimedOp};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
@@ -35,6 +35,9 @@ pub struct GpuReport {
     pub peak_device_bytes: u64,
     /// Fraction of the run spent preprocessing (the §III-E Amdahl input).
     pub preprocess_fraction: f64,
+    /// Compute-sanitizer findings for the whole run, including the
+    /// teardown frees (`None` when the sanitizer was off).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// Everything the profiler recorded about one device's run: the leaf
@@ -85,6 +88,9 @@ pub fn run_gpu_pipeline_profiled(
     // Teardown stays inside the measured window, like the paper's protocol
     // (frees charge no simulated time, so the window is unchanged).
     let dev = prepared.release()?;
+    // Snapshot the sanitizer after release so the teardown frees (double
+    // frees, stale handles) are covered too.
+    let sanitizer = dev.sanitizer_report();
 
     let total_s = dev.elapsed() + host_seconds;
     let count_s = total_s - preprocess_s;
@@ -103,6 +109,7 @@ pub fn run_gpu_pipeline_profiled(
         } else {
             0.0
         },
+        sanitizer,
     };
     let trace = RunTrace {
         device_name: dev.config().name.to_string(),

@@ -85,6 +85,11 @@ impl PreparedGraph {
         // addresses — and therefore its modeled cache behavior — match a
         // cold device exactly.
         dev.recycle();
+        // The effective sanitizer mode is the stricter of the request's and
+        // the device config's. Installing it here (after the recycle, before
+        // the first copy) puts the whole measured session — preprocessing,
+        // scheduling, counting, release — under the shadow.
+        dev.set_sanitizer_mode(opts.sanitizer.max(dev.config().sanitizer));
 
         // Launch geometry is fixed up front so preprocessing can reserve
         // room for the result array in its capacity plan.
@@ -161,7 +166,7 @@ impl PreparedGraph {
     /// then reports the slowest bin's launch (the representative stripe).
     pub fn count(&mut self) -> Result<PreparedCount, CoreError> {
         let span_mark = self.dev.spans().len();
-        let t0 = self.dev.elapsed();
+        let log_mark = self.dev.time_log().len();
         let counters0 = *self.dev.counters();
 
         self.dev.push_phase("count");
@@ -183,7 +188,15 @@ impl PreparedGraph {
         self.dev.pop_phase();
         self.counts_served += 1;
 
-        let count_s = self.dev.elapsed() - t0;
+        // Sum the modeled durations of this count's ops rather than taking
+        // an elapsed-clock delta: each duration is schedule-independent,
+        // but the clock base is not (the subtraction rounds differently as
+        // the session clock grows), and the engine promises bit-identical
+        // `count_s` no matter how many counts the session served before.
+        let count_s: f64 = self.dev.time_log()[log_mark..]
+            .iter()
+            .map(|op| op.seconds)
+            .sum();
         let profile = ProfileReport {
             device: self.dev.config().name.to_string(),
             peak_bandwidth_gbs: self.dev.config().dram_bandwidth_gbs,
@@ -358,6 +371,13 @@ impl PreparedGraph {
     #[inline]
     pub fn device(&self) -> &Device {
         &self.dev
+    }
+
+    /// Sanitizer findings accumulated across prepare and every count so
+    /// far (`None` when the sanitizer is off).
+    #[inline]
+    pub fn sanitizer_report(&self) -> Option<tc_simt::SanitizerReport> {
+        self.dev.sanitizer_report()
     }
 }
 

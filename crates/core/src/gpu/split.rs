@@ -22,6 +22,7 @@
 //! `n1 = t1`, `n2 = t2 − (p−1)·t1`, `n3 = t3 − (p−2)·n2 − C(p−1,2)·n1`.
 
 use tc_graph::{Edge, EdgeArray};
+use tc_simt::SanitizerReport;
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
@@ -38,6 +39,9 @@ pub struct SplitReport {
     pub subproblems: usize,
     /// Largest single-subproblem arc count — the quantity that must fit.
     pub max_subproblem_arcs: usize,
+    /// Merged compute-sanitizer findings across every executed subproblem,
+    /// in execution order (`None` when the sanitizer was off).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// Partition id: contiguous ranges keep the induced-subgraph extraction a
@@ -78,12 +82,14 @@ pub fn count_split(
             total_s: r.total_s,
             subproblems: 1,
             max_subproblem_arcs: g.num_arcs(),
+            sanitizer: r.sanitizer,
         });
     }
 
     let mut total_s = 0.0;
     let mut subproblems = 0usize;
     let mut max_arcs = 0usize;
+    let mut sub_reports: Vec<SanitizerReport> = Vec::new();
     let mut run = |keep: &[usize]| -> Result<u64, CoreError> {
         let sub = induced(g, n, parts, keep);
         max_arcs = max_arcs.max(sub.num_arcs());
@@ -93,6 +99,7 @@ pub fn count_split(
         }
         let r = run_gpu_pipeline(&sub, opts)?;
         total_s += r.total_s;
+        sub_reports.extend(r.sanitizer);
         Ok(r.triangles)
     };
 
@@ -123,11 +130,17 @@ pub fn count_split(
     } else {
         0
     };
+    let sanitizer = if sub_reports.is_empty() {
+        None
+    } else {
+        Some(SanitizerReport::merged(&sub_reports))
+    };
     Ok(SplitReport {
         triangles: n1 + n2 + n3,
         total_s,
         subproblems,
         max_subproblem_arcs: max_arcs,
+        sanitizer,
     })
 }
 

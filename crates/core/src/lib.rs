@@ -20,6 +20,8 @@
 //!   DOULION edge sparsification \[6\] and wedge sampling \[7\];
 //! * [`verify`] — brute-force reference counters used by the test suite.
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod clustering;
 pub mod count;
@@ -29,8 +31,6 @@ pub mod gpu;
 pub mod truss;
 pub mod verify;
 
-#[allow(deprecated)]
-pub use count::{count_triangles, count_triangles_detailed};
 pub use count::{Backend, CountRequest, GpuOptions, ParseBackendError, TriangleCount};
 pub use error::{CoreError, ErrorContext};
 pub use gpu::pipeline::GpuReport;

@@ -39,6 +39,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod jobfile;
 pub mod queue;
@@ -573,6 +575,33 @@ mod tests {
         let report2 = engine.run_batch(vec![Job::new("late", g, gpu())]);
         assert_eq!(report2.cache_hits, 1);
         assert_eq!(engine.cached_sessions(), 1);
+    }
+
+    #[test]
+    fn sanitized_and_plain_backends_get_distinct_sessions() {
+        // The cache key includes the backend token, and `/sanitize` is
+        // part of the token — so a sanitized run must never reuse (or be
+        // reused by) an unsanitized prepared session.
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let mut sanitized = gpu();
+        assert!(sanitized.set_sanitizer(tc_simt::SanitizerMode::Check));
+        let jobs = vec![
+            Job::new("plain0", Arc::clone(&g), gpu()),
+            Job::new("san0", Arc::clone(&g), sanitized.clone()),
+            Job::new("plain1", Arc::clone(&g), gpu()),
+            Job::new("san1", g, sanitized),
+        ];
+        let report = engine.run_batch(jobs);
+        // Two distinct sessions, each paying one prepare and serving one hit.
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(report.cache_hits, 2);
+        assert_eq!(engine.cached_sessions(), 2);
+        for job in &report.jobs {
+            assert_eq!(job.result.as_ref().unwrap().triangles, 2);
+        }
+        assert_eq!(report.jobs[0].backend, "gtx980");
+        assert_eq!(report.jobs[1].backend, "gtx980/sanitize");
     }
 
     #[test]

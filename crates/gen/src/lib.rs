@@ -17,6 +17,8 @@
 //! ([`rng`]) is self-contained (SplitMix64 seeding a Xoshiro256**), so
 //! generated graphs are reproducible across platforms and releases.
 
+#![forbid(unsafe_code)]
+
 pub mod barabasi_albert;
 pub mod classic;
 pub mod copaper;

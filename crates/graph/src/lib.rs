@@ -22,6 +22,8 @@
 //! CUDA implementation; edge counts fit in `u32` as well (the largest paper
 //! graph has 234 M directed arcs).
 
+#![forbid(unsafe_code)]
+
 pub mod adjacency;
 pub mod convert;
 pub mod cores;

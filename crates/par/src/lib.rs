@@ -12,6 +12,8 @@
 //! identical regardless of thread count — including the fully sequential
 //! build with the `threads` feature disabled.
 
+#![forbid(unsafe_code)]
+
 use std::thread;
 
 /// Number of worker threads the helpers will use: the machine's available

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
 use crate::error::SimtError;
+use crate::sanitizer::{RawViolation, SanitizerMode, Shadow};
 
 /// Scalar types that can live in device memory.
 pub trait DeviceScalar: Copy + Send + Sync + 'static {
@@ -119,6 +120,9 @@ pub struct Arena {
     peak: u64,
     next: u64,
     live: BTreeMap<u64, u64>,
+    /// Sanitizer shadow state (`None` when [`SanitizerMode::Off`] — the
+    /// arena then behaves byte-identically to a build without it).
+    shadow: Option<Box<Shadow>>,
 }
 
 const ALIGN: u64 = 256;
@@ -132,7 +136,56 @@ impl Arena {
             peak: 0,
             next: 0,
             live: BTreeMap::new(),
+            shadow: None,
         }
+    }
+
+    /// Install (or remove) the sanitizer shadow. Allocations made before
+    /// the switch are adopted with their contents conservatively treated
+    /// as initialized.
+    pub fn set_sanitizer(&mut self, mode: SanitizerMode) {
+        if !mode.is_on() {
+            self.shadow = None;
+            return;
+        }
+        let mut sh = Shadow::new(mode);
+        for (&addr, &bytes) in &self.live {
+            sh.on_adopt(addr, bytes, span_of(bytes));
+        }
+        self.shadow = Some(Box::new(sh));
+    }
+
+    /// The active sanitizer mode.
+    #[inline]
+    pub fn sanitizer_mode(&self) -> SanitizerMode {
+        self.shadow
+            .as_deref()
+            .map_or(SanitizerMode::Off, Shadow::mode)
+    }
+
+    /// The shadow state, when the sanitizer is on.
+    #[inline]
+    pub(crate) fn shadow(&self) -> Option<&Shadow> {
+        self.shadow.as_deref()
+    }
+
+    /// Drain raw violations recorded by host-side arena ops since the last
+    /// drain (the device attributes them to an op label and phase).
+    pub(crate) fn take_violations(&self) -> Vec<RawViolation> {
+        self.shadow
+            .as_deref()
+            .map(Shadow::take_pending)
+            .unwrap_or_default()
+    }
+
+    /// Clone the currently queued (undrained) raw violations without
+    /// draining them — report snapshots must not consume state a later
+    /// timed op would attribute.
+    pub(crate) fn pending_violations(&self) -> Vec<RawViolation> {
+        self.shadow
+            .as_deref()
+            .map(Shadow::pending_snapshot)
+            .unwrap_or_default()
     }
 
     /// Allocate `bytes`; fails like `cudaMalloc` when the budget is blown.
@@ -147,7 +200,7 @@ impl Arena {
         // Zero-byte allocations still get a distinct address (CUDA returns
         // distinct non-null pointers too); without this, two empty buffers
         // would alias and double-free.
-        let span = bytes.div_ceil(ALIGN).max(1) * ALIGN;
+        let span = span_of(bytes);
         self.next += span;
         self.used += bytes;
         self.peak = self.peak.max(self.used);
@@ -160,6 +213,9 @@ impl Arena {
             self.data.resize(end, 0);
         }
         self.live.insert(addr, bytes);
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.on_alloc(addr, bytes, span);
+        }
         Ok(addr)
     }
 
@@ -168,9 +224,17 @@ impl Arena {
         match self.live.remove(&addr) {
             Some(bytes) => {
                 self.used -= bytes;
+                if let Some(sh) = self.shadow.as_deref_mut() {
+                    sh.on_free(addr);
+                }
                 Ok(())
             }
-            None => Err(SimtError::InvalidBuffer { addr }),
+            None => {
+                if let Some(sh) = self.shadow.as_deref_mut() {
+                    sh.on_invalid_free(addr);
+                }
+                Err(SimtError::InvalidBuffer { addr })
+            }
         }
     }
 
@@ -188,6 +252,9 @@ impl Arena {
         self.next = 0;
         self.used = 0;
         self.peak = 0;
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.on_reset();
+        }
         true
     }
 
@@ -228,6 +295,9 @@ impl Arena {
             src.len(),
             buf.len()
         );
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.host_write(buf.addr(), (src.len() * T::BYTES) as u64);
+        }
         let base = buf.addr() as usize;
         for (i, &v) in src.iter().enumerate() {
             v.write_le(&mut self.data[base + i * T::BYTES..]);
@@ -236,6 +306,9 @@ impl Arena {
 
     /// Read a typed buffer back out.
     pub fn read_slice<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        if let Some(sh) = self.shadow.as_deref() {
+            sh.host_read(buf.addr(), (buf.len() * T::BYTES) as u64);
+        }
         let base = buf.addr() as usize;
         (0..buf.len())
             .map(|i| T::read_le(&self.data[base + i * T::BYTES..]))
@@ -246,6 +319,9 @@ impl Arena {
     #[inline]
     pub fn read_at<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>, i: usize) -> T {
         assert!(i < buf.len());
+        if let Some(sh) = self.shadow.as_deref() {
+            sh.host_read(buf.addr_of(i), T::BYTES as u64);
+        }
         T::read_le(&self.data[buf.addr_of(i) as usize..])
     }
 
@@ -253,8 +329,44 @@ impl Arena {
     #[inline]
     pub fn write_at<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) {
         assert!(i < buf.len());
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.host_write(buf.addr_of(i), T::BYTES as u64);
+        }
         v.write_le(&mut self.data[buf.addr_of(i) as usize..]);
     }
+
+    /// Commit one buffered kernel store ([`crate::executor::PendingWrite`]).
+    /// With the sanitizer on, stores the shadow rejects (OOB or
+    /// use-after-free — the launch checker has already recorded the
+    /// finding) are skipped so the simulation survives to report them;
+    /// accepted stores mark their bytes initialized. Returns whether the
+    /// store was applied.
+    ///
+    /// # Panics
+    /// Panics on a store width other than 4 or 8 bytes (our kernels store
+    /// only `u32`/`u64`).
+    pub fn commit_store(&mut self, addr: u64, bytes: u32, value: u64) -> bool {
+        assert!(bytes == 4 || bytes == 8, "unsupported store width {bytes}");
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            if !sh.write_allowed(addr, bytes as u64) {
+                return false;
+            }
+            sh.mark_init(addr, bytes as u64);
+        }
+        let dst = &mut self.data[addr as usize..];
+        if bytes == 4 {
+            (value as u32).write_le(dst);
+        } else {
+            value.write_le(dst);
+        }
+        true
+    }
+}
+
+/// Aligned footprint of an allocation of `bytes` logical bytes.
+#[inline]
+fn span_of(bytes: u64) -> u64 {
+    bytes.div_ceil(ALIGN).max(1) * ALIGN
 }
 
 #[cfg(test)]
@@ -352,6 +464,79 @@ mod tests {
         a.alloc(80).unwrap();
         assert!(a.fits(20));
         assert!(!a.fits(21));
+    }
+
+    #[test]
+    fn free_of_unknown_addr_is_an_error() {
+        let mut a = Arena::new(1024);
+        let b = a.alloc(10).unwrap();
+        assert!(matches!(
+            a.free(b + ALIGN),
+            Err(SimtError::InvalidBuffer { .. })
+        ));
+        assert_eq!(a.used(), 10, "failed free must not change accounting");
+        a.free(b).unwrap();
+    }
+
+    #[test]
+    fn reset_unused_refuses_while_buffers_live() {
+        let mut a = Arena::new(1024);
+        let b1 = a.alloc(100).unwrap();
+        let b2 = a.alloc(100).unwrap();
+        assert!(!a.reset_unused(), "live buffers must block the rewind");
+        a.free(b1).unwrap();
+        assert!(!a.reset_unused(), "one live buffer still blocks it");
+        assert_eq!(a.used(), 100);
+        a.free(b2).unwrap();
+        assert!(a.reset_unused());
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.peak(), 0);
+        // Post-rewind allocations start from address zero again.
+        assert_eq!(a.alloc(10).unwrap(), 0);
+    }
+
+    #[test]
+    fn shadow_tracks_host_accesses() {
+        use crate::sanitizer::{FindingKind, SanitizerMode};
+        let mut a = Arena::new(1 << 20);
+        a.set_sanitizer(SanitizerMode::Check);
+        assert_eq!(a.sanitizer_mode(), SanitizerMode::Check);
+        let addr = a.alloc(16).unwrap();
+        let buf: DeviceBuffer<u32> = DeviceBuffer::new(addr, 4);
+        // Uninitialized read, then clean after a write.
+        let _ = a.read_slice(&buf);
+        let v = a.take_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, FindingKind::UninitRead);
+        a.write_slice(&buf, &[1, 2, 3, 4]);
+        let _ = a.read_slice(&buf);
+        assert!(a.take_violations().is_empty());
+        // Use-after-free read.
+        a.free(addr).unwrap();
+        let _ = a.read_at(&buf, 0);
+        let v = a.take_violations();
+        assert_eq!(v[0].kind, FindingKind::UseAfterFreeRead);
+        // Invalid free is recorded as a violation too.
+        assert!(a.free(addr).is_err());
+        let v = a.take_violations();
+        assert_eq!(v[0].kind, FindingKind::InvalidFree);
+    }
+
+    #[test]
+    fn commit_store_skips_rejected_writes_only_when_sanitized() {
+        use crate::sanitizer::SanitizerMode;
+        let mut a = Arena::new(1 << 20);
+        let addr = a.alloc(8).unwrap();
+        // Unsanitized: any in-vec store is applied.
+        assert!(a.commit_store(addr, 8, 42));
+        let buf: DeviceBuffer<u64> = DeviceBuffer::new(addr, 1);
+        assert_eq!(a.read_at(&buf, 0), 42);
+        // Sanitized: a store past the logical end is rejected and skipped.
+        a.set_sanitizer(SanitizerMode::Check);
+        assert!(!a.commit_store(addr + 8, 8, 7));
+        assert!(a.commit_store(addr, 4, 9));
+        assert_eq!(a.read_at(&DeviceBuffer::<u32>::new(addr, 1), 0), 9);
+        assert!(a.take_violations().is_empty(), "commit_store records none");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! bandwidth) match the published specs, because those drive the Table II
 //! statistics directly.
 
+use crate::sanitizer::SanitizerMode;
+
 /// Static description of a simulated device.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DeviceConfig {
@@ -65,6 +67,10 @@ pub struct DeviceConfig {
     /// factor as the graph suite (DESIGN.md §2) so the §III-D6 fallback
     /// triggers on the analog of the paper's over-capacity graphs.
     pub memory_capacity: u64,
+    /// Compute-sanitizer mode installed on devices built from this config
+    /// (memcheck/initcheck/racecheck over the simulated memory path).
+    /// `Off` is a true no-op — modeled statistics are byte-identical.
+    pub sanitizer: SanitizerMode,
 }
 
 impl DeviceConfig {
@@ -97,6 +103,7 @@ impl DeviceConfig {
             launch_overhead_us: 8.0,
             context_init_ms: 100.0,
             memory_capacity: 20 * 1024 * 1024,
+            sanitizer: SanitizerMode::Off,
         }
     }
 
@@ -128,6 +135,7 @@ impl DeviceConfig {
             launch_overhead_us: 5.0,
             context_init_ms: 100.0,
             memory_capacity: 48 * 1024 * 1024,
+            sanitizer: SanitizerMode::Off,
         }
     }
 
@@ -158,6 +166,7 @@ impl DeviceConfig {
             launch_overhead_us: 10.0,
             context_init_ms: 100.0,
             memory_capacity: 18 * 1024 * 1024,
+            sanitizer: SanitizerMode::Off,
         }
     }
 
@@ -172,6 +181,12 @@ impl DeviceConfig {
     /// failure-injection tests.
     pub fn with_memory_capacity(mut self, bytes: u64) -> Self {
         self.memory_capacity = bytes;
+        self
+    }
+
+    /// A variant with the given sanitizer mode.
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = mode;
         self
     }
 

@@ -11,9 +11,10 @@
 use crate::arena::{Arena, DeviceBuffer, DeviceScalar};
 use crate::config::DeviceConfig;
 use crate::error::SimtError;
-use crate::executor::{simulate, KernelStats, LaunchConfig};
+use crate::executor::{simulate, simulate_traced, KernelStats, LaunchConfig};
 use crate::kernel::Kernel;
 use crate::profiler::{Counters, OpenSpan, ProfileReport, Span};
+use crate::sanitizer::{check_launch, Finding, Lint, SanitizerMode, SanitizerReport};
 
 /// One entry of the device time log.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,11 +64,14 @@ pub struct Device {
     counters: Counters,
     span_stack: Vec<OpenSpan>,
     spans: Vec<Span>,
+    findings: Vec<Finding>,
+    lints: Vec<Lint>,
 }
 
 impl Device {
     pub fn new(cfg: DeviceConfig) -> Self {
-        let arena = Arena::new(cfg.memory_capacity);
+        let mut arena = Arena::new(cfg.memory_capacity);
+        arena.set_sanitizer(cfg.sanitizer);
         Device {
             cfg,
             arena,
@@ -77,6 +81,69 @@ impl Device {
             counters: Counters::default(),
             span_stack: Vec::new(),
             spans: Vec::new(),
+            findings: Vec::new(),
+            lints: Vec::new(),
+        }
+    }
+
+    /// Switch the sanitizer on or off for this device's next session.
+    /// Installing a shadow adopts live allocations (contents treated as
+    /// initialized); any previously accumulated findings and lints are
+    /// discarded either way.
+    pub fn set_sanitizer_mode(&mut self, mode: SanitizerMode) {
+        self.arena.set_sanitizer(mode);
+        self.findings.clear();
+        self.lints.clear();
+    }
+
+    /// The sanitizer mode currently active on this device.
+    #[inline]
+    pub fn sanitizer_mode(&self) -> SanitizerMode {
+        self.arena.sanitizer_mode()
+    }
+
+    /// Snapshot the sanitizer's findings and lints so far. `None` when the
+    /// sanitizer is off. Violations recorded by untimed host reads
+    /// ([`Device::peek`]) that no timed op has attributed yet are included
+    /// under the op label `"host"`.
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        let mode = self.arena.sanitizer_mode();
+        if !mode.is_on() {
+            return None;
+        }
+        let mut findings = self.findings.clone();
+        let phase = self.current_phase();
+        findings.extend(
+            self.arena
+                .pending_violations()
+                .into_iter()
+                .map(|r| r.into_finding("host", &phase)),
+        );
+        Some(SanitizerReport {
+            mode,
+            device: self.cfg.name.to_string(),
+            findings,
+            lints: self.lints.clone(),
+        })
+    }
+
+    fn current_phase(&self) -> String {
+        self.span_stack
+            .last()
+            .map(|s| s.path.clone())
+            .unwrap_or_default()
+    }
+
+    /// Attribute raw violations queued by host-side arena ops to the op
+    /// label that produced them and the currently open phase.
+    fn drain_violations(&mut self, label: &str) {
+        if self.arena.sanitizer_mode().is_on() {
+            let raws = self.arena.take_violations();
+            if !raws.is_empty() {
+                let phase = self.current_phase();
+                self.findings
+                    .extend(raws.into_iter().map(|r| r.into_finding(label, &phase)));
+            }
         }
     }
 
@@ -201,6 +268,7 @@ impl Device {
     }
 
     pub(crate) fn advance(&mut self, label: &str, seconds: f64) {
+        self.drain_violations(label);
         self.log.push(TimedOp {
             label: label.to_string(),
             start_s: self.now_s,
@@ -232,7 +300,9 @@ impl Device {
 
     /// Free a buffer (`cudaFree`).
     pub fn free<T: DeviceScalar>(&mut self, buf: DeviceBuffer<T>) -> Result<(), SimtError> {
-        self.arena.free(buf.addr())
+        let out = self.arena.free(buf.addr());
+        self.drain_violations("free");
+        out
     }
 
     /// Allocate and fill from host data, charging the PCIe transfer.
@@ -278,11 +348,16 @@ impl Device {
 
     /// Host-side debug write without timing.
     pub fn poke<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, src: &[T]) {
-        self.arena.write_slice(buf, src)
+        self.arena.write_slice(buf, src);
+        self.drain_violations("poke");
     }
 
     /// Launch a kernel under cycle simulation; commits its stores and
-    /// advances the clock by the simulated kernel time.
+    /// advances the clock by the simulated kernel time. With the sanitizer
+    /// on, the launch's lane accesses are recorded and checked (memcheck,
+    /// initcheck, racecheck, access-pattern lints) before the stores
+    /// commit; stores the shadow rejects are skipped so the run survives
+    /// to report them.
     pub fn launch<K: Kernel>(
         &mut self,
         label: &str,
@@ -290,9 +365,29 @@ impl Device {
         kernel: &K,
     ) -> Result<KernelStats, SimtError> {
         self.ensure_context();
+        if self.arena.sanitizer_mode().is_on() {
+            let (stats, writes, accesses) =
+                simulate_traced(&self.cfg, &self.arena, lc, kernel, true)?;
+            let phase = self.current_phase();
+            let (findings, lints) = check_launch(
+                self.arena.shadow().expect("sanitizer is on"),
+                &accesses,
+                &stats,
+                label,
+                &phase,
+            );
+            self.findings.extend(findings);
+            self.lints.extend(lints);
+            for w in writes {
+                self.arena.commit_store(w.addr, w.bytes, w.value);
+            }
+            self.counters.absorb_kernel(&stats);
+            self.advance(label, stats.time_s);
+            return Ok(stats);
+        }
         let (stats, writes) = simulate(&self.cfg, &self.arena, lc, kernel)?;
         for w in writes {
-            commit_write(&mut self.arena, w.addr, w.bytes, w.value);
+            self.arena.commit_store(w.addr, w.bytes, w.value);
         }
         self.counters.absorb_kernel(&stats);
         self.advance(label, stats.time_s);
@@ -316,21 +411,6 @@ impl Device {
     /// Would `bytes` more fit right now? (§III-D6 capacity planning.)
     pub fn fits(&self, bytes: u64) -> bool {
         self.arena.fits(bytes)
-    }
-}
-
-fn commit_write(arena: &mut Arena, addr: u64, bytes: u32, value: u64) {
-    // Stores are 4 or 8 bytes in our kernels.
-    match bytes {
-        4 => {
-            let buf = DeviceBuffer::<u32>::new(addr, 1);
-            arena.write_slice(&buf, &[value as u32]);
-        }
-        8 => {
-            let buf = DeviceBuffer::<u64>::new(addr, 1);
-            arena.write_slice(&buf, &[value]);
-        }
-        other => panic!("unsupported store width {other}"),
     }
 }
 

@@ -28,6 +28,7 @@ use crate::coalesce::coalesce_into;
 use crate::config::DeviceConfig;
 use crate::error::SimtError;
 use crate::kernel::{Effect, Kernel, Lane, MemView};
+use crate::sanitizer::Access;
 
 /// Grid dimensions for a launch, in the paper's terms (§III-C): number of
 /// blocks and threads per block. `warp_split` simulates the reduced-warp
@@ -140,6 +141,22 @@ pub fn simulate<K: Kernel>(
     lc: LaunchConfig,
     kernel: &K,
 ) -> Result<(KernelStats, Vec<PendingWrite>), SimtError> {
+    let (stats, writes, _) = simulate_traced(cfg, arena, lc, kernel, false)?;
+    Ok((stats, writes))
+}
+
+/// [`simulate`], optionally recording every lane memory access for the
+/// sanitizer. The access log is deterministic: per-SM streams are merged
+/// in SM index order, and each SM's stream follows its (deterministic)
+/// warp schedule. With `trace` off, no accesses are recorded and the
+/// returned log is empty.
+pub(crate) fn simulate_traced<K: Kernel>(
+    cfg: &DeviceConfig,
+    arena: &Arena,
+    lc: LaunchConfig,
+    kernel: &K,
+    trace: bool,
+) -> Result<(KernelStats, Vec<PendingWrite>, Vec<Access>), SimtError> {
     lc.validate(cfg)?;
     let warps_per_block = lc.threads_per_block / cfg.warp_size;
     let lanes_per_warp = (cfg.warp_size / lc.warp_split) as usize;
@@ -164,11 +181,13 @@ pub fn simulate<K: Kernel>(
             lanes_per_warp,
             total_active,
             resident_blocks as usize,
+            trace,
         )
     });
 
     let mut stats = KernelStats::default();
     let mut writes = Vec::new();
+    let mut accesses = Vec::new();
     for r in results {
         stats.sm_cycles = stats.sm_cycles.max(r.end_cycle);
         stats.lane_steps += r.lane_steps;
@@ -184,6 +203,7 @@ pub fn simulate<K: Kernel>(
         stats.tex.merge(r.tex);
         stats.l2.merge(r.l2);
         writes.extend(r.writes);
+        accesses.extend(r.accesses);
     }
     stats.dram_bytes = stats.dram_read_bytes + stats.dram_write_bytes;
     // Achieved occupancy of the resident set: blocks actually co-resident
@@ -195,7 +215,7 @@ pub fn simulate<K: Kernel>(
     let dram_time = stats.dram_bytes as f64 / (cfg.dram_bandwidth_gbs * 1e9);
     stats.time_s = pipeline_time.max(dram_time) + cfg.launch_overhead_us * 1e-6;
     stats.achieved_bandwidth_gbs = stats.dram_bytes as f64 / stats.time_s / 1e9;
-    Ok((stats, writes))
+    Ok((stats, writes, accesses))
 }
 
 struct SmResult {
@@ -211,6 +231,8 @@ struct SmResult {
     tex: CacheStats,
     l2: CacheStats,
     writes: Vec<PendingWrite>,
+    /// Lane-attributed access log (empty unless tracing).
+    accesses: Vec<Access>,
 }
 
 struct WarpSim<L> {
@@ -219,6 +241,8 @@ struct WarpSim<L> {
     live: usize,
     ready_at: f64,
     block_slot: usize,
+    /// Global thread id of lane 0 of this warp (sanitizer attribution).
+    tid_base: usize,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -231,6 +255,7 @@ fn simulate_sm<K: Kernel>(
     lanes_per_warp: usize,
     total_active: usize,
     resident_blocks: usize,
+    trace: bool,
 ) -> SmResult {
     let mut tex = Cache::new(cfg.tex_cache_bytes, cfg.tex_cache_ways, cfg.line_bytes);
     let l2_slice = (cfg.l2_cache_bytes / cfg.num_sms).max(cfg.line_bytes * cfg.l2_cache_ways);
@@ -249,6 +274,7 @@ fn simulate_sm<K: Kernel>(
                     lanes,
                     ready_at: at,
                     block_slot: slot,
+                    tid_base: global_warp * lanes_per_warp,
                 }
             })
             .collect()
@@ -277,6 +303,7 @@ fn simulate_sm<K: Kernel>(
     let mut dram_read_bytes = 0u64;
     let mut dram_write_bytes = 0u64;
     let mut writes: Vec<PendingWrite> = Vec::new();
+    let mut accesses: Vec<Access> = Vec::new();
 
     let mut effects: Vec<Effect> = Vec::with_capacity(lanes_per_warp);
     let mut reads_cached: Vec<(u64, u32)> = Vec::with_capacity(lanes_per_warp);
@@ -321,6 +348,14 @@ fn simulate_sm<K: Kernel>(
                         bytes,
                         cached,
                     } => {
+                        if trace {
+                            accesses.push(Access {
+                                lane: (w.tid_base + li) as u32,
+                                addr,
+                                bytes,
+                                write: false,
+                            });
+                        }
                         if cached {
                             reads_cached.push((addr, bytes));
                         } else {
@@ -328,6 +363,14 @@ fn simulate_sm<K: Kernel>(
                         }
                     }
                     Effect::Write { addr, bytes, value } => {
+                        if trace {
+                            accesses.push(Access {
+                                lane: (w.tid_base + li) as u32,
+                                addr,
+                                bytes,
+                                write: true,
+                            });
+                        }
                         writes.push(PendingWrite { addr, bytes, value });
                         write_txns += 1;
                         dram_write_bytes += bytes as u64; // write-through
@@ -420,6 +463,7 @@ fn simulate_sm<K: Kernel>(
         tex: tex.stats(),
         l2: l2.stats(),
         writes,
+        accesses,
     }
 }
 

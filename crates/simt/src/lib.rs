@@ -22,9 +22,15 @@
 //!   memory traffic is simulated cycle-by-cycle. The triangle-counting
 //!   kernel in `tc-core` is written against this interface.
 //!
+//! * **Analysis**: a compute-sanitizer-style layer ([`sanitizer`]) —
+//!   memcheck, initcheck, racecheck, and access-pattern lints over the
+//!   simulated memory path, off by default and a true no-op when off.
+//!
 //! Simulated time is deterministic: the same kernel on the same device
 //! preset always reports the same cycle count, cache hit rate, and DRAM
 //! traffic.
+
+#![forbid(unsafe_code)]
 
 pub mod arena;
 pub mod cache;
@@ -38,6 +44,7 @@ pub mod multi;
 pub mod pool;
 pub mod primitives;
 pub mod profiler;
+pub mod sanitizer;
 pub mod trace;
 
 pub use arena::{DeviceBuffer, DeviceScalar};
@@ -49,3 +56,4 @@ pub use kernel::{Effect, Kernel, Lane, MemView};
 pub use multi::DeviceGroup;
 pub use pool::{DeviceLease, DevicePool, PoolTicket};
 pub use profiler::{Counters, ProfileReport, Span};
+pub use sanitizer::{Finding, FindingKind, Lint, LintKind, SanitizerMode, SanitizerReport};

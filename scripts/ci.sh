@@ -45,20 +45,17 @@ PY
 echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-echo "==> deprecated entry points"
-# count_triangles/count_triangles_detailed are deprecated shims over
-# CountRequest; only their own definition site (and the facade re-exports,
-# which carry #[allow(deprecated)]) may mention them.
-deprecated_calls=$(grep -rn --include='*.rs' \
-    -e 'count_triangles(' -e 'count_triangles_detailed(' \
-    src crates tests examples \
-    | grep -v '^crates/core/src/count.rs:' \
-    | grep -v '^crates/core/src/lib.rs:' \
-    | grep -v '^src/lib.rs:' || true)
-if [ -n "$deprecated_calls" ]; then
-    echo "error: in-tree callers of deprecated entry points:" >&2
-    echo "$deprecated_calls" >&2
-    exit 1
-fi
+echo "==> sanitized smoke gate"
+# Two representative suite graphs (a clique-union co-paper analog and a
+# Kronecker rung) must run sanitizer-clean: tcount exits nonzero on any
+# memcheck/initcheck/racecheck finding.
+./target/release/tcount suite:dblp --backend gtx980/sanitize > /dev/null
+./target/release/tcount suite:kronecker-8 --backend c2050/balanced --sanitize > /dev/null
+
+echo "==> sanitizer seeded-bug self-test"
+# The gate above proves the sanitizer stays quiet on clean runs; this one
+# proves it actually fires — an OOB read, an uninitialized read, and a
+# write-write race must each be detected.
+./target/release/tcount sanitize-selftest > /dev/null
 
 echo "==> ci OK"

@@ -3,9 +3,10 @@
 //! ```text
 //! tcount <path> [--format text|binary|metis] [--backend NAME]
 //!               [--clustering] [--validate] [--trace FILE]
-//!               [--profile [FILE]]
+//!               [--profile [FILE]] [--sanitize [paranoid]]
 //! tcount batch <jobfile> [--scale smoke|bench|large] [--workers N]
 //!                        [--json FILE]
+//! tcount sanitize-selftest
 //!
 //! backends: forward (default) | edge-iterator | node-iterator | hashed |
 //!           parallel | hybrid[:<tau>] | gtx980 | c2050 | nvs5200m |
@@ -14,8 +15,26 @@
 //! Any simulated-GPU backend takes a `/balanced[:<t>x<w>]` suffix to turn
 //! on the workload-balanced kernel scheduler: `gtx980/balanced` auto-tunes
 //! the bin plan, `gtx980/balanced:16x8` splits at work 16 with a
-//! virtual-warp width of 8 (see DESIGN.md "Kernel scheduling").
+//! virtual-warp width of 8 (see DESIGN.md "Kernel scheduling"), and a
+//! `/sanitize[:paranoid]` suffix to run it under the compute-sanitizer
+//! layer (DESIGN.md §12).
 //! ```
+//!
+//! `<path>` may be `suite:<name>` (e.g. `suite:dblp`, `suite:kronecker-9`)
+//! to generate a smoke-scale evaluation-suite graph in memory instead of
+//! reading a file.
+//!
+//! `--sanitize [paranoid]` (simulated GPU backends) is equivalent to the
+//! `/sanitize` backend suffix: the run executes with memcheck, initcheck,
+//! and racecheck shadow tracking, the finding report is printed as JSON,
+//! and the exit code is nonzero if there is at least one finding. Lints
+//! (uncoalesced loops, divergence-heavy warps) are advisory and never fail
+//! the run.
+//!
+//! `tcount sanitize-selftest` runs the seeded-bug kernels (out-of-bounds
+//! read, uninitialized read, write-write race), prints their reports, and
+//! fails unless every seeded bug was detected — the CI gate that proves
+//! the sanitizer actually fires.
 //!
 //! `--trace FILE` (simulated GPU backends, single- or multi-device) writes
 //! a Chrome Trace Event file of the device's phases — nested spans over
@@ -36,6 +55,8 @@
 //! counting engine: repeated counts of the same graph reuse one prepared
 //! device session (see the jobfile format in `tc_engine::jobfile`).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use triangles::core::clustering::{average_clustering, transitivity};
@@ -45,7 +66,9 @@ use triangles::core::gpu::pipeline::{run_gpu_pipeline_profiled, RunTrace};
 use triangles::engine::{parse_jobfile, Engine, EngineConfig};
 use triangles::gen::Scale;
 use triangles::graph::{io, EdgeArray, GraphStats};
+use triangles::simt::sanitizer::selftest;
 use triangles::simt::trace::{write_chrome_trace_spanned, TraceThread};
+use triangles::simt::SanitizerMode;
 
 struct Args {
     path: String,
@@ -57,6 +80,9 @@ struct Args {
     /// `Some(None)` = print the profile table; `Some(Some(file))` = also
     /// write the JSON report.
     profile: Option<Option<String>>,
+    /// `--sanitize [paranoid]`: requested sanitizer mode, folded into the
+    /// backend token.
+    sanitize: Option<SanitizerMode>,
 }
 
 #[derive(PartialEq)]
@@ -70,13 +96,17 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tcount <path> [--format text|binary|metis] [--backend NAME]\n\
          \x20             [--clustering] [--validate] [--trace FILE] [--profile [FILE]]\n\
+         \x20             [--sanitize [paranoid]]\n\
          \x20      tcount batch <jobfile> [--scale smoke|bench|large] [--workers N]\n\
          \x20                             [--json FILE]\n\
+         \x20      tcount sanitize-selftest\n\
+         <path> may be suite:<name> to generate a smoke-scale suite graph\n\
          backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
          \x20         hybrid[:<tau>] | gtx980 | c2050 | nvs5200m | <n>x<device> |\n\
          \x20         <device>/split:<parts>\n\
          \x20         GPU backends accept /balanced[:<t>x<w>] for the\n\
-         \x20         workload-balanced kernel scheduler"
+         \x20         workload-balanced kernel scheduler and /sanitize[:paranoid]\n\
+         \x20         for the compute-sanitizer layer"
     );
     ExitCode::from(2)
 }
@@ -95,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
         validate: false,
         trace: None,
         profile: None,
+        sanitize: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -121,6 +152,17 @@ fn parse_args() -> Result<Args, String> {
                     _ => None,
                 };
                 parsed.profile = Some(file);
+            }
+            "--sanitize" => {
+                // The mode operand is optional: absent or another flag
+                // means plain Check.
+                parsed.sanitize = Some(match args.peek().map(String::as_str) {
+                    Some("paranoid") => {
+                        args.next();
+                        SanitizerMode::Paranoid
+                    }
+                    _ => SanitizerMode::Check,
+                });
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -177,6 +219,7 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
                 backend: args.backend.label(),
                 seconds: report.total_s,
                 profile: Some(trace.profile),
+                sanitizer: report.sanitizer.clone(),
                 gpu: Some(report),
             })
         }
@@ -194,6 +237,7 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
                 backend: args.backend.label(),
                 seconds: report.total_s,
                 profile: Some(merged_profile(&traces)),
+                sanitizer: report.sanitizer,
                 gpu: None,
             })
         }
@@ -201,13 +245,41 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
     }
 }
 
-fn run(args: Args) -> Result<(), String> {
-    let graph: EdgeArray = match args.format {
-        Format::Text => io::read_text(&args.path),
-        Format::Binary => io::read_binary(&args.path),
-        Format::Metis => io::read_metis(&args.path),
+/// Resolve a `suite:<name>` pseudo-path to a generated smoke-scale suite
+/// graph, so CI gates need no graph files on disk.
+fn suite_graph(name: &str) -> Result<EdgeArray, String> {
+    let scale = Scale::Smoke;
+    for spec in triangles::gen::GraphSpec::all() {
+        if spec.name(scale) == name {
+            return Ok(spec.generate(scale, triangles::gen::suite::SUITE_SEED));
+        }
     }
-    .map_err(|e| format!("loading {}: {e}", args.path))?;
+    let names: Vec<String> = triangles::gen::GraphSpec::all()
+        .iter()
+        .map(|s| s.name(scale))
+        .collect();
+    Err(format!(
+        "unknown suite graph {name:?} (available: {})",
+        names.join(", ")
+    ))
+}
+
+fn run(mut args: Args) -> Result<(), String> {
+    if let Some(mode) = args.sanitize {
+        if !args.backend.set_sanitizer(mode) {
+            return Err("--sanitize requires a simulated-GPU backend".into());
+        }
+    }
+    let graph: EdgeArray = if let Some(name) = args.path.strip_prefix("suite:") {
+        suite_graph(name)?
+    } else {
+        match args.format {
+            Format::Text => io::read_text(&args.path),
+            Format::Binary => io::read_binary(&args.path),
+            Format::Metis => io::read_metis(&args.path),
+        }
+        .map_err(|e| format!("loading {}: {e}", args.path))?
+    };
 
     if args.validate {
         graph.validate().map_err(|e| format!("validation: {e}"))?;
@@ -249,6 +321,23 @@ fn run(args: Args) -> Result<(), String> {
                 ""
             }
         );
+    }
+
+    if let Some(report) = &result.sanitizer {
+        println!("{}", report.to_json());
+        if !report.is_clean() {
+            return Err(format!(
+                "sanitizer: {} finding(s) (see report above)",
+                report.findings.len()
+            ));
+        }
+        println!(
+            "sanitizer: clean ({} mode, {} lint(s))",
+            report.mode,
+            report.lints.len()
+        );
+    } else if args.backend.sanitizer() != SanitizerMode::Off {
+        return Err("sanitizer was requested but produced no report".into());
     }
 
     if args.clustering {
@@ -354,8 +443,33 @@ fn run_batch_cmd(args: BatchArgs) -> Result<(), String> {
     }
 }
 
+/// `tcount sanitize-selftest`: run the seeded-bug kernels and fail unless
+/// every one of them was detected.
+fn run_selftest_cmd() -> ExitCode {
+    let bugs = selftest::run();
+    println!("{}", selftest::to_json(&bugs));
+    if selftest::all_detected(&bugs) {
+        println!("sanitize-selftest: all {} seeded bugs detected", bugs.len());
+        ExitCode::SUCCESS
+    } else {
+        let missed: Vec<&str> = bugs
+            .iter()
+            .filter(|b| !b.detected)
+            .map(|b| b.name)
+            .collect();
+        eprintln!(
+            "error: sanitize-selftest: seeded bug(s) went undetected: {}",
+            missed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("sanitize-selftest") {
+        return run_selftest_cmd();
+    }
     if argv.peek().map(String::as_str) == Some("batch") {
         argv.next();
         return match parse_batch_args(argv) {

@@ -26,6 +26,8 @@
 //! assert_eq!(gpu.triangles, cpu.triangles);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tc_bench as bench;
 pub use tc_core as core;
 pub use tc_engine as engine;
@@ -35,8 +37,6 @@ pub use tc_simt as simt;
 
 /// Convenience prelude bringing the common types into scope.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use tc_core::count_triangles;
     pub use tc_core::{Backend, CountRequest, TriangleCount};
     pub use tc_gen::Seed;
     pub use tc_graph::{Csr, Edge, EdgeArray, GraphStats};
