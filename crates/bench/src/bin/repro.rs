@@ -30,12 +30,17 @@ struct Args {
     cfg: ExpConfig,
     csv_dir: Option<PathBuf>,
     out: Option<PathBuf>,
+    check: Option<PathBuf>,
+    check_tol: f64,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|balance|bench|all>\n\
-         \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR] [--out FILE]"
+         \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR] [--out FILE]\n\
+         \x20       [--check PRIOR_BENCH_JSON] [--check-tolerance FRAC]\n\
+         \x20 bench: set TC_TELEMETRY_CI=1 to null the advisory (host-wall) section;\n\
+         \x20        --check diffs modeled_ms against a prior artifact and fails on regression"
     );
     ExitCode::from(2)
 }
@@ -46,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
     let mut cfg = ExpConfig::default();
     let mut csv_dir = None;
     let mut out = None;
+    let mut check = None;
+    let mut check_tol = 0.05;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -75,6 +82,15 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = Some(PathBuf::from(args.next().ok_or("missing --out file")?));
             }
+            "--check" => {
+                check = Some(PathBuf::from(args.next().ok_or("missing --check file")?));
+            }
+            "--check-tolerance" => {
+                check_tol = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --check-tolerance")?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -83,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         csv_dir,
         out,
+        check,
+        check_tol,
     })
 }
 
@@ -128,9 +146,39 @@ fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
                 .out
                 .clone()
                 .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", bench_json::BENCH_SEQ)));
-            std::fs::write(&path, bench_json::to_json(&entries, cfg))
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            // CI mode strips the host-measured advisory section so the
+            // artifact bytes are deterministic across machines.
+            let ci = std::env::var("TC_TELEMETRY_CI").is_ok_and(|v| v == "1");
+            let json = bench_json::to_json_with_advisory(&entries, cfg, !ci);
+            std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
             eprintln!("wrote {}", path.display());
+            if let Some(prior) = &args.check {
+                let old = std::fs::read_to_string(prior)
+                    .map_err(|e| format!("reading {}: {e}", prior.display()))?;
+                match bench_json::check_regressions(&json, &old, args.check_tol) {
+                    Ok(lines) => {
+                        for line in lines {
+                            eprintln!("bench-check: {line}");
+                        }
+                        eprintln!(
+                            "bench-check: no modeled_ms regression beyond {:.1}% vs {}",
+                            args.check_tol * 100.0,
+                            prior.display()
+                        );
+                    }
+                    Err(failures) => {
+                        for line in &failures {
+                            eprintln!("bench-check: {line}");
+                        }
+                        return Err(format!(
+                            "bench regression vs {}: {} graph x backend cell(s) beyond {:.1}%",
+                            prior.display(),
+                            failures.len(),
+                            args.check_tol * 100.0
+                        ));
+                    }
+                }
+            }
         }
         "profile" => {
             let rows = profile::run(cfg);

@@ -160,6 +160,17 @@ impl Backend {
         }
     }
 
+    /// Whether timings from this backend are *modeled* (simulated-device
+    /// seconds, deterministic across runs and hosts) rather than measured
+    /// host wall time. Telemetry classes modeled timings as deterministic
+    /// metrics; host-measured CPU timings go in the advisory section.
+    pub fn is_modeled(&self) -> bool {
+        matches!(
+            self,
+            Backend::Gpu(_) | Backend::MultiGpu { .. } | Backend::GpuSplit { .. }
+        )
+    }
+
     /// The scheduling knob of the backend's GPU options, if it has one.
     fn schedule_mut(&mut self) -> Option<&mut KernelSchedule> {
         match self {

@@ -19,7 +19,7 @@
 
 use tc_graph::EdgeArray;
 use tc_simt::primitives::reduce_sum_u64;
-use tc_simt::profiler::ProfileReport;
+use tc_simt::profiler::{relative_spans, ProfileReport, RelSpan};
 use tc_simt::{Device, DeviceBuffer, KernelStats, LaunchConfig};
 
 use crate::count::GpuOptions;
@@ -44,6 +44,9 @@ pub struct PreparedGraph {
     plan: Option<BinPlan>,
     digest: u64,
     prepare_s: f64,
+    /// The prepare window's phase spans on a clock-base-free nanosecond
+    /// timeline (preprocess steps + scheduling), for request tracing.
+    prepare_trace: Vec<RelSpan>,
     counts_served: u64,
 }
 
@@ -58,6 +61,11 @@ pub struct PreparedCount {
     /// Per-count profile: exactly the spans and counter deltas charged by
     /// this count, for per-job attribution in the engine.
     pub profile: ProfileReport,
+    /// The same spans on a clock-base-free nanosecond timeline (relative
+    /// to the count's first op), byte-identical no matter how many counts
+    /// the session served before — the engine's unified request traces
+    /// embed these under the request's `count` stage.
+    pub trace: Vec<RelSpan>,
 }
 
 impl PreparedGraph {
@@ -141,6 +149,9 @@ impl PreparedGraph {
         })?;
 
         let prepare_s = dev.elapsed() + pre.host_seconds;
+        // The recycle above zeroed the clock, span list, and op log, so the
+        // whole prepare window starts at op 0 — marks (0, 0) cover it.
+        let prepare_trace = relative_spans(dev.spans(), dev.time_log(), 0, 0);
         Ok(PreparedGraph {
             dev,
             pre,
@@ -151,6 +162,7 @@ impl PreparedGraph {
             plan,
             digest: g.digest(),
             prepare_s,
+            prepare_trace,
             counts_served: 0,
         })
     }
@@ -205,11 +217,13 @@ impl PreparedGraph {
             totals: self.dev.counters().delta(&counters0),
             spans: self.dev.spans()[span_mark..].to_vec(),
         };
+        let trace = relative_spans(self.dev.spans(), self.dev.time_log(), span_mark, log_mark);
         Ok(PreparedCount {
             triangles,
             count_s,
             kernel: kernel_stats,
             profile,
+            trace,
         })
     }
 
@@ -322,6 +336,14 @@ impl PreparedGraph {
     #[inline]
     pub fn prepare_s(&self) -> f64 {
         self.prepare_s
+    }
+
+    /// The prepare window's phase spans (preprocess, schedule, and their
+    /// children) on a clock-base-free nanosecond timeline. Byte-identical
+    /// for the same graph and options no matter which pooled device ran it.
+    #[inline]
+    pub fn prepare_trace(&self) -> &[RelSpan] {
+        &self.prepare_trace
     }
 
     /// How many counts this prepared graph has served.

@@ -11,14 +11,21 @@
 //!   the kernel phases;
 //! * a **[`DevicePool`]** leasing warm simulated devices to workers, so
 //!   the ~100 ms context bring-up (§IV) is paid per device, not per job;
-//! * a **bounded job queue** with blocking backpressure, a configurable
-//!   worker fleet, per-job modeled-time budgets, and per-job
-//!   [`ProfileReport`] attribution.
+//! * a **bounded job queue** with blocking backpressure (or load-shedding
+//!   admission), a configurable worker fleet, per-job modeled-time
+//!   budgets, and per-job [`ProfileReport`] attribution;
+//! * **engine-wide telemetry**: a lifetime [`MetricsRegistry`]
+//!   (deterministic modeled series + advisory host-side series) and an
+//!   end-to-end [`RequestTrace`] per job whose stage spans nest the
+//!   kernel profiler's spans, exported together as one Chrome trace.
 //!
 //! Batches are deterministic: the same jobs produce the same
-//! [`BatchReport`] JSON regardless of worker count or scheduling, because
-//! every modeled quantity is schedule-independent and cache hits are
-//! assigned by submission order, not by which worker won a race.
+//! [`BatchReport`] JSON, metrics snapshot, and trace bytes regardless of
+//! worker count or scheduling, because every modeled quantity is
+//! schedule-independent and cache hits are assigned by submission order,
+//! not by which worker won a race. (Under [`Admission::Shed`] the
+//! deterministic promise is forfeited — which jobs shed depends on load;
+//! the default [`Admission::Block`] keeps it.)
 //!
 //! ```
 //! use std::sync::Arc;
@@ -48,15 +55,34 @@ pub mod queue;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use tc_core::gpu::prepared::PreparedGraph;
 use tc_core::{Backend, CountRequest, GpuOptions};
 use tc_graph::EdgeArray;
-use tc_simt::profiler::ProfileReport;
+use tc_simt::profiler::{ProfileReport, RelSpan};
 use tc_simt::{DevicePool, PoolTicket};
+use tc_telemetry::{
+    chrome_trace_json, seconds_to_ns, Determinism, MetricsRegistry, MetricsSnapshot, RequestTrace,
+    Stage, TraceSpan,
+};
 
 pub use error::EngineError;
 pub use jobfile::parse_jobfile;
+
+/// What the engine does when a job arrives and the queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Block the submitter until a slot frees (backpressure). Keeps the
+    /// batch fully deterministic: every job runs.
+    #[default]
+    Block,
+    /// Refuse the job immediately ([`EngineError::QueueFull`] in its
+    /// report slot) and count it in the advisory `engine_shed_total`
+    /// series. Which jobs shed depends on worker speed, so shedding
+    /// forfeits byte-identical reports.
+    Shed,
+}
 
 /// Engine sizing. Defaults suit tests and CLI batches; a serving
 /// deployment tunes all four.
@@ -69,6 +95,8 @@ pub struct EngineConfig {
     /// Distinct (graph, backend) sessions kept device-resident. Batches
     /// with more distinct cacheable keys run the excess one-shot.
     pub cache_capacity: usize,
+    /// Full-queue policy: block the submitter (default) or shed the job.
+    pub admission: Admission,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +105,7 @@ impl Default for EngineConfig {
             workers: tc_par::max_threads().clamp(1, 8),
             queue_capacity: 64,
             cache_capacity: 8,
+            admission: Admission::Block,
         }
     }
 }
@@ -132,7 +161,16 @@ pub struct JobResult {
     pub count_s: f64,
     /// Whether the count reused an already-prepared session.
     pub cache_hit: bool,
+    /// Whether `seconds` is *modeled* simulated-device time (deterministic)
+    /// rather than measured host wall time (CPU backends).
+    pub modeled: bool,
     pub profile: Option<ProfileReport>,
+    /// Prepare-window phase spans on a clock-base-free nanosecond
+    /// timeline — empty on cache hits (the hit paid no prepare) and for
+    /// non-cacheable backends.
+    pub prepare_trace: Vec<RelSpan>,
+    /// Count-window kernel spans on the same kind of timeline.
+    pub kernel_trace: Vec<RelSpan>,
 }
 
 /// One job's slot in the batch report.
@@ -157,6 +195,13 @@ pub struct BatchReport {
     /// Devices the engine's pool has created so far (each paid context
     /// bring-up once).
     pub devices_created: usize,
+    /// One end-to-end trace per job, in submission order (trace id =
+    /// submission index). Byte-identical across runs and worker counts
+    /// under [`Admission::Block`].
+    pub traces: Vec<RequestTrace>,
+    /// Snapshot of the engine's lifetime metrics registry, taken at the
+    /// end of the batch.
+    pub metrics: MetricsSnapshot,
 }
 
 impl BatchReport {
@@ -207,6 +252,105 @@ impl BatchReport {
         ));
         out
     }
+
+    /// All request traces as one Chrome Trace Event JSON document — open
+    /// it in Perfetto / `chrome://tracing` to see every request of the
+    /// batch from the front door down to the kernel's DRAM phases.
+    pub fn trace_json(&self) -> String {
+        chrome_trace_json(&self.traces)
+    }
+
+    /// The metrics snapshot as canonical JSON. With
+    /// `include_advisory = false` (CI mode) the advisory section renders
+    /// as `null`, so the bytes compare equal across hosts and runs.
+    pub fn metrics_json(&self, include_advisory: bool) -> String {
+        self.metrics.to_json(include_advisory)
+    }
+
+    /// The metrics snapshot in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.to_prometheus()
+    }
+}
+
+/// Build one job's end-to-end trace from its report record. The timeline
+/// is the request's own modeled time (t = 0 at the start of its first
+/// charged stage): instant markers for admission and the planned cache
+/// decision, a `engine:prepare` stage nesting the device-side
+/// preprocess/schedule spans (misses only), an `engine:count` stage
+/// nesting the kernel spans, and a closing `engine:merge` marker. CPU
+/// backends are host-measured, so their count stage is an instant — wall
+/// time never enters the deterministic artifact. Failed jobs get an
+/// `engine:error[<stage>]` marker at their attributed stage instead.
+fn build_trace(id: u64, rec: &JobRecord) -> RequestTrace {
+    let mut spans = vec![TraceSpan::new("engine:admission", 0, 0, 0)];
+    match &rec.result {
+        Ok(r) => {
+            spans.push(TraceSpan::new(
+                if r.cache_hit {
+                    "engine:cache-hit"
+                } else {
+                    "engine:cache-miss"
+                },
+                0,
+                0,
+                0,
+            ));
+            let mut cursor = 0u64;
+            if r.modeled {
+                if !r.cache_hit {
+                    spans.push(TraceSpan::new("engine:device-lease", 0, 0, 0));
+                }
+                // The stage span must contain its children; the children's
+                // ends come from prefix-sum rounding while the stage total
+                // is quantized once, so take the max of the two.
+                let child_end = |t: &[RelSpan]| t.iter().map(|s| s.start_ns + s.dur_ns).max();
+                let prepare_ns =
+                    seconds_to_ns(r.prepare_s).max(child_end(&r.prepare_trace).unwrap_or(0));
+                if prepare_ns > 0 || !r.prepare_trace.is_empty() {
+                    spans.push(TraceSpan::new("engine:prepare", 0, prepare_ns, 0));
+                    for s in &r.prepare_trace {
+                        spans.push(TraceSpan::new(
+                            s.path.clone(),
+                            s.start_ns,
+                            s.dur_ns,
+                            s.depth + 1,
+                        ));
+                    }
+                    cursor = prepare_ns;
+                }
+                let count_ns =
+                    seconds_to_ns(r.count_s).max(child_end(&r.kernel_trace).unwrap_or(0));
+                spans.push(TraceSpan::new("engine:count", cursor, count_ns, 0));
+                for s in &r.kernel_trace {
+                    spans.push(TraceSpan::new(
+                        s.path.clone(),
+                        cursor + s.start_ns,
+                        s.dur_ns,
+                        s.depth + 1,
+                    ));
+                }
+                cursor += count_ns;
+            } else {
+                spans.push(TraceSpan::new("engine:count", cursor, 0, 0));
+            }
+            spans.push(TraceSpan::new("engine:merge", cursor, 0, 0));
+        }
+        Err(e) => {
+            spans.push(TraceSpan::new(
+                format!("engine:error[{}]", e.stage()),
+                0,
+                0,
+                0,
+            ));
+        }
+    }
+    RequestTrace {
+        id,
+        name: rec.name.clone(),
+        backend: rec.backend.clone(),
+        spans,
+    }
 }
 
 /// Cache key: graph content digest × canonical backend token. Two loads of
@@ -239,6 +383,9 @@ pub struct Engine {
     /// `cache_capacity`). Persisted across batches: an engine is a serving
     /// process, and batch N+1 reuses the sessions batch N prepared.
     admitted: Mutex<Vec<CacheKey>>,
+    /// Lifetime metrics; every batch accumulates into it and snapshots it
+    /// for the batch report.
+    metrics: MetricsRegistry,
 }
 
 impl Engine {
@@ -252,6 +399,7 @@ impl Engine {
             pool,
             cache: Mutex::new(HashMap::new()),
             admitted: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -263,19 +411,35 @@ impl Engine {
         &self.pool
     }
 
+    /// The engine's lifetime metrics registry (accumulates across
+    /// batches). Snapshot it any time; [`Engine::run_batch`] attaches a
+    /// snapshot to every report.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Lifetime cache hit ratio (hits / cacheable lookups), from the
+    /// deterministic counters. `None` until a cacheable job has run.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.metrics.counter_value("engine_cache_hits_total", &[]);
+        let misses = self.metrics.counter_value("engine_cache_misses_total", &[]);
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
     /// Prepared sessions currently resident.
     pub fn cached_sessions(&self) -> usize {
         self.admitted.lock().unwrap().len()
     }
 
     /// Run a batch; results come back in submission order. Jobs are fed
-    /// through the bounded queue (blocking on backpressure) to
-    /// `config.workers` worker threads.
+    /// through the bounded queue (blocking on backpressure, or shedding
+    /// under [`Admission::Shed`]) to `config.workers` worker threads.
     pub fn run_batch(&self, jobs: Vec<Job>) -> BatchReport {
         let plans = self.plan(&jobs);
         let results: Vec<Mutex<Option<JobRecord>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
-        let queue: queue::JobQueue<(usize, Job, Plan)> =
+        let queue: queue::JobQueue<(usize, Job, Plan, Instant)> =
             queue::JobQueue::new(self.config.queue_capacity);
 
         std::thread::scope(|s| {
@@ -283,14 +447,58 @@ impl Engine {
                 let queue = &queue;
                 let results = &results;
                 s.spawn(move || {
-                    while let Some((idx, job, plan)) = queue.pop() {
+                    while let Some((idx, job, plan, enqueued)) = queue.pop() {
+                        self.metrics.observe_ns(
+                            Determinism::Advisory,
+                            "engine_queue_wait_host_ns",
+                            "Host nanoseconds a job sat in the bounded queue.",
+                            &[],
+                            enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        );
                         let record = self.execute(job, plan);
+                        self.record_job_metrics(&record);
                         *results[idx].lock().unwrap() = Some(record);
                     }
                 });
             }
-            for (idx, pair) in jobs.into_iter().zip(plans).enumerate() {
-                queue.push((idx, pair.0, pair.1));
+            for (idx, (job, plan)) in jobs.into_iter().zip(plans).enumerate() {
+                let backend_token = job.backend.to_string();
+                self.metrics.inc_counter(
+                    Determinism::Deterministic,
+                    "engine_requests_total",
+                    "Jobs submitted to the engine, by canonical backend token.",
+                    &[("backend", &backend_token)],
+                    1,
+                );
+                match self.config.admission {
+                    Admission::Block => queue.push((idx, job, plan, Instant::now())),
+                    Admission::Shed => {
+                        let name = job.name.clone();
+                        if let Err(e) = queue.try_push((idx, job, plan, Instant::now())) {
+                            self.metrics.inc_counter(
+                                Determinism::Advisory,
+                                "engine_shed_total",
+                                "Jobs refused at admission because the queue was full.",
+                                &[],
+                                1,
+                            );
+                            let record = JobRecord {
+                                name,
+                                backend: backend_token,
+                                result: Err(e),
+                            };
+                            self.record_job_metrics(&record);
+                            *results[idx].lock().unwrap() = Some(record);
+                        }
+                    }
+                }
+                self.metrics.gauge_max(
+                    Determinism::Advisory,
+                    "engine_queue_depth_highwater",
+                    "Deepest the bounded job queue got (host-side observation).",
+                    &[],
+                    queue.len() as f64,
+                );
             }
             queue.close();
         });
@@ -307,11 +515,130 @@ impl Engine {
             .iter()
             .filter(|j| matches!(&j.result, Ok(r) if !r.cache_hit))
             .count();
+        if let Some(ratio) = self.cache_hit_ratio() {
+            // Derived purely from deterministic counters, so the gauge is
+            // deterministic too.
+            self.metrics.set_gauge(
+                Determinism::Deterministic,
+                "engine_cache_hit_ratio",
+                "Lifetime prepared-session cache hit ratio (hits / cacheable lookups).",
+                &[],
+                ratio,
+            );
+        }
+        self.metrics.set_gauge(
+            Determinism::Advisory,
+            "engine_devices_created",
+            "Simulated devices the pool has created (each paid context bring-up).",
+            &[],
+            self.pool.devices_created() as f64,
+        );
+        self.metrics.set_gauge(
+            Determinism::Advisory,
+            "engine_workers",
+            "Configured worker threads.",
+            &[],
+            self.config.workers.max(1) as f64,
+        );
+        let traces = jobs
+            .iter()
+            .enumerate()
+            .map(|(id, rec)| build_trace(id as u64, rec))
+            .collect();
         BatchReport {
             jobs,
             cache_hits,
             cache_misses,
             devices_created: self.pool.devices_created(),
+            traces,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+
+    /// Fold one finished job into the lifetime registry. Runs on whichever
+    /// worker finished the job: counter adds and histogram observations
+    /// are order-independent, so the deterministic series end the batch
+    /// identical no matter the interleaving.
+    fn record_job_metrics(&self, record: &JobRecord) {
+        let m = &self.metrics;
+        match &record.result {
+            Ok(r) => {
+                m.inc_counter(
+                    Determinism::Deterministic,
+                    "engine_jobs_ok_total",
+                    "Jobs that returned a triangle count.",
+                    &[],
+                    1,
+                );
+                m.inc_counter(
+                    Determinism::Deterministic,
+                    "engine_triangles_total",
+                    "Triangles counted across all successful jobs.",
+                    &[],
+                    r.triangles,
+                );
+                m.inc_counter(
+                    Determinism::Deterministic,
+                    if r.cache_hit {
+                        "engine_cache_hits_total"
+                    } else {
+                        "engine_cache_misses_total"
+                    },
+                    if r.cache_hit {
+                        "Jobs that reused a prepared session."
+                    } else {
+                        "Jobs that paid a preprocessing pass."
+                    },
+                    &[],
+                    1,
+                );
+                if r.modeled {
+                    if !r.cache_hit && r.prepare_s > 0.0 {
+                        m.observe_ns(
+                            Determinism::Deterministic,
+                            "engine_prepare_modeled_ns",
+                            "Modeled nanoseconds of preprocessing passes (misses only).",
+                            &[],
+                            seconds_to_ns(r.prepare_s),
+                        );
+                    }
+                    m.observe_ns(
+                        Determinism::Deterministic,
+                        "engine_count_modeled_ns",
+                        "Modeled nanoseconds of counting phases, by backend.",
+                        &[("backend", &record.backend)],
+                        seconds_to_ns(r.count_s),
+                    );
+                } else {
+                    // CPU backends are host-measured; wall time never
+                    // enters a deterministic series.
+                    m.observe_ns(
+                        Determinism::Advisory,
+                        "engine_cpu_host_ns",
+                        "Host nanoseconds of CPU-backend jobs, by backend.",
+                        &[("backend", &record.backend)],
+                        seconds_to_ns(r.seconds),
+                    );
+                }
+            }
+            Err(e) => {
+                m.inc_counter(
+                    Determinism::Deterministic,
+                    "engine_jobs_failed_total",
+                    "Jobs that failed, by the request stage the failure is attributed to.",
+                    &[("stage", e.stage().as_str())],
+                    1,
+                );
+                if matches!(e, EngineError::Timeout { .. }) {
+                    m.inc_counter(
+                        Determinism::Deterministic,
+                        "engine_timeouts_total",
+                        "Jobs whose modeled time exceeded their budget.",
+                        &[],
+                        1,
+                    );
+                }
+            }
         }
     }
 
@@ -370,9 +697,18 @@ impl Engine {
         if let Some(limit_ms) = job.timeout_ms {
             let needed_ms = result.seconds * 1e3;
             if needed_ms > limit_ms {
+                // Attribute the blown budget: if the preprocessing charge
+                // alone exceeded it, no count could have fit — the prepare
+                // stage is at fault; otherwise the count pushed it over.
+                let stage = if result.prepare_s * 1e3 > limit_ms {
+                    Stage::Prepare
+                } else {
+                    Stage::Count
+                };
                 return Err(EngineError::Timeout {
                     limit_ms,
                     needed_ms,
+                    stage,
                 });
             }
         }
@@ -411,13 +747,21 @@ impl Engine {
         // plan, not to whichever worker happened to run it first: the
         // modeled prepare cost is deterministic, so the report is too.
         let prepare_s = if hit { 0.0 } else { entry.prepared.prepare_s() };
+        let prepare_trace = if hit {
+            Vec::new()
+        } else {
+            entry.prepared.prepare_trace().to_vec()
+        };
         Ok(JobResult {
             triangles: counted.triangles,
             seconds: prepare_s + counted.count_s,
             prepare_s,
             count_s: counted.count_s,
             cache_hit: hit,
+            modeled: true,
             profile: job.profile.then_some(counted.profile),
+            prepare_trace,
+            kernel_trace: counted.trace,
         })
     }
 
@@ -447,7 +791,10 @@ impl Engine {
                 prepare_s: r.gpu.as_ref().map_or(0.0, |g| g.preprocess_s),
                 count_s: r.gpu.as_ref().map_or(r.seconds, |g| g.count_s),
                 cache_hit: false,
+                modeled: job.backend.is_modeled(),
                 profile: r.profile,
+                prepare_trace: Vec::new(),
+                kernel_trace: Vec::new(),
             })
         }
     }
@@ -460,6 +807,7 @@ impl Engine {
     ) -> Result<(JobResult, tc_simt::Device), tc_core::CoreError> {
         let mut prepared = PreparedGraph::prepare_on(device, graph, opts)?;
         let prepare_s = prepared.prepare_s();
+        let prepare_trace = prepared.prepare_trace().to_vec();
         let counted = prepared.count()?;
         let device = prepared.release()?;
         Ok((
@@ -469,7 +817,10 @@ impl Engine {
                 prepare_s,
                 count_s: counted.count_s,
                 cache_hit: false,
+                modeled: true,
                 profile: profile.then_some(counted.profile),
+                prepare_trace,
+                kernel_trace: counted.trace,
             },
             device,
         ))
@@ -549,6 +900,7 @@ mod tests {
             workers: 2,
             queue_capacity: 4,
             cache_capacity: 2,
+            admission: Admission::Block,
         }
     }
 
@@ -652,6 +1004,7 @@ mod tests {
             Err(EngineError::Timeout {
                 limit_ms,
                 needed_ms,
+                ..
             }) => {
                 assert!(needed_ms > limit_ms);
             }
@@ -703,6 +1056,7 @@ mod tests {
                 workers,
                 queue_capacity: 2,
                 cache_capacity: 2,
+                admission: Admission::Block,
             });
             json.push(engine.run_batch(mk_jobs()).to_json());
         }

@@ -71,6 +71,7 @@ impl<T> JobQueue<T> {
         if state.items.len() >= self.capacity {
             return Err(EngineError::QueueFull {
                 capacity: self.capacity,
+                stage: tc_telemetry::Stage::Admission,
             });
         }
         assert!(!state.closed, "push after close");
@@ -117,7 +118,7 @@ mod tests {
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
         match q.try_push(3) {
-            Err(EngineError::QueueFull { capacity: 2 }) => {}
+            Err(EngineError::QueueFull { capacity: 2, .. }) => {}
             other => panic!("expected QueueFull, got {other:?}"),
         }
         assert_eq!(q.pop(), Some(1));

@@ -208,6 +208,7 @@ impl Device {
             path,
             depth: self.span_stack.len(),
             start_s: self.now_s,
+            first_op: self.log.len(),
             snapshot: self.counters,
         });
     }
@@ -224,6 +225,8 @@ impl Device {
             depth: open.depth,
             start_s: open.start_s,
             end_s: self.now_s,
+            first_op: open.first_op,
+            end_op: self.log.len(),
             counters: self.counters.delta(&open.snapshot),
         });
     }

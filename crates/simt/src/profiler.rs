@@ -181,6 +181,11 @@ pub struct Span {
     pub start_s: f64,
     /// Device-clock end of the span, seconds.
     pub end_s: f64,
+    /// Index into the device time log of the first charged op inside the
+    /// span (with [`Span::end_op`], the span's op range).
+    pub first_op: usize,
+    /// One past the last charged op inside the span.
+    pub end_op: usize,
     /// Counter delta captured between the span's boundaries.
     pub counters: Counters,
 }
@@ -208,7 +213,69 @@ pub(crate) struct OpenSpan {
     pub(crate) path: String,
     pub(crate) depth: usize,
     pub(crate) start_s: f64,
+    pub(crate) first_op: usize,
     pub(crate) snapshot: Counters,
+}
+
+/// A profiler span re-expressed on a clock-base-free timeline: integer
+/// nanoseconds relative to a caller-chosen origin, computed purely from
+/// the per-op modeled durations (each schedule-independent) summed in log
+/// order. Two sessions that run the same ops produce identical `RelSpan`s
+/// even when their device clocks started from different bases — the
+/// property the serving layer's byte-identical request traces rely on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelSpan {
+    /// Full phase path (`"count/count-kernel"`).
+    pub path: String,
+    /// Nesting depth relative to the exported window (0 = outermost).
+    pub depth: usize,
+    /// Modeled start, nanoseconds from the window origin.
+    pub start_ns: u64,
+    /// Modeled duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Re-express the spans closed at or after `span_mark` relative to the op
+/// at `log_mark`: span boundaries become prefix sums of the op durations
+/// from `log_mark`, quantized to nanoseconds. Rounding the two prefix
+/// sums (rather than the difference) keeps nesting containment exact
+/// after quantization. Spans whose op range starts before `log_mark` are
+/// skipped — they belong to an earlier window.
+pub fn relative_spans(
+    spans: &[Span],
+    log: &[crate::device::TimedOp],
+    span_mark: usize,
+    log_mark: usize,
+) -> Vec<RelSpan> {
+    // cum[i] = modeled seconds of ops[log_mark .. log_mark + i].
+    let window = &log[log_mark.min(log.len())..];
+    let mut cum = Vec::with_capacity(window.len() + 1);
+    let mut acc = 0.0f64;
+    cum.push(0.0);
+    for op in window {
+        acc += op.seconds;
+        cum.push(acc);
+    }
+    let to_ns = |s: f64| (s * 1e9).round() as u64;
+    let base_depth = spans[span_mark.min(spans.len())..]
+        .iter()
+        .map(|s| s.depth)
+        .min()
+        .unwrap_or(0);
+    spans[span_mark.min(spans.len())..]
+        .iter()
+        .filter(|s| s.first_op >= log_mark && s.end_op <= log.len())
+        .map(|s| {
+            let start_ns = to_ns(cum[s.first_op - log_mark]);
+            let end_ns = to_ns(cum[s.end_op - log_mark]);
+            RelSpan {
+                path: s.path.clone(),
+                depth: s.depth - base_depth.min(s.depth),
+                start_ns,
+                dur_ns: end_ns - start_ns,
+            }
+        })
+        .collect()
 }
 
 /// Aggregated profile of one device run: totals plus every closed span,
@@ -448,6 +515,8 @@ mod tests {
                 depth: 1,
                 start_s: 0.0,
                 end_s: 0.25,
+                first_op: 0,
+                end_op: 0,
                 counters: sample_counters(2),
             }],
         };
@@ -457,6 +526,50 @@ mod tests {
         assert!(json.contains("\\\"G\\\"PU"));
         assert!(json.contains("\\n"));
         assert!(json.contains("\"tex_hit_rate\": 0.75"));
+    }
+
+    #[test]
+    fn relative_spans_are_clock_base_free() {
+        use crate::config::DeviceConfig;
+        use crate::device::Device;
+
+        // Two devices run the same phased ops, but the second has already
+        // charged unrelated work (a different clock base). The relative
+        // spans of the common window must be identical.
+        let run = |dev: &mut Device| {
+            let span_mark = dev.spans().len();
+            let log_mark = dev.time_log().len();
+            dev.push_phase("outer");
+            let buf = dev.htod_copy(&[1u32, 2, 3, 4]).unwrap();
+            dev.push_phase("inner");
+            let _ = dev.dtoh(&buf);
+            dev.pop_phase();
+            dev.pop_phase();
+            relative_spans(dev.spans(), dev.time_log(), span_mark, log_mark)
+        };
+        let mut cold = Device::new(DeviceConfig::gtx_980());
+        cold.preinit_context();
+        cold.reset_clock();
+        let a = run(&mut cold);
+
+        let mut warm = Device::new(DeviceConfig::gtx_980());
+        warm.preinit_context();
+        warm.reset_clock();
+        let junk = warm.htod_copy(&[9u32; 1024]).unwrap();
+        let _ = warm.dtoh(&junk);
+        let b = run(&mut warm);
+
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // Completion order: inner closes first, outer last.
+        assert_eq!(a[0].path, "outer/inner");
+        assert_eq!(a[1].path, "outer");
+        assert_eq!(a[1].start_ns, 0);
+        assert!(a[0].start_ns > 0, "inner starts after the htod copy");
+        // Quantized nesting stays contained.
+        assert!(a[0].start_ns + a[0].dur_ns <= a[1].start_ns + a[1].dur_ns);
+        assert_eq!(a[0].depth, 1);
+        assert_eq!(a[1].depth, 0);
     }
 
     #[test]
@@ -472,6 +585,8 @@ mod tests {
                 depth: 0,
                 start_s: 0.0,
                 end_s: total,
+                first_op: 0,
+                end_op: 0,
                 counters: sample_counters(1),
             }],
         };

@@ -1,0 +1,167 @@
+//! End-to-end request traces with modeled integer-nanosecond timestamps.
+//!
+//! A [`RequestTrace`] is one request's journey through the serving
+//! engine: a sequence of stage spans (admission → queue wait → cache
+//! lookup → device lease → prepare → count → merge) plus the kernel
+//! profiler's spans nested inside the prepare/count stages. All
+//! timestamps are **modeled nanoseconds relative to the request's own
+//! t = 0** — never host wall time, never a shared device clock — which is
+//! what makes the serialized trace byte-identical across runs and worker
+//! counts: every duration is a deterministic modeled quantity, and no
+//! request's layout depends on which worker ran it or what ran before.
+//!
+//! [`chrome_trace_json`] serializes a batch of request traces in the
+//! Trace Event Format (one trace thread per request), so a single file
+//! opened in Perfetto / `chrome://tracing` shows every request from the
+//! front door down to the counting kernel's DRAM phases.
+
+use crate::{json_string, ns_as_us};
+
+/// One span on a request's timeline. `depth` only documents nesting (the
+/// Chrome viewer nests by time containment); spans at the same depth must
+/// not overlap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Display name (`"engine:prepare"`, `"count-kernel"`, …).
+    pub name: String,
+    /// Modeled start, nanoseconds from the request's t = 0.
+    pub start_ns: u64,
+    /// Modeled duration, nanoseconds (0 renders as an instant marker).
+    pub dur_ns: u64,
+    /// Nesting depth (0 = request stage level).
+    pub depth: usize,
+}
+
+impl TraceSpan {
+    pub fn new(name: impl Into<String>, start_ns: u64, dur_ns: u64, depth: usize) -> Self {
+        TraceSpan {
+            name: name.into(),
+            start_ns,
+            dur_ns,
+            depth,
+        }
+    }
+
+    #[inline]
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// One request's trace: identity plus its spans in emission order
+/// (stage spans first, nested kernel spans after their parent).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Request id — the submission index within the batch, which is also
+    /// the trace thread id linking these spans to the request's slot in
+    /// the batch report.
+    pub id: u64,
+    /// Job name (caller-chosen label).
+    pub name: String,
+    /// Canonical backend token.
+    pub backend: String,
+    pub spans: Vec<TraceSpan>,
+}
+
+impl RequestTrace {
+    /// Total modeled extent of the request (end of the last span).
+    pub fn total_ns(&self) -> u64 {
+        self.spans.iter().map(TraceSpan::end_ns).max().unwrap_or(0)
+    }
+
+    /// First span with the given name, if any.
+    pub fn span(&self, name: &str) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+}
+
+/// Serialize request traces as one Chrome Trace Event JSON document:
+/// process 1, one thread per request (tid = request id) named
+/// `"req <id>: <name> [<backend>]"`, every span an `"X"` complete event
+/// whose `args` carry the request id for cross-referencing. Timestamps
+/// are exact microsecond decimals derived from the integer nanoseconds,
+/// so the output is byte-deterministic.
+pub fn chrome_trace_json(traces: &[RequestTrace]) -> String {
+    let mut events = Vec::new();
+    for t in traces {
+        events.push(format!(
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"name\": {}}}}}",
+            t.id,
+            json_string(&format!("req {}: {} [{}]", t.id, t.name, t.backend))
+        ));
+        // Emit parents before children at the same timestamp so viewers
+        // that tie-break by emission order nest correctly.
+        let mut order: Vec<usize> = (0..t.spans.len()).collect();
+        order.sort_by_key(|&i| (t.spans[i].start_ns, t.spans[i].depth, i));
+        for i in order {
+            let s = &t.spans[i];
+            events.push(format!(
+                "  {{\"name\": {}, \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+                 \"pid\": 1, \"tid\": {}, \"args\": {{\"request\": {}}}}}",
+                json_string(&s.name),
+                ns_as_us(s.start_ns),
+                ns_as_us(s.dur_ns),
+                t.id,
+                t.id
+            ));
+        }
+    }
+    format!("[\n{}\n]\n", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RequestTrace {
+        RequestTrace {
+            id: 3,
+            name: "orkut#0".into(),
+            backend: "gtx980/balanced".into(),
+            spans: vec![
+                TraceSpan::new("engine:admission", 0, 0, 0),
+                TraceSpan::new("engine:prepare", 0, 2_000, 0),
+                TraceSpan::new("preprocess", 0, 1_500, 1),
+                TraceSpan::new("engine:count", 2_000, 1_000, 0),
+                TraceSpan::new("count-kernel", 2_100, 800, 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let t = sample();
+        assert_eq!(t.total_ns(), 3_000);
+        assert_eq!(t.span("engine:count").unwrap().dur_ns, 1_000);
+        assert!(t.span("missing").is_none());
+    }
+
+    #[test]
+    fn chrome_export_is_sound_and_ordered() {
+        let json = chrome_trace_json(&[sample()]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 5);
+        assert_eq!(json.matches("\"ph\": \"M\"").count(), 1);
+        assert!(json.contains("req 3: orkut#0 [gtx980/balanced]"));
+        // Exact microsecond decimals from integer nanoseconds.
+        assert!(json.contains("\"ts\": 2.000, \"dur\": 1.000"));
+        assert!(json.contains("\"ts\": 2.100, \"dur\": 0.800"));
+        // Parent (depth 0) before child at the same start.
+        let prep = json.find("engine:prepare").unwrap();
+        let pre = json.find("\"preprocess\"").unwrap();
+        assert!(prep < pre);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let traces = vec![sample(), {
+            let mut t = sample();
+            t.id = 4;
+            t
+        }];
+        assert_eq!(chrome_trace_json(&traces), chrome_trace_json(&traces));
+    }
+}

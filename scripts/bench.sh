@@ -6,10 +6,44 @@
 # Runs the `repro bench` matrix (every suite graph x CPU forward, GTX 980,
 # GTX 980 balanced) and writes BENCH_<n>.json, the per-PR perf trajectory
 # record. Modeled milliseconds are deterministic; host wall milliseconds
-# are this machine's.
+# live in the per-entry advisory section (nulled when TC_TELEMETRY_CI=1).
+# The emitted artifact is schema-checked before the script exits.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
+
+# The artifact lands at --out FILE if given, else BENCH_<seq>.json.
+OUT=""
+prev=""
+for arg in "$@"; do
+    if [ "$prev" = "--out" ]; then OUT="$arg"; fi
+    prev="$arg"
+done
+
 ./target/release/repro bench "$@"
+
+if [ -z "$OUT" ]; then
+    OUT=$(ls -t BENCH_*.json | head -1)
+fi
+
+echo "==> schema check: $OUT"
+OUT="$OUT" python3 - <<'PY'
+import json, os
+
+path = os.environ["OUT"]
+with open(path) as f:
+    doc = json.load(f)
+assert doc["bench"] == 4, f"{path}: bench seq {doc['bench']} != 4"
+assert doc["entries"], f"{path}: no entries"
+for e in doc["entries"]:
+    assert {"graph", "backend", "triangles", "modeled_ms", "advisory"} <= e.keys(), e
+    assert e["modeled_ms"] is None or isinstance(e["modeled_ms"], (int, float)), e
+    # Advisory is either null (CI mode) or an object holding only
+    # host-measured fields; host_wall_ms must never appear at entry level.
+    assert "host_wall_ms" not in e, f"{path}: host_wall_ms outside advisory"
+    adv = e["advisory"]
+    assert adv is None or set(adv.keys()) == {"host_wall_ms"}, e
+print(f"{path}: schema OK ({len(doc['entries'])} entries)")
+PY

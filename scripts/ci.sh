@@ -33,13 +33,75 @@ echo "==> bench artifact is valid JSON"
 ./target/release/repro bench --scale smoke --out /tmp/tc_bench_smoke.json > /dev/null
 python3 - <<'PY'
 import json
-for path in ["/tmp/tc_bench_smoke.json", "BENCH_3.json"]:
-    with open(path) as f:
-        doc = json.load(f)
-    assert doc["bench"] == 3 and doc["entries"], path
-    for e in doc["entries"]:
-        assert {"graph", "backend", "triangles", "modeled_ms", "host_wall_ms"} <= e.keys(), path
+with open("/tmp/tc_bench_smoke.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == 4 and doc["entries"]
+for e in doc["entries"]:
+    assert {"graph", "backend", "triangles", "modeled_ms", "advisory"} <= e.keys(), e
+    assert "host_wall_ms" not in e, "host_wall_ms must live under advisory"
+    adv = e["advisory"]
+    assert adv is None or set(adv.keys()) == {"host_wall_ms"}, e
+# The committed prior artifact still parses (old flat schema).
+with open("BENCH_3.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == 3 and doc["entries"]
 print("bench artifacts OK")
+PY
+
+echo "==> bench-regression gate (committed artifacts)"
+# Modeled milliseconds are simulator-exact: any drift beyond tolerance in
+# the committed perf trajectory is a real regression.
+scripts/bench_check.sh BENCH_4.json BENCH_3.json > /dev/null
+
+echo "==> telemetry determinism gate"
+# The engine's metrics snapshot and unified request trace must be
+# byte-identical across worker counts for the same jobfile (CI mode nulls
+# the advisory host-measured section).
+cat > /tmp/tc_telemetry_jobs.txt <<'JOBS'
+graph=watts-strogatz backend=gtx980 repeat=3
+graph=kronecker-6 backend=gtx980/balanced repeat=2
+graph=watts-strogatz backend=forward
+JOBS
+for w in 1 2 4; do
+    TC_TELEMETRY_CI=1 ./target/release/tcount batch /tmp/tc_telemetry_jobs.txt \
+        --workers "$w" --metrics "/tmp/tc_metrics_w$w.json" \
+        --prom "/tmp/tc_metrics_w$w.prom" --trace "/tmp/tc_trace_w$w.json" > /dev/null
+done
+cmp /tmp/tc_metrics_w1.json /tmp/tc_metrics_w2.json
+cmp /tmp/tc_metrics_w1.json /tmp/tc_metrics_w4.json
+cmp /tmp/tc_trace_w1.json /tmp/tc_trace_w2.json
+cmp /tmp/tc_trace_w1.json /tmp/tc_trace_w4.json
+python3 -c "import json; json.load(open('/tmp/tc_metrics_w1.json')); json.load(open('/tmp/tc_trace_w1.json'))"
+echo "telemetry artifacts byte-identical across workers 1/2/4"
+
+echo "==> prometheus exposition lint"
+# Series must be sorted with no duplicates, every series preceded by its
+# family's HELP/TYPE header, and histogram buckets cumulative.
+python3 - <<'PY'
+seen, families, cur = set(), [], None
+for line in open("/tmp/tc_metrics_w1.prom"):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        cur = line.split()[2]
+        assert cur not in families, f"duplicate family {cur}"
+        families.append(cur)
+        continue
+    if line.startswith("# TYPE "):
+        assert line.split()[2] == cur, f"TYPE out of order: {line}"
+        continue
+    series = line.rsplit(" ", 1)[0]
+    assert series not in seen, f"duplicate series {series}"
+    seen.add(series)
+    name = series.split("{")[0]
+    base = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+    assert base == cur, f"series {series} outside its family block ({cur})"
+assert families == sorted(families), "families not sorted"
+print(f"prometheus exposition OK ({len(families)} families, {len(seen)} series)")
 PY
 
 echo "==> cargo doc (warnings denied)"

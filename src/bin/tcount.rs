@@ -5,7 +5,8 @@
 //!               [--clustering] [--validate] [--trace FILE]
 //!               [--profile [FILE]] [--sanitize [paranoid]]
 //! tcount batch <jobfile> [--scale smoke|bench|large] [--workers N]
-//!                        [--json FILE]
+//!                        [--json FILE] [--metrics [FILE]] [--prom FILE]
+//!                        [--trace FILE] [--shed]
 //! tcount sanitize-selftest
 //!
 //! backends: forward (default) | edge-iterator | node-iterator | hashed |
@@ -54,6 +55,15 @@
 //! `tcount batch <jobfile>` runs many jobs through the `tc-engine` batched
 //! counting engine: repeated counts of the same graph reuse one prepared
 //! device session (see the jobfile format in `tc_engine::jobfile`).
+//! `--metrics [FILE]` emits the engine's telemetry snapshot as canonical
+//! JSON (stdout when FILE is omitted), `--prom FILE` writes the same
+//! snapshot as Prometheus text exposition, and `--trace FILE` writes the
+//! unified Chrome trace: one trace thread per request, engine stage spans
+//! nesting the kernel profiler's spans. Set `TC_TELEMETRY_CI=1` to null
+//! the advisory (host-measured) metrics section, making the metrics and
+//! trace artifacts byte-identical across runs and `--workers` values.
+//! `--shed` refuses jobs at admission instead of blocking when the queue
+//! is full (sheds are counted in the advisory `engine_shed_total`).
 
 #![forbid(unsafe_code)]
 
@@ -63,7 +73,7 @@ use triangles::core::clustering::{average_clustering, transitivity};
 use triangles::core::count::{Backend, CountRequest, TriangleCount};
 use triangles::core::gpu::multi::{merged_profile, run_multi_gpu_profiled};
 use triangles::core::gpu::pipeline::{run_gpu_pipeline_profiled, RunTrace};
-use triangles::engine::{parse_jobfile, Engine, EngineConfig};
+use triangles::engine::{parse_jobfile, Admission, Engine, EngineConfig};
 use triangles::gen::Scale;
 use triangles::graph::{io, EdgeArray, GraphStats};
 use triangles::simt::sanitizer::selftest;
@@ -98,7 +108,8 @@ fn usage() -> ExitCode {
          \x20             [--clustering] [--validate] [--trace FILE] [--profile [FILE]]\n\
          \x20             [--sanitize [paranoid]]\n\
          \x20      tcount batch <jobfile> [--scale smoke|bench|large] [--workers N]\n\
-         \x20                             [--json FILE]\n\
+         \x20                             [--json FILE] [--metrics [FILE]] [--prom FILE]\n\
+         \x20                             [--trace FILE] [--shed]\n\
          \x20      tcount sanitize-selftest\n\
          <path> may be suite:<name> to generate a smoke-scale suite graph\n\
          backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
@@ -354,15 +365,28 @@ struct BatchArgs {
     scale: Scale,
     workers: Option<usize>,
     json: Option<String>,
+    /// `Some(None)` = print the metrics JSON; `Some(Some(file))` = write it.
+    metrics: Option<Option<String>>,
+    /// Write the Prometheus text exposition to this file.
+    prom: Option<String>,
+    /// Write the unified Chrome trace (engine stages + kernel spans) here.
+    trace: Option<String>,
+    /// Shed jobs instead of blocking when the queue is full.
+    shed: bool,
 }
 
-fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
+fn parse_batch_args(args: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
+    let mut args = args.peekable();
     let jobfile = args.next().ok_or("missing jobfile path")?;
     let mut parsed = BatchArgs {
         jobfile,
         scale: Scale::Smoke,
         workers: None,
         json: None,
+        metrics: None,
+        prom: None,
+        trace: None,
+        shed: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -384,6 +408,18 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchArgs,
                 );
             }
             "--json" => parsed.json = Some(args.next().ok_or("missing json path")?),
+            "--metrics" => {
+                // The FILE operand is optional, like --profile: absent or
+                // another flag means print to stdout.
+                let file = match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next(),
+                    _ => None,
+                };
+                parsed.metrics = Some(file);
+            }
+            "--prom" => parsed.prom = Some(args.next().ok_or("missing prometheus path")?),
+            "--trace" => parsed.trace = Some(args.next().ok_or("missing trace path")?),
+            "--shed" => parsed.shed = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -398,6 +434,9 @@ fn run_batch_cmd(args: BatchArgs) -> Result<(), String> {
     let mut config = EngineConfig::default();
     if let Some(w) = args.workers {
         config.workers = w;
+    }
+    if args.shed {
+        config.admission = Admission::Shed;
     }
     println!(
         "batch: {} jobs, {} workers, queue {} slots, cache {} sessions",
@@ -435,6 +474,28 @@ fn run_batch_cmd(args: BatchArgs) -> Result<(), String> {
     if let Some(path) = &args.json {
         std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("report written to {path}");
+    }
+    // CI mode (TC_TELEMETRY_CI=1) nulls the advisory section so the
+    // metrics artifact bytes are identical across hosts and worker counts.
+    let include_advisory = !std::env::var("TC_TELEMETRY_CI").is_ok_and(|v| v == "1");
+    if let Some(file) = &args.metrics {
+        let json = report.metrics_json(include_advisory);
+        match file {
+            Some(path) => {
+                std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("metrics written to {path}");
+            }
+            None => print!("{json}"),
+        }
+    }
+    if let Some(path) = &args.prom {
+        std::fs::write(path, report.metrics_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("prometheus exposition written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        std::fs::write(path, report.trace_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("unified trace written to {path}");
     }
     if failures > 0 {
         Err(format!("{failures} job(s) failed"))

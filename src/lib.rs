@@ -34,6 +34,7 @@ pub use tc_engine as engine;
 pub use tc_gen as gen;
 pub use tc_graph as graph;
 pub use tc_simt as simt;
+pub use tc_telemetry as telemetry;
 
 /// Convenience prelude bringing the common types into scope.
 pub mod prelude {

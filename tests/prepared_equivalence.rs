@@ -188,6 +188,7 @@ fn tiny_queue_and_many_jobs_complete_under_backpressure() {
         workers: 3,
         queue_capacity: 1,
         cache_capacity: 2,
+        ..EngineConfig::default()
     });
     let jobs: Vec<Job> = (0..24)
         .map(|i| Job::new(format!("j{i}"), Arc::clone(&g), "gtx980".parse().unwrap()))
