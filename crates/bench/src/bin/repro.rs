@@ -6,7 +6,7 @@
 //!
 //! experiments: table1 | table2 | figure1 | ablations | amdahl |
 //!              input-format | approx | tuning | profile | throughput |
-//!              balance | all
+//!              balance | hash | all
 //! ```
 //!
 //! `profile` prints the counting-kernel hardware counters for every suite
@@ -19,8 +19,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tc_bench::experiments::{
-    ablations, amdahl, approx_comparison, balance, bench_json, figure1, input_format, profile,
-    table1, table2, throughput, tuning, ExpConfig,
+    ablations, amdahl, approx_comparison, balance, bench_json, figure1, hash, input_format,
+    profile, table1, table2, throughput, tuning, ExpConfig,
 };
 use tc_bench::report::Table;
 use tc_gen::{Scale, Seed};
@@ -36,7 +36,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|balance|bench|all>\n\
+        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|balance|hash|bench|all>\n\
          \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR] [--out FILE]\n\
          \x20       [--check PRIOR_BENCH_JSON] [--check-tolerance FRAC]\n\
          \x20 bench: set TC_TELEMETRY_CI=1 to null the advisory (host-wall) section;\n\
@@ -139,6 +139,7 @@ fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
         "tuning" => emit(tuning::render(&tuning::run(cfg)), csv_dir),
         "throughput" => emit(throughput::render(&throughput::run(cfg)), csv_dir),
         "balance" => emit(balance::render(&balance::run(cfg)), csv_dir),
+        "hash" => emit(hash::render(&hash::run(cfg)), csv_dir),
         "bench" => {
             let entries = bench_json::run(cfg);
             emit(bench_json::render(&entries), csv_dir);
@@ -200,6 +201,7 @@ fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
                 "profile",
                 "throughput",
                 "balance",
+                "hash",
             ] {
                 run_experiment_named(exp, args)?;
             }

@@ -90,6 +90,8 @@ fn warp_centric_kernel_ms(g: &EdgeArray, device: &DeviceConfig) -> f64 {
         virtual_warp: 4,
         use_texture_cache: true,
         strategy: IntersectStrategy::BinarySearch,
+        scratch: None,
+        shared_slots: 0,
     };
     let stats = dev.launch("warp-centric", lc, &kernel).expect("launch");
     stats.time_s * 1e3

@@ -1,7 +1,8 @@
 //! `repro bench` — the machine-readable perf trajectory artifact.
 //!
 //! Runs every suite graph against a fixed backend matrix (CPU forward,
-//! the paper's GTX 980 pipeline, and the workload-balanced scheduler) and
+//! the paper's GTX 980 pipeline, the workload-balanced scheduler, and the
+//! balanced scheduler with the hash-intersection heavy bin) and
 //! emits one `BENCH_<n>.json` at the repo root per PR so modeled and
 //! host-wall times can be tracked across the project's history. Modeled
 //! milliseconds are deterministic (the simulator is exact); host wall
@@ -23,14 +24,20 @@ use crate::report::Table;
 
 use super::ExpConfig;
 
-/// The bench artifact's schema/sequence number: `BENCH_4.json` belongs to
-/// the PR that moved host-wall times under the `advisory` section.
-pub const BENCH_SEQ: u32 = 4;
+/// The bench artifact's schema/sequence number: `BENCH_5.json` belongs to
+/// the PR that added the hash-intersection heavy bin and degree-descending
+/// reordering to the backend matrix.
+pub const BENCH_SEQ: u32 = 5;
 
 /// Backend tokens benched per graph (parsed through the canonical
 /// [`Backend`] grammar, so the JSON records exactly the tokens a user
 /// would pass to `tcount`).
-pub const BACKENDS: [&str; 3] = ["forward", "gtx980", "gtx980/balanced"];
+pub const BACKENDS: [&str; 4] = [
+    "forward",
+    "gtx980",
+    "gtx980/balanced",
+    "gtx980/balanced+hash",
+];
 
 /// One graph × backend measurement.
 #[derive(Clone, Debug)]
@@ -263,11 +270,12 @@ mod tests {
                 chunk[0].modeled_ms.is_none(),
                 "cpu entry has no modeled time"
             );
-            assert!(chunk[1].modeled_ms.is_some());
-            assert!(chunk[2].modeled_ms.is_some());
+            for e in &chunk[1..] {
+                assert!(e.modeled_ms.is_some(), "{} {}", e.graph, e.backend);
+            }
         }
         let json = to_json(&entries, &cfg);
-        assert!(json.starts_with("{\n  \"bench\": 4,\n"));
+        assert!(json.starts_with("{\n  \"bench\": 5,\n"));
         assert!(json.ends_with("]\n}\n"));
         assert_eq!(json.matches("\"graph\":").count(), entries.len());
         assert_eq!(

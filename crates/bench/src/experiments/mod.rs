@@ -8,6 +8,7 @@ pub mod approx_comparison;
 pub mod balance;
 pub mod bench_json;
 pub mod figure1;
+pub mod hash;
 pub mod input_format;
 pub mod profile;
 pub mod table1;

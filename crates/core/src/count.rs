@@ -38,6 +38,9 @@ pub struct GpuOptions {
     /// Workload-balanced kernel scheduling (degree-binned dispatch; the
     /// default is the paper's thread-per-edge mapping).
     pub schedule: KernelSchedule,
+    /// Degree-descending vertex reordering before orientation (TRUST-style
+    /// relabeling; a pure layout change — counts are unaffected).
+    pub reorder: bool,
     /// Compute-sanitizer mode for the run (memcheck/initcheck/racecheck
     /// over the simulated memory path; `Off` is a true no-op). The
     /// effective mode is the stricter of this and the device config's own
@@ -57,6 +60,7 @@ impl GpuOptions {
             launch: None,
             preinit_context: true,
             schedule: KernelSchedule::ThreadPerEdge,
+            reorder: false,
             sanitizer: SanitizerMode::Off,
         }
     }
@@ -65,6 +69,13 @@ impl GpuOptions {
     pub fn balanced(device: DeviceConfig) -> Self {
         let mut o = GpuOptions::new(device);
         o.schedule = KernelSchedule::Balanced;
+        o
+    }
+
+    /// The balanced scheduler with the hash-strategy heavy bin.
+    pub fn balanced_hash(device: DeviceConfig) -> Self {
+        let mut o = GpuOptions::new(device);
+        o.schedule = KernelSchedule::BalancedHash;
         o
     }
 }
@@ -144,16 +155,27 @@ impl Backend {
             Backend::CpuParallel => "cpu-parallel".into(),
             Backend::CpuHybrid { threshold: Some(t) } => format!("cpu-hybrid(tau={t})"),
             Backend::CpuHybrid { threshold: None } => "cpu-hybrid(auto)".into(),
-            Backend::Gpu(o) => match o.schedule {
-                KernelSchedule::ThreadPerEdge => format!("gpu-sim({})", o.device.name),
-                s => format!("gpu-sim({}, {s})", o.device.name),
-            },
-            Backend::MultiGpu { options, devices } => match options.schedule {
-                KernelSchedule::ThreadPerEdge => {
-                    format!("{}x-gpu-sim({})", devices, options.device.name)
+            Backend::Gpu(o) => {
+                let reorder = if o.reorder { ", reorder" } else { "" };
+                match o.schedule {
+                    KernelSchedule::ThreadPerEdge => {
+                        format!("gpu-sim({}{reorder})", o.device.name)
+                    }
+                    s => format!("gpu-sim({}, {s}{reorder})", o.device.name),
                 }
-                s => format!("{}x-gpu-sim({}, {s})", devices, options.device.name),
-            },
+            }
+            Backend::MultiGpu { options, devices } => {
+                let reorder = if options.reorder { ", reorder" } else { "" };
+                match options.schedule {
+                    KernelSchedule::ThreadPerEdge => {
+                        format!("{}x-gpu-sim({}{reorder})", devices, options.device.name)
+                    }
+                    s => format!(
+                        "{}x-gpu-sim({}, {s}{reorder})",
+                        devices, options.device.name
+                    ),
+                }
+            }
             Backend::GpuSplit { options, parts } => {
                 format!("gpu-split({}, {} parts)", options.device.name, parts)
             }
@@ -177,6 +199,17 @@ impl Backend {
             Backend::Gpu(o) => Some(&mut o.schedule),
             Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
                 Some(&mut options.schedule)
+            }
+            _ => None,
+        }
+    }
+
+    /// The reorder knob of the backend's GPU options, if it has one.
+    fn reorder_mut(&mut self) -> Option<&mut bool> {
+        match self {
+            Backend::Gpu(o) => Some(&mut o.reorder),
+            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
+                Some(&mut options.reorder)
             }
             _ => None,
         }
@@ -214,6 +247,15 @@ impl Backend {
             }
             _ => SanitizerMode::Off,
         }
+    }
+}
+
+/// The `/reorder` token suffix for the relabeling toggle.
+fn reorder_suffix(on: bool) -> &'static str {
+    if on {
+        "/reorder"
+    } else {
+        ""
     }
 }
 
@@ -275,6 +317,7 @@ impl fmt::Display for Backend {
                     None => write!(f, "gpu:{}", o.device.name)?,
                 }
                 f.write_str(&o.schedule.token_suffix())?;
+                f.write_str(reorder_suffix(o.reorder))?;
                 f.write_str(sanitize_suffix(o.sanitizer))
             }
             Backend::MultiGpu { options, devices } => {
@@ -283,6 +326,7 @@ impl fmt::Display for Backend {
                     None => write!(f, "{devices}xgpu:{}", options.device.name)?,
                 }
                 f.write_str(&options.schedule.token_suffix())?;
+                f.write_str(reorder_suffix(options.reorder))?;
                 f.write_str(sanitize_suffix(options.sanitizer))
             }
             Backend::GpuSplit { options, parts } => {
@@ -291,6 +335,7 @@ impl fmt::Display for Backend {
                     None => write!(f, "gpu:{}/split:{parts}", options.device.name)?,
                 }
                 f.write_str(&options.schedule.token_suffix())?;
+                f.write_str(reorder_suffix(options.reorder))?;
                 f.write_str(sanitize_suffix(options.sanitizer))
             }
         }
@@ -310,7 +355,8 @@ impl fmt::Display for ParseBackendError {
             "unknown backend {:?} (expected forward, edge-iterator, node-iterator, hashed, \
              parallel, hybrid[:<tau>], gtx980, c2050, nvs5200m, <n>x<device>, or \
              <device>/split:<parts>, each GPU form optionally followed by \
-             /balanced[:<t>x<w>] and/or /sanitize[:paranoid])",
+             /balanced[:<t>x<w>] or /balanced+hash, then /reorder, then \
+             /sanitize[:paranoid])",
             self.token
         )
     }
@@ -327,8 +373,10 @@ impl FromStr for Backend {
     /// The workload-balanced scheduler is a `/balanced[:<t>x<w>]` suffix on
     /// any GPU form: `gtx980/balanced` auto-tunes, `gtx980/balanced:16x8`
     /// fixes the light/heavy work threshold and heavy-bin virtual-warp
-    /// width. The compute-sanitizer is a final `/sanitize[:paranoid]`
-    /// suffix on any GPU form.
+    /// width, and `gtx980/balanced+hash` adds the hash-strategy heavy bin.
+    /// Degree-descending reordering is a `/reorder` suffix after the
+    /// scheduling clause; the compute-sanitizer is a final
+    /// `/sanitize[:paranoid]` suffix on any GPU form.
     ///
     /// ```
     /// use tc_core::Backend;
@@ -340,10 +388,14 @@ impl FromStr for Backend {
     ///     "4xc2050",
     ///     "c2050/split:3",
     ///     "gtx980/balanced",
+    ///     "gtx980/balanced+hash",
     ///     "2xc2050/balanced:16x8",
+    ///     "gtx980/reorder",
+    ///     "gtx980/balanced+hash/reorder",
     ///     "gtx980/sanitize",
     ///     "c2050/sanitize:paranoid",
     ///     "gtx980/balanced/sanitize",
+    ///     "gtx980/balanced/reorder/sanitize",
     /// ] {
     ///     let b: Backend = token.parse().unwrap();
     ///     assert_eq!(b.to_string(), token, "canonical tokens round-trip");
@@ -351,6 +403,7 @@ impl FromStr for Backend {
     /// assert!("warp9".parse::<Backend>().is_err());
     /// assert!("forward/balanced".parse::<Backend>().is_err());
     /// assert!("forward/sanitize".parse::<Backend>().is_err());
+    /// assert!("forward/reorder".parse::<Backend>().is_err());
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseBackendError { token: s.into() };
@@ -361,6 +414,18 @@ impl FromStr for Backend {
             let mode = parse_sanitize_clause(&s[pos + 1..]).ok_or_else(err)?;
             let mut backend: Backend = s[..pos].parse().map_err(|_| err())?;
             *backend.sanitizer_mut().ok_or_else(err)? = mode;
+            return Ok(backend);
+        }
+        // Then `/reorder`, which canonically sits between the scheduling
+        // clause and the sanitizer: `gtx980/balanced+hash/reorder`. The
+        // find-based peel rejects anything trailing it (so the
+        // non-canonical `gtx980/reorder/balanced` does not parse).
+        if let Some(pos) = s.find("/reorder") {
+            if pos + "/reorder".len() != s.len() {
+                return Err(err());
+            }
+            let mut backend: Backend = s[..pos].parse().map_err(|_| err())?;
+            *backend.reorder_mut().ok_or_else(err)? = true;
             return Ok(backend);
         }
         // Then the scheduling suffix: it composes with every GPU form
@@ -707,6 +772,15 @@ mod tests {
             "4xc2050/balanced",
             "2xgtx980/balanced:100x4",
             "gtx980/split:3/balanced",
+            "gtx980/balanced+hash",
+            "4xc2050/balanced+hash",
+            "gtx980/split:3/balanced+hash",
+            "gtx980/reorder",
+            "2xgtx980/reorder",
+            "gtx980/split:3/reorder",
+            "gtx980/balanced/reorder",
+            "gtx980/balanced+hash/reorder",
+            "c2050/balanced:16x8/reorder",
             "gtx980/sanitize",
             "nvs5200m/sanitize:paranoid",
             "4xc2050/sanitize",
@@ -714,6 +788,8 @@ mod tests {
             "c2050/balanced:16x8/sanitize:paranoid",
             "gtx980/split:3/sanitize",
             "gtx980/split:3/balanced/sanitize",
+            "gtx980/reorder/sanitize",
+            "gtx980/balanced+hash/reorder/sanitize:paranoid",
         ];
         for tok in canonical {
             let b: Backend = tok.parse().unwrap_or_else(|e| panic!("{tok}: {e}"));
@@ -739,9 +815,20 @@ mod tests {
             "gtx980/sanitizer",
             "gtx980/sanitize/balanced",
             "/sanitize",
+            "forward/reorder",
+            "gtx980/reorder:2",
+            "gtx980/reordered",
+            "gtx980/reorder/balanced",
+            "gtx980/sanitize/reorder",
+            "/reorder",
         ] {
             assert!(bad.parse::<Backend>().is_err(), "{bad:?} must not parse");
         }
+        // `/reorder` is part of the canonical token too: reordered and
+        // plain runs must never share an engine cache entry.
+        let reordered: Backend = "gtx980/reorder".parse().unwrap();
+        assert_ne!(reordered.to_string(), "gtx980");
+        assert!(reordered.label().contains("reorder"));
         // The scheduling knob is part of the canonical token — the engine's
         // cache key — so differently scheduled jobs can never collide.
         let plain: Backend = "gtx980".parse().unwrap();

@@ -17,7 +17,9 @@ use crate::gpu::count_kernel::{CountKernel, KernelArrays};
 use crate::gpu::pipeline::RunTrace;
 use crate::gpu::preprocess::preprocess_auto;
 use crate::gpu::schedule::build_plan;
-use crate::gpu::warp_centric::{IntersectStrategy, WarpCentricKernel};
+use crate::gpu::warp_centric::{
+    hash_scratch_len, hash_shared_slots, IntersectStrategy, WarpCentricKernel,
+};
 use crate::gpu::EdgeLayout;
 
 /// Results of a multi-GPU run.
@@ -87,7 +89,7 @@ pub fn run_multi_gpu_profiled(
             * 8
     };
     group.device_mut(0).push_phase("preprocess");
-    let pre = preprocess_auto(group.device_mut(0), g, false, reserve);
+    let pre = preprocess_auto(group.device_mut(0), g, false, reserve, opts.reorder);
     group.device_mut(0).pop_phase();
     let pre = pre?;
 
@@ -132,6 +134,19 @@ pub fn run_multi_gpu_profiled(
         let total_threads = lc.active_threads(dev.config().warp_size);
         dev.push_phase("count");
         let result = dev.alloc::<u64>(total_threads)?;
+        // Hash bins need per-device table scratch (each device runs its
+        // own stripe of every bin with the full launch geometry).
+        let scratch_len = plan.as_ref().and_then(|p| {
+            p.bins
+                .iter()
+                .filter(|b| b.hash && b.len > 0)
+                .map(|b| hash_scratch_len(total_threads, b.width))
+                .max()
+        });
+        let hash_scratch = match scratch_len {
+            Some(len) => Some(dev.alloc::<u32>(len)?),
+            None => None,
+        };
         match (&plan, &gathered) {
             (Some(plan), Some((eu, ev))) => {
                 let mut slowest: Option<KernelStats> = None;
@@ -170,11 +185,24 @@ pub fn run_multi_gpu_profiled(
                             count,
                             virtual_warp: bin.width,
                             use_texture_cache: opts.use_texture_cache,
-                            strategy: IntersectStrategy::ChunkScan,
+                            strategy: if bin.hash {
+                                IntersectStrategy::Hash
+                            } else {
+                                IntersectStrategy::ChunkScan
+                            },
+                            scratch: if bin.hash { hash_scratch } else { None },
+                            shared_slots: if bin.hash {
+                                hash_shared_slots(dev.config(), lc.threads_per_block, bin.width)
+                            } else {
+                                0
+                            },
                         };
-                        dev.with_phase("count-kernel", |d| {
-                            d.launch("CountTrianglesWarp(bin stripe)", lc, &kernel)
-                        })?
+                        let label = if bin.hash {
+                            "CountTrianglesWarpHash(bin stripe)"
+                        } else {
+                            "CountTrianglesWarp(bin stripe)"
+                        };
+                        dev.with_phase("count-kernel", |d| d.launch(label, lc, &kernel))?
                     };
                     if slowest.as_ref().is_none_or(|s| stats.time_s > s.time_s) {
                         slowest = Some(stats);
@@ -209,6 +237,9 @@ pub fn run_multi_gpu_profiled(
                 }
                 triangles += dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
             }
+        }
+        if let Some(scratch) = hash_scratch {
+            dev.free(scratch)?;
         }
         dev.free(result)?;
         dev.pop_phase();

@@ -27,7 +27,9 @@ use crate::error::{CoreError, ErrorContext};
 use crate::gpu::count_kernel::{CountKernel, KernelArrays};
 use crate::gpu::preprocess::{free_preprocessed, preprocess_auto, Preprocessed};
 use crate::gpu::schedule::{build_plan, free_plan, BinPlan};
-use crate::gpu::warp_centric::{IntersectStrategy, WarpCentricKernel};
+use crate::gpu::warp_centric::{
+    hash_scratch_len, hash_shared_slots, IntersectStrategy, WarpCentricKernel,
+};
 use crate::gpu::EdgeLayout;
 
 /// A graph preprocessed onto a device, ready to serve counts.
@@ -42,6 +44,10 @@ pub struct PreparedGraph {
     /// Balanced-scheduler bin plan (`None` under the default schedule, or
     /// when the auto-tuner found the graph uniform).
     plan: Option<BinPlan>,
+    /// Global scratch backing the hash bins' per-virtual-warp table
+    /// windows (`None` unless the plan has a hash bin). Allocated once at
+    /// prepare so repeated counts see identical addresses.
+    hash_scratch: Option<DeviceBuffer<u32>>,
     digest: u64,
     prepare_s: f64,
     /// The prepare window's phase spans on a clock-base-free nanosecond
@@ -114,7 +120,13 @@ impl PreparedGraph {
         // ---- preprocessing phase (steps 1–8, §III-B) ----
         let keep_aos = opts.layout == EdgeLayout::AoS;
         dev.push_phase("preprocess");
-        let pre = preprocess_auto(&mut dev, g, keep_aos, total_threads as u64 * 8);
+        let pre = preprocess_auto(
+            &mut dev,
+            g,
+            keep_aos,
+            total_threads as u64 * 8,
+            opts.reorder,
+        );
         dev.pop_phase();
         let pre = pre.map_err(|e| {
             e.with_context(ErrorContext {
@@ -148,6 +160,27 @@ impl PreparedGraph {
             })
         })?;
 
+        // Hash bins need their global table scratch (one HASH_TABLE_SLOTS
+        // window per virtual warp); sized for the widest demand across the
+        // plan's hash bins.
+        let scratch_len = plan.as_ref().and_then(|p| {
+            p.bins
+                .iter()
+                .filter(|b| b.hash && b.len > 0)
+                .map(|b| hash_scratch_len(total_threads, b.width))
+                .max()
+        });
+        let hash_scratch = match scratch_len {
+            Some(len) => Some(dev.alloc::<u32>(len).map_err(|e| {
+                CoreError::from(e).with_context(ErrorContext {
+                    device: Some(dev.config().name.to_string()),
+                    phase: Some("prepare".into()),
+                    ..Default::default()
+                })
+            })?),
+            None => None,
+        };
+
         let prepare_s = dev.elapsed() + pre.host_seconds;
         // The recycle above zeroed the clock, span list, and op log, so the
         // whole prepare window starts at op 0 — marks (0, 0) cover it.
@@ -160,6 +193,7 @@ impl PreparedGraph {
             total_threads,
             result,
             plan,
+            hash_scratch,
             digest: g.digest(),
             prepare_s,
             prepare_trace,
@@ -296,11 +330,25 @@ impl PreparedGraph {
                     count: bin.len,
                     virtual_warp: bin.width,
                     use_texture_cache: self.opts.use_texture_cache,
-                    strategy: IntersectStrategy::ChunkScan,
+                    strategy: if bin.hash {
+                        IntersectStrategy::Hash
+                    } else {
+                        IntersectStrategy::ChunkScan
+                    },
+                    scratch: if bin.hash { self.hash_scratch } else { None },
+                    shared_slots: if bin.hash {
+                        hash_shared_slots(self.dev.config(), lc.threads_per_block, bin.width)
+                    } else {
+                        0
+                    },
                 };
-                self.dev.with_phase("count-kernel", |d| {
-                    d.launch("CountTrianglesWarp(bin)", lc, &kernel)
-                })?
+                let label = if bin.hash {
+                    "CountTrianglesWarpHash(bin)"
+                } else {
+                    "CountTrianglesWarp(bin)"
+                };
+                self.dev
+                    .with_phase("count-kernel", |d| d.launch(label, lc, &kernel))?
             };
             triangles += self
                 .dev
@@ -320,6 +368,9 @@ impl PreparedGraph {
     pub fn release(mut self) -> Result<Device, CoreError> {
         if let Some(plan) = self.plan.take() {
             free_plan(&mut self.dev, &plan)?;
+        }
+        if let Some(scratch) = self.hash_scratch.take() {
+            self.dev.free(scratch)?;
         }
         self.dev.free(self.result)?;
         free_preprocessed(&mut self.dev, &self.pre)?;

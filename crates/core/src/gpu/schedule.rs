@@ -62,6 +62,11 @@ pub enum KernelSchedule {
     /// kernel with width `w`. `t = 0` sends everything heavy;
     /// `t = u32::MAX` keeps everything in the sorted light bin.
     BalancedFixed { threshold: u32, width: u32 },
+    /// Like [`KernelSchedule::Balanced`], but the heavy tail runs the
+    /// TRUST-style shared-memory hash kernel instead of the wide chunk
+    /// scan (token `balanced+hash`). Falls back to the plain balanced
+    /// plan when the tail is too thin for the hash bin to pay off.
+    BalancedHash,
 }
 
 impl KernelSchedule {
@@ -84,6 +89,7 @@ impl KernelSchedule {
             KernelSchedule::BalancedFixed { threshold, width } => {
                 format!("/balanced:{threshold}x{width}")
             }
+            KernelSchedule::BalancedHash => "/balanced+hash".into(),
         }
     }
 
@@ -92,6 +98,9 @@ impl KernelSchedule {
     pub fn parse_clause(clause: &str) -> Option<KernelSchedule> {
         if clause == "balanced" {
             return Some(KernelSchedule::Balanced);
+        }
+        if clause == "balanced+hash" {
+            return Some(KernelSchedule::BalancedHash);
         }
         let spec = clause.strip_prefix("balanced:")?;
         let (t, w) = spec.split_once('x')?;
@@ -112,6 +121,7 @@ impl fmt::Display for KernelSchedule {
             KernelSchedule::BalancedFixed { threshold, width } => {
                 write!(f, "balanced(t={threshold}, w={width})")
             }
+            KernelSchedule::BalancedHash => f.write_str("balanced+hash"),
         }
     }
 }
@@ -129,6 +139,10 @@ pub struct Bin {
     /// [`WarpCentricKernel`](super::warp_centric::WarpCentricKernel) with
     /// `width` lanes per edge.
     pub width: u32,
+    /// Warp-centric bins only: intersect by shared-memory hash table
+    /// ([`IntersectStrategy::Hash`](super::warp_centric::IntersectStrategy))
+    /// instead of the chunk scan.
+    pub hash: bool,
 }
 
 /// A tuned bin boundary: edges with work `< max_work` (and above the
@@ -139,6 +153,8 @@ pub struct BinSpec {
     pub max_work: u32,
     /// Virtual-warp width of the bin's kernel (1 = merge kernel).
     pub width: u32,
+    /// Serve the bin with the hash-intersection kernel (width > 1 only).
+    pub hash: bool,
 }
 
 /// The device-resident schedule: bin-ordered endpoint arrays plus the bin
@@ -186,6 +202,16 @@ const TAIL_WORK: u32 = 256;
 /// Minimum fraction of edges the tail bin must hold to justify its extra
 /// kernel launch.
 const TAIL_MIN_FRACTION: f64 = 0.01;
+/// Work level from which the hash kernel beats the wide chunk scan. The
+/// static rule comes from the two kernels' per-edge costs at width 32
+/// (`s` = shorter list, `l` = longer): the chunk scan issues `~s/4`
+/// lockstep broadcast rounds plus `l/32` chunk loads, the hash kernel
+/// `3⌈s/32⌉ + 2⌈l/32⌉` rounds — so the hash side wins once the shorter
+/// list spans several warp-wide rounds and its one-transaction-per-round
+/// saving outweighs the table build and the shared-memory walk latency.
+/// Below this level the broadcast scan already covers the list in a
+/// couple of rounds and the build cannot amortize.
+const HASH_MIN_WORK: u32 = 64;
 
 /// Per-edge work estimate over the oriented CSR: `min` of the endpoint
 /// out-degrees (an upper bound on the intersection size and a proxy for
@@ -228,17 +254,51 @@ pub fn auto_bin_specs(work: &[u32]) -> Option<Vec<BinSpec>> {
             BinSpec {
                 max_work: TAIL_WORK,
                 width: LINE_WIDTH,
+                hash: false,
             },
             BinSpec {
                 max_work: u32::MAX,
                 width: 32,
+                hash: false,
             },
         ]);
     }
     Some(vec![BinSpec {
         max_work: u32::MAX,
         width: LINE_WIDTH,
+        hash: false,
     }])
+}
+
+/// The hash variant of the static tuner: identical gates, but edges whose
+/// work clears `HASH_MIN_WORK` form a width-32 hash bin (when they are
+/// numerous enough to amortize its launch — otherwise the plan degrades
+/// to the plain balanced one). Deterministic, like [`auto_bin_specs`].
+pub fn auto_bin_specs_hash(work: &[u32]) -> Option<Vec<BinSpec>> {
+    let m = work.len();
+    if m == 0 {
+        return None;
+    }
+    let mean = work.iter().map(|&w| w as u64).sum::<u64>() as f64 / m as f64;
+    if mean < UNIFORM_MEAN_WORK {
+        return None;
+    }
+    let heavy = work.iter().filter(|&&w| w >= HASH_MIN_WORK).count();
+    if (heavy as f64) < TAIL_MIN_FRACTION * m as f64 {
+        return auto_bin_specs(work);
+    }
+    Some(vec![
+        BinSpec {
+            max_work: HASH_MIN_WORK,
+            width: LINE_WIDTH,
+            hash: false,
+        },
+        BinSpec {
+            max_work: u32::MAX,
+            width: 32,
+            hash: true,
+        },
+    ])
 }
 
 /// Bin specs for a schedule, or `None` when no plan should be built.
@@ -246,6 +306,7 @@ fn bin_specs(schedule: KernelSchedule, work: &[u32]) -> Option<Vec<BinSpec>> {
     match schedule {
         KernelSchedule::ThreadPerEdge => None,
         KernelSchedule::Balanced => auto_bin_specs(work),
+        KernelSchedule::BalancedHash => auto_bin_specs_hash(work),
         KernelSchedule::BalancedFixed { threshold, width } => {
             if work.is_empty() {
                 return None;
@@ -254,10 +315,12 @@ fn bin_specs(schedule: KernelSchedule, work: &[u32]) -> Option<Vec<BinSpec>> {
                 BinSpec {
                     max_work: threshold,
                     width: 1,
+                    hash: false,
                 },
                 BinSpec {
                     max_work: u32::MAX,
                     width: width.max(1),
+                    hash: false,
                 },
             ])
         }
@@ -312,11 +375,16 @@ pub(crate) fn build_plan(
         .map(|(i, &w)| ((w as u64) << 32) | i as u64)
         .collect();
     dev.poke(&keys, &host_keys);
-    charge_transform_pass(dev, "schedule: work-estimate keys", mb * 24, mb * 8);
+    // The binning passes bill to named sub-phases of the caller's
+    // `schedule` phase: `repro profile` must attribute this overhead to
+    // scheduling, not fold it into whichever span is otherwise open.
+    dev.with_phase("bin-sort", |d| {
+        charge_transform_pass(d, "schedule: work-estimate keys", mb * 24, mb * 8)
+    });
 
     // Pass 2: radix sort by (work, edge index) — the stable tiebreak keeps
     // the plan independent of anything but the graph.
-    sort_u64(dev, &keys, m)?;
+    dev.with_phase("bin-sort", |d| sort_u64(d, &keys, m))?;
     host_keys.sort_unstable();
 
     // Pass 3: gather the bin-ordered endpoint arrays. Reads the sorted
@@ -333,7 +401,9 @@ pub(crate) fn build_plan(
         .collect();
     dev.poke(&eu, &gathered_u);
     dev.poke(&ev, &gathered_v);
-    charge_transform_pass(dev, "schedule: bin gather", mb * 16, mb * 8);
+    dev.with_phase("bin-gather", |d| {
+        charge_transform_pass(d, "schedule: bin gather", mb * 16, mb * 8)
+    });
     dev.free(keys)?;
 
     // Bin boundaries: partition points of the sorted work sequence.
@@ -350,6 +420,7 @@ pub(crate) fn build_plan(
             start,
             len: end - start,
             width: spec.width,
+            hash: spec.hash,
         });
         start = end;
     }
@@ -414,12 +485,41 @@ mod tests {
         let mut work: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 97) as u32).collect();
         work.extend([900u32; 20]);
         assert_eq!(auto_bin_specs(&work), auto_bin_specs(&work));
+        assert_eq!(auto_bin_specs_hash(&work), auto_bin_specs_hash(&work));
+    }
+
+    #[test]
+    fn hash_tuner_gives_the_heavy_tail_a_hash_bin() {
+        let mut work: Vec<u32> = vec![20; 5_000];
+        work.extend([2000u32; 100]);
+        let specs = auto_bin_specs_hash(&work).expect("skewed graph must plan");
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].max_work, HASH_MIN_WORK);
+        assert_eq!(specs[0].width, LINE_WIDTH);
+        assert!(!specs[0].hash);
+        assert_eq!(specs[1].max_work, u32::MAX);
+        assert_eq!(specs[1].width, 32);
+        assert!(specs[1].hash);
+    }
+
+    #[test]
+    fn hash_tuner_degrades_gracefully() {
+        // Mean above the gate but nothing at HASH_MIN_WORK: the plan is
+        // exactly the plain balanced one (never worse than `balanced`).
+        let work: Vec<u32> = vec![25; 10_000];
+        assert_eq!(auto_bin_specs_hash(&work), auto_bin_specs(&work));
+        assert!(auto_bin_specs_hash(&work).iter().flatten().all(|s| !s.hash));
+        // Uniform low-degree still tunes to no plan at all.
+        let low: Vec<u32> = (0..1000).map(|i| 7 + (i % 3)).collect();
+        assert!(auto_bin_specs_hash(&low).is_none());
+        assert!(auto_bin_specs_hash(&[]).is_none());
     }
 
     #[test]
     fn schedule_tokens_round_trip() {
         for s in [
             KernelSchedule::Balanced,
+            KernelSchedule::BalancedHash,
             KernelSchedule::BalancedFixed {
                 threshold: 16,
                 width: 8,
@@ -439,6 +539,9 @@ mod tests {
             "balanced:8",
             "balanced:8x3",
             "balanced:x8",
+            "balanced+",
+            "balanced+hash:8",
+            "hash",
             "split:2",
         ] {
             assert_eq!(KernelSchedule::parse_clause(bad), None, "{bad:?}");

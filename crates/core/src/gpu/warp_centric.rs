@@ -22,10 +22,64 @@
 //! transactions for `4 × W` comparisons. Per edge the memory pipeline
 //! sees roughly `short/3 + long/8` transactions instead of the merge's
 //! `short + long`, which is what makes the virtual-warp idea profitable
-//! after all on the transaction-throughput-bound counting kernel. Counts
-//! are exact under both strategies.
+//! after all on the transaction-throughput-bound counting kernel.
+//!
+//! [`IntersectStrategy::Hash`] is the TRUST-style vertex-centric variant
+//! (Pandey et al. 2021): the virtual warp builds a power-of-two hash
+//! table over the *shorter* list in a per-warp shared-memory scratch
+//! window (linear collision chains, load factor ≤ ½), then streams the
+//! *longer* list through it with coalesced loads — both lists are
+//! consumed at `W` elements per step instead of the chunk scan's
+//! lockstep-broadcast 4 per step on the short side. Build inserts,
+//! chain-walk reads, and bank conflicts are charged through the shared
+//! effects of the cycle model; tables that overflow the per-warp shared
+//! budget spill to global scratch (priced through L2/DRAM), and tables
+//! that cannot fit the scratch stride at all fall back to the chunk scan
+//! for that edge. Consecutive edges sharing a build list reuse the table
+//! (the vertex-centric amortization TRUST is named for). Counts are
+//! exact under all strategies.
 
 use tc_simt::{DeviceBuffer, Effect, Kernel, Lane, MemView};
+
+/// Per-virtual-warp hash-table scratch stride in `u32` slots (16 KB): the
+/// static shared-memory window a CUDA build would declare per warp. Tables
+/// needing more slots than this fall back to the chunk scan in-kernel.
+pub const HASH_TABLE_SLOTS: u32 = 4096;
+
+/// Empty hash slot marker (valid vertex ids are `< u32::MAX`).
+const HASH_SENTINEL: u32 = u32::MAX;
+
+/// Hash-bin edges are dealt to virtual warps in runs of this many
+/// consecutive edges: long enough that the bin's `(u, v)`-ordered edges
+/// sharing a build list land on one warp and amortize the table build,
+/// short enough that heavy edges still interleave across warps.
+const HASH_RUN: usize = 8;
+
+/// Fibonacci multiplicative hash into `32 − shift` bits.
+#[inline]
+fn hash_slot(x: u32, shift: u32) -> u32 {
+    x.wrapping_mul(0x9E37_79B1) >> shift
+}
+
+/// Scratch length in `u32` slots the hash strategy needs for a launch with
+/// `total_threads` active threads at virtual-warp width `virtual_warp`:
+/// one [`HASH_TABLE_SLOTS`]-slot window per virtual warp.
+pub fn hash_scratch_len(total_threads: usize, virtual_warp: u32) -> usize {
+    (total_threads / virtual_warp.max(1) as usize) * HASH_TABLE_SLOTS as usize
+}
+
+/// How many of a virtual warp's scratch slots fit on-chip for a launch:
+/// the per-block shared-memory budget divided evenly among the block's
+/// virtual warps, capped at the scratch stride. Tables larger than this
+/// spill to global scratch (modeled through L2/DRAM).
+pub fn hash_shared_slots(
+    cfg: &tc_simt::DeviceConfig,
+    threads_per_block: u32,
+    virtual_warp: u32,
+) -> u32 {
+    let vwarps = (threads_per_block / virtual_warp.max(1)).max(1);
+    (cfg.shared_mem_per_block_bytes / vwarps / 4).min(HASH_TABLE_SLOTS)
+}
 
 /// How the `W` lanes of a virtual warp intersect the two adjacency lists.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -37,6 +91,10 @@ pub enum IntersectStrategy {
     /// The balanced scheduler's strategy: coalesced chunk loads of the
     /// longer list + lockstep broadcast scan of the shorter one.
     ChunkScan,
+    /// TRUST-style: build a shared-memory hash table over the shorter
+    /// list, stream the longer list through it. Requires
+    /// [`WarpCentricKernel::scratch`].
+    Hash,
 }
 
 /// Virtual-warp-centric triangle counting.
@@ -65,6 +123,15 @@ pub struct WarpCentricKernel {
     pub use_texture_cache: bool,
     /// How the virtual warp intersects the two lists.
     pub strategy: IntersectStrategy,
+    /// Hash strategy only: global scratch backing every virtual warp's
+    /// [`HASH_TABLE_SLOTS`]-slot table window (warp `i` owns slots
+    /// `i * HASH_TABLE_SLOTS ..`). The sanitizer checks table accesses
+    /// against this buffer's bounds.
+    pub scratch: Option<DeviceBuffer<u32>>,
+    /// Hash strategy only: how many of a warp's scratch slots fit the
+    /// per-block shared-memory budget. Larger tables (up to the stride)
+    /// spill to global scratch through L2/DRAM.
+    pub shared_slots: u32,
 }
 
 impl Kernel for WarpCentricKernel {
@@ -72,9 +139,18 @@ impl Kernel for WarpCentricKernel {
 
     fn spawn(&self, tid: usize, total: usize) -> WarpCentricLane {
         let w = self.virtual_warp as usize;
+        let vw = tid / w;
+        let hash = self.strategy == IntersectStrategy::Hash;
         WarpCentricLane {
             k: *self,
-            edge: self.offset + tid / w,
+            // Hash bins deal edges in HASH_RUN-long runs round-robin over
+            // the virtual warps (build-list amortization); the other
+            // strategies grid-stride one edge at a time.
+            edge: if hash {
+                self.offset + vw * HASH_RUN
+            } else {
+                self.offset + vw
+            },
             edge_stride: total / w,
             role: (tid % w) as u32,
             tid,
@@ -93,6 +169,28 @@ impl Kernel for WarpCentricKernel {
             chunk_val: 0,
             chunk_last: 0,
             chunk_dead: false,
+            run_block: vw,
+            run_off: 0,
+            table: Vec::new(),
+            walks: Vec::new(),
+            built_span: (u32::MAX, u32::MAX),
+            table_mask: 0,
+            table_shift: 0,
+            table_spilled: false,
+            scratch_base: self
+                .scratch
+                .map(|s| s.addr_of(vw * HASH_TABLE_SLOTS as usize))
+                .unwrap_or(0),
+            hb_round: 0,
+            hb_rounds: 0,
+            hb_active: false,
+            hb_x: 0,
+            walk_slot: 0,
+            walk_len: 0,
+            pr_round: 0,
+            pr_rounds: 0,
+            pr_active: false,
+            probe_found: false,
         }
     }
 }
@@ -117,6 +215,19 @@ enum Phase {
     /// elements) of the shorter list; each lane compares the loaded values
     /// against its private chunk element.
     Scan,
+    /// Hash: coalesced load of this lane's next build element of the
+    /// shorter list.
+    HashBuildLoad,
+    /// Hash: charge the insert's chain walk over consecutive table slots.
+    HashBuildWalk,
+    /// Hash: store the element into its final slot.
+    HashBuildInsert,
+    /// Hash: coalesced load of this lane's next probe element of the
+    /// longer list.
+    HashProbeLoad,
+    /// Hash: charge the probe's chain walk (ends at a match or an empty
+    /// slot).
+    HashProbeWalk,
     WriteResult,
     Finished,
 }
@@ -151,6 +262,49 @@ pub struct WarpCentricLane {
     /// Chunk scan: this lane's chunk slot is past the list end (its
     /// clamped load must not count matches).
     chunk_dead: bool,
+    /// Hash: current run block (run-of-[`HASH_RUN`] index) and offset
+    /// within it.
+    run_block: usize,
+    run_off: usize,
+    /// Hash: this lane's functional copy of the virtual warp's table
+    /// (every lane of a warp builds the same table deterministically, so
+    /// per-lane copies stay identical — the simulator's stand-in for
+    /// actually shared storage).
+    table: Vec<u32>,
+    /// Hash: per-build-element chain-walk lengths, indexed by position in
+    /// the build list.
+    walks: Vec<u32>,
+    /// Hash: the adjacency span the current table was built over
+    /// (`(u32::MAX, u32::MAX)` = none). Matching spans reuse the table.
+    built_span: (u32, u32),
+    table_mask: u32,
+    table_shift: u32,
+    /// Hash: current table exceeds the shared budget and lives in global
+    /// scratch.
+    table_spilled: bool,
+    /// Hash: device address of this virtual warp's scratch window.
+    scratch_base: u64,
+    /// Hash: build round cursor and total build rounds (`ceil(s / W)`) —
+    /// identical across the virtual warp's lanes, which is what keeps the
+    /// warp's phases lockstep (and its loads coalesced) even when chain
+    /// lengths differ per lane.
+    hb_round: u32,
+    hb_rounds: u32,
+    /// Hash: whether this lane holds a real element in the current round
+    /// (lanes past the list end are predicated off and burn issue slots).
+    hb_active: bool,
+    hb_x: u32,
+    /// Hash: the pending chain walk — start slot and this lane's own
+    /// length. Charged as a single shared access per round regardless of
+    /// length; the bank-conflict degree models the serialization.
+    walk_slot: u32,
+    walk_len: u32,
+    /// Hash: probe round cursor, total probe rounds (`ceil(l / W)`),
+    /// predication, and the pending probe outcome.
+    pr_round: u32,
+    pr_rounds: u32,
+    pr_active: bool,
+    probe_found: bool,
 }
 
 impl WarpCentricLane {
@@ -160,6 +314,107 @@ impl WarpCentricLane {
             addr,
             bytes: 4,
             cached: self.k.use_texture_cache,
+        }
+    }
+
+    /// Advance to this lane's next edge: grid stride normally, run-blocked
+    /// dealing under the hash strategy.
+    #[inline]
+    fn advance_edge(&mut self) {
+        if self.k.strategy == IntersectStrategy::Hash {
+            self.run_off += 1;
+            if self.run_off == HASH_RUN {
+                self.run_off = 0;
+                self.run_block += self.edge_stride;
+            }
+            self.edge = self.k.offset + self.run_block * HASH_RUN + self.run_off;
+        } else {
+            self.edge += self.edge_stride;
+        }
+    }
+
+    /// Decide how the hash strategy handles the current edge and set the
+    /// next phase: build (or reuse) a table over `short_it..short_end`,
+    /// or fall back to the chunk scan when the table cannot fit the
+    /// scratch stride. Functional table construction happens here with
+    /// free reads; the build phases replay this lane's stripe of it as
+    /// charged effects.
+    fn hash_setup(&mut self, mem: &MemView<'_>) {
+        let s = self.short_end - self.short_it;
+        if s == 0 {
+            self.advance_edge();
+            self.phase = Phase::NextEdge;
+            return;
+        }
+        let slots = (2 * s).next_power_of_two().max(8);
+        if slots > HASH_TABLE_SLOTS {
+            // Too big for the scratch window: chunk-scan this edge.
+            self.chunk_base = self.long_lo;
+            self.phase = Phase::ChunkLoad;
+            return;
+        }
+        let w = self.k.virtual_warp;
+        self.pr_round = 0;
+        self.pr_rounds = (self.long_hi - self.long_lo).div_ceil(w);
+        if self.built_span == (self.short_it, self.short_end) {
+            // Same build list as the previous edge: reuse the table
+            // (vertex-centric amortization), skip straight to probing.
+            self.phase = Phase::HashProbeLoad;
+            return;
+        }
+        self.built_span = (self.short_it, self.short_end);
+        self.table_mask = slots - 1;
+        self.table_shift = 32 - slots.trailing_zeros();
+        self.table_spilled = slots > self.k.shared_slots;
+        self.table.clear();
+        self.table.resize(slots as usize, HASH_SENTINEL);
+        self.walks.clear();
+        for i in self.short_it..self.short_end {
+            let x = mem.read_u32(self.k.adj.addr_of(i as usize));
+            let mut slot = hash_slot(x, self.table_shift);
+            let mut len = 1u32;
+            while self.table[slot as usize] != HASH_SENTINEL {
+                slot = (slot + 1) & self.table_mask;
+                len += 1;
+            }
+            self.table[slot as usize] = x;
+            self.walks.push(len);
+        }
+        self.hb_round = 0;
+        self.hb_rounds = s.div_ceil(w);
+        self.phase = Phase::HashBuildLoad;
+    }
+
+    /// Probe the functional table for `y`: chain-walk length and whether
+    /// it is present.
+    fn hash_probe(&self, y: u32) -> (u32, bool) {
+        let mut slot = hash_slot(y, self.table_shift);
+        let mut len = 1u32;
+        loop {
+            let t = self.table[slot as usize];
+            if t == y {
+                return (len, true);
+            }
+            if t == HASH_SENTINEL {
+                return (len, false);
+            }
+            slot = (slot + 1) & self.table_mask;
+            len += 1;
+        }
+    }
+
+    /// Charge the pending chain walk: one shared access over the chain's
+    /// consecutive slots (the rare piece wrapping past the table end is
+    /// dropped rather than split, so every lane's walk is exactly one
+    /// step and the warp stays lockstep). The bank-conflict degree of the
+    /// multi-word access is what serializes long chains.
+    fn walk_effect(&self) -> Effect {
+        let slots = self.table_mask + 1;
+        let contiguous = self.walk_len.min(slots - self.walk_slot).max(1);
+        Effect::SharedRead {
+            addr: self.scratch_base + self.walk_slot as u64 * 4,
+            bytes: 4 * contiguous,
+            spilled: self.table_spilled,
         }
     }
 }
@@ -223,12 +478,13 @@ impl Lane for WarpCentricLane {
                             self.chunk_base = self.long_lo;
                             self.phase = Phase::ChunkLoad;
                         }
+                        IntersectStrategy::Hash => self.hash_setup(mem),
                     }
                     return self.read(addr);
                 }
                 Phase::LoadNeedle => {
                     if self.short_it >= self.short_end {
-                        self.edge += self.edge_stride;
+                        self.advance_edge();
                         self.phase = Phase::NextEdge;
                         continue;
                     }
@@ -263,7 +519,7 @@ impl Lane for WarpCentricLane {
                 Phase::ChunkLoad => {
                     if self.chunk_base >= self.long_hi || self.short_it >= self.short_end {
                         // Either list exhausted: no more matches possible.
-                        self.edge += self.edge_stride;
+                        self.advance_edge();
                         self.phase = Phase::NextEdge;
                         continue;
                     }
@@ -286,7 +542,7 @@ impl Lane for WarpCentricLane {
                 }
                 Phase::Scan => {
                     if self.short_it >= self.short_end {
-                        self.edge += self.edge_stride;
+                        self.advance_edge();
                         self.phase = Phase::NextEdge;
                         continue;
                     }
@@ -328,6 +584,85 @@ impl Lane for WarpCentricLane {
                         cached: self.k.use_texture_cache,
                     };
                 }
+                Phase::HashBuildLoad => {
+                    if self.hb_round >= self.hb_rounds {
+                        self.phase = Phase::HashProbeLoad;
+                        continue;
+                    }
+                    // Coalesced: in round `r` lane `role` loads build
+                    // element `short_it + r·W + role` — consecutive
+                    // addresses across the virtual warp. Lanes past the
+                    // list end stay predicated off for the whole round so
+                    // the warp's step count (and hence its coalescing)
+                    // never drifts.
+                    let i = self.short_it + self.hb_round * self.k.virtual_warp + self.role;
+                    self.phase = Phase::HashBuildWalk;
+                    if i >= self.short_end {
+                        self.hb_active = false;
+                        return Effect::Compute { cycles: 1 };
+                    }
+                    self.hb_active = true;
+                    let addr = self.k.adj.addr_of(i as usize);
+                    self.hb_x = mem.read_u32(addr);
+                    self.walk_slot = hash_slot(self.hb_x, self.table_shift);
+                    self.walk_len = self.walks[(i - self.short_it) as usize];
+                    return self.read(addr);
+                }
+                Phase::HashBuildWalk => {
+                    self.phase = Phase::HashBuildInsert;
+                    if !self.hb_active {
+                        return Effect::Compute { cycles: 1 };
+                    }
+                    return self.walk_effect();
+                }
+                Phase::HashBuildInsert => {
+                    self.hb_round += 1;
+                    self.phase = Phase::HashBuildLoad;
+                    if !self.hb_active {
+                        return Effect::Compute { cycles: 1 };
+                    }
+                    // The element's final slot: chain start advanced by
+                    // the walk length, circularly.
+                    let slot = (self.walk_slot + self.walk_len).wrapping_sub(1) & self.table_mask;
+                    return Effect::SharedWrite {
+                        addr: self.scratch_base + slot as u64 * 4,
+                        bytes: 4,
+                        value: self.hb_x as u64,
+                        spilled: self.table_spilled,
+                    };
+                }
+                Phase::HashProbeLoad => {
+                    if self.pr_round >= self.pr_rounds {
+                        self.advance_edge();
+                        self.phase = Phase::NextEdge;
+                        continue;
+                    }
+                    let i = self.long_lo + self.pr_round * self.k.virtual_warp + self.role;
+                    self.phase = Phase::HashProbeWalk;
+                    if i >= self.long_hi {
+                        self.pr_active = false;
+                        return Effect::Compute { cycles: 1 };
+                    }
+                    self.pr_active = true;
+                    let addr = self.k.adj.addr_of(i as usize);
+                    let y = mem.read_u32(addr);
+                    let (len, found) = self.hash_probe(y);
+                    self.walk_slot = hash_slot(y, self.table_shift);
+                    self.walk_len = len;
+                    self.probe_found = found;
+                    return self.read(addr);
+                }
+                Phase::HashProbeWalk => {
+                    self.pr_round += 1;
+                    self.phase = Phase::HashProbeLoad;
+                    if !self.pr_active {
+                        return Effect::Compute { cycles: 1 };
+                    }
+                    if self.probe_found {
+                        self.count += 1;
+                    }
+                    return self.walk_effect();
+                }
                 Phase::WriteResult => {
                     self.phase = Phase::Finished;
                     return Effect::Write {
@@ -356,6 +691,16 @@ mod tests {
     }
 
     fn run_with_strategy(g: &EdgeArray, w: u32, strategy: IntersectStrategy) -> (u64, f64) {
+        let (count, stats) = run_with_strategy_slots(g, w, strategy, HASH_TABLE_SLOTS);
+        (count, stats.time_s)
+    }
+
+    fn run_with_strategy_slots(
+        g: &EdgeArray,
+        w: u32,
+        strategy: IntersectStrategy,
+        shared_slots: u32,
+    ) -> (u64, tc_simt::KernelStats) {
         let mut dev = Device::new(DeviceConfig::gtx_980().with_unlimited_memory());
         dev.preinit_context();
         dev.reset_clock();
@@ -364,6 +709,8 @@ mod tests {
         let total = lc.active_threads(32);
         let result = dev.alloc::<u64>(total).unwrap();
         dev.poke(&result, &vec![0u64; total]);
+        let scratch = (strategy == IntersectStrategy::Hash)
+            .then(|| dev.alloc::<u32>(hash_scratch_len(total, w)).unwrap());
         let kernel = WarpCentricKernel {
             adj: pre.nbr,
             edge_u: pre.owner,
@@ -375,9 +722,11 @@ mod tests {
             virtual_warp: w,
             use_texture_cache: true,
             strategy,
+            scratch,
+            shared_slots,
         };
         let stats = dev.launch("warp-centric", lc, &kernel).unwrap();
-        (dev.peek(&result).iter().sum(), stats.time_s)
+        (dev.peek(&result).iter().sum(), stats)
     }
 
     fn run_merge(g: &EdgeArray) -> (u64, f64) {
@@ -460,6 +809,94 @@ mod tests {
     }
 
     #[test]
+    fn hash_counts_match_the_merge_kernel() {
+        let g = messy_graph();
+        let (merge_count, _) = run_merge(&g);
+        for w in [4u32, 8, 16, 32] {
+            let (count, stats) =
+                run_with_strategy_slots(&g, w, IntersectStrategy::Hash, HASH_TABLE_SLOTS);
+            assert_eq!(count, merge_count, "virtual warp {w}");
+            assert!(stats.shared_accesses > 0, "hash must hit shared memory");
+        }
+    }
+
+    #[test]
+    fn hash_works_on_degenerate_graphs() {
+        let path = EdgeArray::from_undirected_pairs(vec![(0, 1), (1, 2), (2, 3)]);
+        let tri = EdgeArray::from_undirected_pairs(vec![(0, 1), (1, 2), (0, 2)]);
+        let mut clique = Vec::new();
+        for a in 0..40u32 {
+            for b in (a + 1)..40 {
+                clique.push((a, b));
+            }
+        }
+        let clique = EdgeArray::from_undirected_pairs(clique);
+        let empty = EdgeArray::default();
+        for (g, want) in [
+            (&path, 0u64),
+            (&tri, 1),
+            (&clique, 40 * 39 * 38 / 6),
+            (&empty, 0),
+        ] {
+            for w in [8u32, 32] {
+                let (count, _) =
+                    run_with_strategy_slots(g, w, IntersectStrategy::Hash, HASH_TABLE_SLOTS);
+                assert_eq!(count, want, "virtual warp {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spilled_tables_stay_exact_and_cost_global_traffic() {
+        // Force nearly every table past a tiny shared budget: counts must
+        // not change, but the spilled chain walks now travel the global
+        // path (transactions) instead of the shared banks.
+        let g = messy_graph();
+        let (merge_count, _) = run_merge(&g);
+        let (on_chip, fits) =
+            run_with_strategy_slots(&g, 32, IntersectStrategy::Hash, HASH_TABLE_SLOTS);
+        let (spilled, spills) = run_with_strategy_slots(&g, 32, IntersectStrategy::Hash, 8);
+        assert_eq!(on_chip, merge_count);
+        assert_eq!(spilled, merge_count);
+        assert!(
+            spills.shared_accesses < fits.shared_accesses,
+            "spilled run must demote shared accesses ({} vs {})",
+            spills.shared_accesses,
+            fits.shared_accesses
+        );
+        assert!(
+            spills.transactions > fits.transactions,
+            "spilled walks must show up as global transactions"
+        );
+    }
+
+    #[test]
+    fn hash_beats_chunk_scan_on_skewed_lists() {
+        // The tentpole's reason to exist: on long-list edges the hash
+        // probe consumes both lists at W elements per lockstep round,
+        // where the chunk scan broadcasts only 4 shorter-list elements
+        // per round. A clique maximizes long intersections.
+        let mut clique = Vec::new();
+        for a in 0..120u32 {
+            for b in (a + 1)..120 {
+                clique.push((a, b));
+            }
+        }
+        let g = EdgeArray::from_undirected_pairs(clique);
+        let (chunk_count, chunk) =
+            run_with_strategy_slots(&g, 32, IntersectStrategy::ChunkScan, HASH_TABLE_SLOTS);
+        let (hash_count, hash) =
+            run_with_strategy_slots(&g, 32, IntersectStrategy::Hash, HASH_TABLE_SLOTS);
+        assert_eq!(hash_count, chunk_count);
+        assert!(
+            hash.time_s < chunk.time_s,
+            "hash {} should beat chunk scan {} on a clique",
+            hash.time_s,
+            chunk.time_s
+        );
+    }
+
+    #[test]
     fn warp_centric_is_not_faster_here() {
         // The paper's §III-D7 negative result: the cooperative kernel's
         // log-factor of extra scattered reads outweighs its intra-edge
@@ -498,6 +935,8 @@ mod tests {
             virtual_warp: 4,
             use_texture_cache: true,
             strategy: IntersectStrategy::BinarySearch,
+            scratch: None,
+            shared_slots: 0,
         };
         let stats = dev
             .with_phase("warp-centric", |d| d.launch("warp-centric", lc, &kernel))

@@ -50,6 +50,14 @@ pub struct DeviceConfig {
     pub tex_hit_latency: u32,
     pub l2_hit_latency: u32,
     pub dram_latency: u32,
+    /// On-chip shared memory available to one block, in bytes (48 KB on
+    /// every preset: the Fermi default split and the Maxwell per-block cap).
+    pub shared_mem_per_block_bytes: u32,
+    /// Conflict-free shared-memory load-to-use latency in cycles; an
+    /// n-way bank conflict replays the access n times.
+    pub shared_latency: u32,
+    /// Number of 4-byte shared-memory banks (32 on every NVIDIA part).
+    pub shared_banks: u32,
     /// Peak DRAM bandwidth in GB/s (GTX 980: 224, C2050: 144).
     pub dram_bandwidth_gbs: f64,
     /// Fraction of peak DRAM bandwidth streaming primitives achieve
@@ -96,6 +104,9 @@ impl DeviceConfig {
             tex_hit_latency: 40,
             l2_hit_latency: 180,
             dram_latency: 450,
+            shared_mem_per_block_bytes: 48 * 1024,
+            shared_latency: 36,
+            shared_banks: 32,
             dram_fetch_bytes: 64,
             dram_bandwidth_gbs: 144.0,
             stream_efficiency: 0.70,
@@ -128,6 +139,9 @@ impl DeviceConfig {
             tex_hit_latency: 30,
             l2_hit_latency: 160,
             dram_latency: 380,
+            shared_mem_per_block_bytes: 48 * 1024,
+            shared_latency: 24,
+            shared_banks: 32,
             dram_fetch_bytes: 64,
             dram_bandwidth_gbs: 224.0,
             stream_efficiency: 0.80,
@@ -159,6 +173,9 @@ impl DeviceConfig {
             tex_hit_latency: 40,
             l2_hit_latency: 200,
             dram_latency: 500,
+            shared_mem_per_block_bytes: 48 * 1024,
+            shared_latency: 36,
+            shared_banks: 32,
             dram_fetch_bytes: 64,
             dram_bandwidth_gbs: 14.4,
             stream_efficiency: 0.65,
@@ -233,6 +250,9 @@ mod tests {
             assert!(cfg.tex_cache_bytes % (cfg.line_bytes * cfg.tex_cache_ways) == 0);
             assert!(cfg.dram_bandwidth_gbs > 1.0);
             assert!(cfg.memory_capacity > 1024);
+            assert!(cfg.shared_banks.is_power_of_two());
+            assert!(cfg.shared_mem_per_block_bytes >= 16 * 1024);
+            assert!(cfg.shared_latency < cfg.l2_hit_latency);
         }
     }
 

@@ -130,6 +130,12 @@ pub struct KernelStats {
     pub dram_write_bytes: u64,
     /// `dram_bytes / time_s` — Table II's "bandwidth" column.
     pub achieved_bandwidth_gbs: f64,
+    /// On-chip shared-memory requests (hash-table probes and inserts that
+    /// did not spill to global scratch).
+    pub shared_accesses: u64,
+    /// Replay cycles charged for shared-memory bank conflicts:
+    /// Σ (conflict degree − 1) × `shared_latency` over warp steps.
+    pub shared_conflict_cycles: f64,
 }
 
 /// Simulate a kernel launch against an arena snapshot. Returns the stats and
@@ -200,6 +206,8 @@ pub(crate) fn simulate_traced<K: Kernel>(
         stats.transactions += r.transactions;
         stats.dram_read_bytes += r.dram_read_bytes;
         stats.dram_write_bytes += r.dram_write_bytes;
+        stats.shared_accesses += r.shared_accesses;
+        stats.shared_conflict_cycles += r.shared_conflict_cycles;
         stats.tex.merge(r.tex);
         stats.l2.merge(r.l2);
         writes.extend(r.writes);
@@ -228,6 +236,8 @@ struct SmResult {
     transactions: u64,
     dram_read_bytes: u64,
     dram_write_bytes: u64,
+    shared_accesses: u64,
+    shared_conflict_cycles: f64,
     tex: CacheStats,
     l2: CacheStats,
     writes: Vec<PendingWrite>,
@@ -302,6 +312,8 @@ fn simulate_sm<K: Kernel>(
     let mut transactions = 0u64;
     let mut dram_read_bytes = 0u64;
     let mut dram_write_bytes = 0u64;
+    let mut shared_accesses = 0u64;
+    let mut shared_conflict_cycles = 0f64;
     let mut writes: Vec<PendingWrite> = Vec::new();
     let mut accesses: Vec<Access> = Vec::new();
 
@@ -309,6 +321,8 @@ fn simulate_sm<K: Kernel>(
     let mut reads_cached: Vec<(u64, u32)> = Vec::with_capacity(lanes_per_warp);
     let mut reads_uncached: Vec<(u64, u32)> = Vec::with_capacity(lanes_per_warp);
     let mut lines: Vec<u64> = Vec::with_capacity(lanes_per_warp * 2);
+    let mut shared_words: Vec<u64> = Vec::with_capacity(lanes_per_warp * 4);
+    let mut bank_counts: Vec<u32> = vec![0; cfg.shared_banks.max(1) as usize];
 
     loop {
         // Pick the ready warp with the earliest ready time (stable tie-break
@@ -330,9 +344,10 @@ fn simulate_sm<K: Kernel>(
         effects.clear();
         reads_cached.clear();
         reads_uncached.clear();
+        shared_words.clear();
         let mut write_txns = 0u64;
         let mut compute_latency = 0u32;
-        let mut kinds_seen = [false; 5];
+        let mut kinds_seen = [false; 7];
         {
             let w = &mut warps[wi];
             for li in 0..w.lanes.len() {
@@ -354,6 +369,7 @@ fn simulate_sm<K: Kernel>(
                                 addr,
                                 bytes,
                                 write: false,
+                                scratch: false,
                             });
                         }
                         if cached {
@@ -369,11 +385,59 @@ fn simulate_sm<K: Kernel>(
                                 addr,
                                 bytes,
                                 write: true,
+                                scratch: false,
                             });
                         }
                         writes.push(PendingWrite { addr, bytes, value });
                         write_txns += 1;
                         dram_write_bytes += bytes as u64; // write-through
+                    }
+                    Effect::SharedRead {
+                        addr,
+                        bytes,
+                        spilled,
+                    } => {
+                        if trace {
+                            accesses.push(Access {
+                                lane: (w.tid_base + li) as u32,
+                                addr,
+                                bytes,
+                                write: false,
+                                scratch: true,
+                            });
+                        }
+                        if spilled {
+                            // Table overflowed shared memory: the chain walk
+                            // reads global scratch through L2/DRAM.
+                            reads_uncached.push((addr, bytes));
+                        } else {
+                            shared_accesses += 1;
+                            push_shared_words(&mut shared_words, addr, bytes);
+                        }
+                    }
+                    Effect::SharedWrite {
+                        addr,
+                        bytes,
+                        value,
+                        spilled,
+                    } => {
+                        if trace {
+                            accesses.push(Access {
+                                lane: (w.tid_base + li) as u32,
+                                addr,
+                                bytes,
+                                write: true,
+                                scratch: true,
+                            });
+                        }
+                        writes.push(PendingWrite { addr, bytes, value });
+                        if spilled {
+                            write_txns += 1;
+                            dram_write_bytes += bytes as u64; // write-through
+                        } else {
+                            shared_accesses += 1;
+                            push_shared_words(&mut shared_words, addr, bytes);
+                        }
                     }
                     Effect::Compute { cycles } => {
                         compute_latency = compute_latency.max(cycles);
@@ -387,7 +451,7 @@ fn simulate_sm<K: Kernel>(
         }
 
         // Issue cost: one slot per distinct effect kind (Done issues nothing).
-        let groups = kinds_seen[..4].iter().filter(|&&k| k).count() as u32;
+        let groups = kinds_seen[..6].iter().filter(|&&k| k).count() as u32;
         issue_groups += groups as u64;
         if groups > 1 {
             divergent_steps += 1;
@@ -395,8 +459,17 @@ fn simulate_sm<K: Kernel>(
         }
         alu_clock = now + groups as f64 / cfg.issue_width as f64;
 
-        // Memory cost: coalesce, probe caches, charge the memory pipeline.
+        // Shared-memory cost: no cache or memory-pipeline traffic, just
+        // load-to-use latency replayed once per serialized bank conflict.
         let mut latency = compute_latency as f64;
+        if !shared_words.is_empty() {
+            let degree = bank_conflict_degree(&mut shared_words, &mut bank_counts);
+            latency = latency.max((degree as u64 * cfg.shared_latency as u64) as f64);
+            shared_conflict_cycles +=
+                ((degree.saturating_sub(1)) as u64 * cfg.shared_latency as u64) as f64;
+        }
+
+        // Memory cost: coalesce, probe caches, charge the memory pipeline.
         let mut txns = write_txns;
         if !reads_cached.is_empty() {
             coalesce_into(&reads_cached, cfg.line_bytes, &mut lines);
@@ -460,11 +533,39 @@ fn simulate_sm<K: Kernel>(
         transactions,
         dram_read_bytes,
         dram_write_bytes,
+        shared_accesses,
+        shared_conflict_cycles,
         tex: tex.stats(),
         l2: l2.stats(),
         writes,
         accesses,
     }
+}
+
+/// Expand one shared access into the 4-byte words it touches. A multi-word
+/// access models a linear chain walk over consecutive slots, so every slot
+/// counts toward the warp's bank pressure.
+fn push_shared_words(words: &mut Vec<u64>, addr: u64, bytes: u32) {
+    let first = addr / 4;
+    let last = (addr + bytes.max(1) as u64 - 1) / 4;
+    words.extend(first..=last);
+}
+
+/// Worst per-bank count of *distinct* words across one warp step's shared
+/// accesses — the number of serialized replays the step needs. Duplicate
+/// words from different lanes broadcast for free.
+fn bank_conflict_degree(words: &mut Vec<u64>, counts: &mut [u32]) -> u32 {
+    words.sort_unstable();
+    words.dedup();
+    counts.iter_mut().for_each(|c| *c = 0);
+    let banks = counts.len() as u64;
+    let mut degree = 0u32;
+    for &w in words.iter() {
+        let b = (w % banks) as usize;
+        counts[b] += 1;
+        degree = degree.max(counts[b]);
+    }
+    degree
 }
 
 #[cfg(test)]
@@ -755,6 +856,69 @@ mod tests {
             "{} divergent of {}",
             stats.divergent_steps,
             stats.warp_steps
+        );
+    }
+
+    #[test]
+    fn shared_accesses_charge_bank_conflicts_not_dram() {
+        /// Every lane issues `reps` shared reads: either all to distinct
+        /// banks (word stride 1) or all to one bank (word stride = bank
+        /// count), the textbook 32-way conflict.
+        struct SharedKernel {
+            base: u64,
+            word_stride: u64,
+        }
+        struct SharedLane {
+            addr: u64,
+            left: u32,
+        }
+        impl Lane for SharedLane {
+            fn step(&mut self, _mem: &MemView<'_>) -> Effect {
+                if self.left == 0 {
+                    return Effect::Done;
+                }
+                self.left -= 1;
+                Effect::SharedRead {
+                    addr: self.addr,
+                    bytes: 4,
+                    spilled: false,
+                }
+            }
+        }
+        impl Kernel for SharedKernel {
+            type Lane = SharedLane;
+            fn spawn(&self, tid: usize, _total: usize) -> SharedLane {
+                SharedLane {
+                    addr: self.base + tid as u64 * self.word_stride * 4,
+                    left: 64,
+                }
+            }
+        }
+        let (cfg, arena, input, _) = setup(64 * 1024);
+        let lc = LaunchConfig::new(1, 32);
+        let run = |word_stride| {
+            let kernel = SharedKernel {
+                base: input.addr(),
+                word_stride,
+            };
+            simulate(&cfg, &arena, lc, &kernel).unwrap().0
+        };
+        let clean = run(1);
+        let conflicted = run(cfg.shared_banks as u64);
+        // Shared traffic never touches caches, DRAM, or the mem pipeline.
+        for s in [&clean, &conflicted] {
+            assert_eq!(s.transactions, 0);
+            assert_eq!(s.dram_bytes, 0);
+            assert_eq!(s.tex.accesses, 0);
+            assert_eq!(s.shared_accesses, 64 * 32);
+        }
+        assert_eq!(clean.shared_conflict_cycles, 0.0);
+        assert!(conflicted.shared_conflict_cycles > 0.0);
+        assert!(
+            conflicted.sm_cycles > 4.0 * clean.sm_cycles,
+            "conflicted {} vs clean {}",
+            conflicted.sm_cycles,
+            clean.sm_cycles
         );
     }
 

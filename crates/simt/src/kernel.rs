@@ -21,12 +21,36 @@ pub enum Effect {
     Write { addr: u64, bytes: u32, value: u64 },
     /// Pure ALU work.
     Compute { cycles: u32 },
+    /// An on-chip shared-memory load against a scratch window (hash-table
+    /// bucket probes / chain walks). Costs no cache or DRAM traffic; the
+    /// executor charges `shared_latency` scaled by the warp's bank-conflict
+    /// degree. A multi-word access models a linear chain walk over
+    /// consecutive slots. `spilled` marks accesses to tables that exceeded
+    /// the per-warp shared-memory budget and live in global scratch
+    /// instead: those are priced as uncached global loads (L2/DRAM).
+    SharedRead {
+        addr: u64,
+        bytes: u32,
+        spilled: bool,
+    },
+    /// An on-chip shared-memory store (hash-table slot insert). Buffered
+    /// and committed like a global store so the scratch window holds real
+    /// data, but charged through the shared-memory bank model unless
+    /// `spilled` (then it is priced as a write-through global store).
+    SharedWrite {
+        addr: u64,
+        bytes: u32,
+        value: u64,
+        spilled: bool,
+    },
     /// Lane finished; it will not be stepped again.
     Done,
 }
 
 impl Effect {
-    /// Discriminant used for divergence grouping.
+    /// Discriminant used for divergence grouping. Spilled shared accesses
+    /// keep the shared kinds: they are the same instruction in the source
+    /// program, only the modeled backing store differs.
     #[inline]
     pub(crate) fn kind(&self) -> u8 {
         match self {
@@ -34,7 +58,9 @@ impl Effect {
             Effect::Read { cached: false, .. } => 1,
             Effect::Write { .. } => 2,
             Effect::Compute { .. } => 3,
-            Effect::Done => 4,
+            Effect::SharedRead { .. } => 4,
+            Effect::SharedWrite { .. } => 5,
+            Effect::Done => 6,
         }
     }
 }

@@ -93,6 +93,12 @@ pub struct Access {
     pub addr: u64,
     pub bytes: u32,
     pub write: bool,
+    /// Shared-memory-modeled scratch access (hash-table build/probe,
+    /// including spilled tables). Memcheck bounds apply, but initcheck and
+    /// racecheck do not: the kernel initializes its table in-launch behind
+    /// a modeled barrier between the build and probe phases, which the
+    /// pre-launch shadow and the orderless access log cannot represent.
+    pub scratch: bool,
 }
 
 /// The kind of a sanitizer finding.
@@ -531,6 +537,46 @@ impl Shadow {
         }
     }
 
+    /// Bounds-only read classification for scratch (shared-memory-modeled)
+    /// accesses: memcheck and use-after-free apply, initcheck does not —
+    /// hash kernels initialize their tables in-launch, which the pre-launch
+    /// init bitmap cannot see.
+    pub(crate) fn check_read_bounds_into(
+        &self,
+        addr: u64,
+        bytes: u64,
+        lane: Option<u32>,
+        out: &mut Vec<RawViolation>,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        let end = addr + bytes;
+        let mk = |kind, buffer| RawViolation {
+            kind,
+            addr,
+            bytes: bytes as u32,
+            buffer,
+            lane,
+        };
+        match self.locate(addr) {
+            None => out.push(mk(FindingKind::OobRead, None)),
+            Some(a) if !a.live => out.push(mk(FindingKind::UseAfterFreeRead, Some(a.addr))),
+            Some(a) => {
+                let logical_end = a.addr + a.bytes;
+                if end <= logical_end {
+                    // In bounds: clean (no init requirement).
+                } else if end <= logical_end + GUARD_BYTES {
+                    if self.mode >= SanitizerMode::Paranoid {
+                        out.push(mk(FindingKind::GuardRead, Some(a.addr)));
+                    }
+                } else {
+                    out.push(mk(FindingKind::OobRead, Some(a.addr)));
+                }
+            }
+        }
+    }
+
     /// Classify a store of `bytes` at `addr` and append any violations.
     /// Stores get no guard window: every byte must be logically owned.
     pub(crate) fn check_write_into(
@@ -645,7 +691,18 @@ pub(crate) fn check_launch(
     let mut reads: Vec<&Access> = Vec::new();
     let mut writes: Vec<&Access> = Vec::new();
     for a in accesses {
-        if a.write {
+        if a.scratch {
+            // Shared-memory-modeled scratch accesses: memcheck bounds only.
+            // They stay out of the racecheck interval lists and the lint
+            // denominators — the kernel synchronizes its table accesses
+            // (build barrier + warp-synchronous probes), and the coalescing
+            // lint's transaction arithmetic only describes global traffic.
+            if a.write {
+                shadow.check_write_into(a.addr, a.bytes as u64, Some(a.lane), &mut raw);
+            } else {
+                shadow.check_read_bounds_into(a.addr, a.bytes as u64, Some(a.lane), &mut raw);
+            }
+        } else if a.write {
             shadow.check_write_into(a.addr, a.bytes as u64, Some(a.lane), &mut raw);
             writes.push(a);
         } else {
@@ -746,11 +803,11 @@ pub(crate) fn check_launch(
     (findings, lints)
 }
 
-/// Seeded-bug self-test: three intentionally broken kernels — an OOB read,
-/// an uninitialized read, and a write-write race — each of which the
-/// sanitizer must detect. CI runs this (`tcount sanitize-selftest`) to
-/// prove the checks are alive, the mirror image of proving the real suite
-/// clean.
+/// Seeded-bug self-test: four intentionally broken kernels — an OOB read,
+/// an uninitialized read, a write-write race, and a hash-table bucket
+/// probe past its shared scratch window — each of which the sanitizer must
+/// detect. CI runs this (`tcount sanitize-selftest`) to prove the checks
+/// are alive, the mirror image of proving the real suite clean.
 pub mod selftest {
     use super::{FindingKind, SanitizerMode, SanitizerReport};
     use crate::arena::DeviceBuffer;
@@ -842,6 +899,27 @@ pub mod selftest {
         }
     }
 
+    /// Lane 0 probes a hash-table bucket one stride past the end of its
+    /// scratch window — the classic `hash & mask` miscomputation. The
+    /// access is a shared-memory effect, so this proves memcheck covers
+    /// the scratch path even though initcheck/racecheck exempt it.
+    struct HashOobProbeKernel {
+        table: DeviceBuffer<u32>,
+    }
+
+    impl Kernel for HashOobProbeKernel {
+        type Lane = OneShotLane;
+        fn spawn(&self, tid: usize, _total: usize) -> OneShotLane {
+            OneShotLane {
+                effect: (tid == 0).then_some(Effect::SharedRead {
+                    addr: self.table.addr() + self.table.byte_len() + 64,
+                    bytes: 4,
+                    spilled: false,
+                }),
+            }
+        }
+    }
+
     fn seeded_device() -> Device {
         let cfg = DeviceConfig::nvs_5200m()
             .with_unlimited_memory()
@@ -864,10 +942,10 @@ pub mod selftest {
         }
     }
 
-    /// Run the three seeded-bug kernels, each on a fresh sanitized device.
+    /// Run the four seeded-bug kernels, each on a fresh sanitized device.
     pub fn run() -> Vec<SeededBug> {
         let lc = LaunchConfig::new(1, 64);
-        let mut out = Vec::with_capacity(3);
+        let mut out = Vec::with_capacity(4);
 
         let mut dev = seeded_device();
         let data = dev.alloc::<u32>(16).unwrap();
@@ -895,6 +973,13 @@ pub mod selftest {
             FindingKind::WriteWriteRace,
             &dev,
         ));
+
+        let mut dev = seeded_device();
+        let table = dev.alloc::<u32>(256).unwrap();
+        let kernel = HashOobProbeKernel { table };
+        dev.with_phase("selftest", |d| d.launch("SeededHashOobProbe", lc, &kernel))
+            .unwrap();
+        out.push(outcome("hash-oob-probe", FindingKind::OobRead, &dev));
 
         out
     }
@@ -1019,6 +1104,7 @@ mod tests {
                 addr: 8,
                 bytes: 8,
                 write: true,
+                scratch: false,
             })
             .collect();
         let stats = KernelStats::default();
@@ -1049,12 +1135,14 @@ mod tests {
                         addr: lane as u64 * 8,
                         bytes: 8,
                         write: true,
+                        scratch: false,
                     },
                     Access {
                         lane,
                         addr: lane as u64 * 8,
                         bytes: 8,
                         write: false,
+                        scratch: false,
                     },
                 ]
             })
@@ -1068,18 +1156,59 @@ mod tests {
                 addr: 16,
                 bytes: 8,
                 write: true,
+                scratch: false,
             },
             Access {
                 lane: 1,
                 addr: 16,
                 bytes: 8,
                 write: false,
+                scratch: false,
             },
         ];
         let (findings, _) = check_launch(&sh, &racy, &stats, "k", "");
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].kind, FindingKind::ReadWriteRace);
         assert_eq!(findings[0].lane, Some(1));
+    }
+
+    #[test]
+    fn scratch_accesses_skip_init_and_race_but_not_bounds() {
+        let mut sh = Shadow::new(SanitizerMode::Check);
+        sh.on_alloc(0, 256, 512); // scratch table, never initialized
+        let stats = KernelStats::default();
+        // Uninitialized probe, colliding write/read from different lanes:
+        // all clean because the accesses are scratch-synchronized.
+        let synced = vec![
+            Access {
+                lane: 0,
+                addr: 16,
+                bytes: 4,
+                write: true,
+                scratch: true,
+            },
+            Access {
+                lane: 1,
+                addr: 16,
+                bytes: 12, // chain walk across the written slot
+                write: false,
+                scratch: true,
+            },
+        ];
+        let (findings, _) = check_launch(&sh, &synced, &stats, "k", "");
+        assert!(findings.is_empty(), "{findings:?}");
+        // But bounds still apply: a probe past the scratch window is OOB.
+        let oob = vec![Access {
+            lane: 2,
+            addr: 256 + GUARD_BYTES + 64,
+            bytes: 4,
+            write: false,
+            scratch: true,
+        }];
+        let (findings, _) = check_launch(&sh, &oob, &stats, "k", "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::OobRead);
+        assert_eq!(findings[0].lane, Some(2));
     }
 
     #[test]
@@ -1142,9 +1271,9 @@ mod tests {
     }
 
     #[test]
-    fn selftest_detects_all_three_seeded_bugs() {
+    fn selftest_detects_all_four_seeded_bugs() {
         let bugs = selftest::run();
-        assert_eq!(bugs.len(), 3);
+        assert_eq!(bugs.len(), 4);
         for b in &bugs {
             assert!(b.detected, "{} must be detected", b.name);
         }

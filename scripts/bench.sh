@@ -4,8 +4,9 @@
 # Usage: scripts/bench.sh [--scale smoke|bench|paper] [extra repro flags...]
 #
 # Runs the `repro bench` matrix (every suite graph x CPU forward, GTX 980,
-# GTX 980 balanced) and writes BENCH_<n>.json, the per-PR perf trajectory
-# record. Modeled milliseconds are deterministic; host wall milliseconds
+# GTX 980 balanced, GTX 980 balanced+hash) and writes BENCH_<n>.json, the
+# per-PR perf trajectory record. Modeled milliseconds are deterministic;
+# host wall milliseconds
 # live in the per-entry advisory section (nulled when TC_TELEMETRY_CI=1).
 # The emitted artifact is schema-checked before the script exits.
 set -euo pipefail
@@ -35,7 +36,7 @@ import json, os
 path = os.environ["OUT"]
 with open(path) as f:
     doc = json.load(f)
-assert doc["bench"] == 4, f"{path}: bench seq {doc['bench']} != 4"
+assert doc["bench"] == 5, f"{path}: bench seq {doc['bench']} != 5"
 assert doc["entries"], f"{path}: no entries"
 for e in doc["entries"]:
     assert {"graph", "backend", "triangles", "modeled_ms", "advisory"} <= e.keys(), e

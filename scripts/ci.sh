@@ -35,23 +35,24 @@ python3 - <<'PY'
 import json
 with open("/tmp/tc_bench_smoke.json") as f:
     doc = json.load(f)
-assert doc["bench"] == 4 and doc["entries"]
+assert doc["bench"] == 5 and doc["entries"]
 for e in doc["entries"]:
     assert {"graph", "backend", "triangles", "modeled_ms", "advisory"} <= e.keys(), e
     assert "host_wall_ms" not in e, "host_wall_ms must live under advisory"
     adv = e["advisory"]
     assert adv is None or set(adv.keys()) == {"host_wall_ms"}, e
-# The committed prior artifact still parses (old flat schema).
-with open("BENCH_3.json") as f:
-    doc = json.load(f)
-assert doc["bench"] == 3 and doc["entries"]
+# The committed prior artifacts still parse (including the old flat schema).
+for path, seq in [("BENCH_3.json", 3), ("BENCH_4.json", 4)]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == seq and doc["entries"], path
 print("bench artifacts OK")
 PY
 
 echo "==> bench-regression gate (committed artifacts)"
 # Modeled milliseconds are simulator-exact: any drift beyond tolerance in
 # the committed perf trajectory is a real regression.
-scripts/bench_check.sh BENCH_4.json BENCH_3.json > /dev/null
+scripts/bench_check.sh BENCH_5.json BENCH_4.json > /dev/null
 
 echo "==> telemetry determinism gate"
 # The engine's metrics snapshot and unified request trace must be
@@ -113,6 +114,10 @@ echo "==> sanitized smoke gate"
 # memcheck/initcheck/racecheck finding.
 ./target/release/tcount suite:dblp --backend gtx980/sanitize > /dev/null
 ./target/release/tcount suite:kronecker-8 --backend c2050/balanced --sanitize > /dev/null
+# Hash-strategy + reorder token path end to end. At smoke scale the tuner
+# degrades balanced+hash to the plain balanced plan (graceful degradation);
+# the sanitizer integration test covers an actually-engaged hash bin.
+./target/release/tcount suite:citeseer --backend gtx980/balanced+hash/reorder/sanitize > /dev/null
 
 echo "==> sanitizer seeded-bug self-test"
 # The gate above proves the sanitizer stays quiet on clean runs; this one

@@ -22,6 +22,7 @@ MARKERS = {
     "APPROX": "== Section V:",
     "TUNING": "== Section III-C:",
     "BALANCE": "== Balanced scheduling",
+    "HASH": "== Hash intersection",
 }
 
 

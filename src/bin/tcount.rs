@@ -16,9 +16,12 @@
 //! Any simulated-GPU backend takes a `/balanced[:<t>x<w>]` suffix to turn
 //! on the workload-balanced kernel scheduler: `gtx980/balanced` auto-tunes
 //! the bin plan, `gtx980/balanced:16x8` splits at work 16 with a
-//! virtual-warp width of 8 (see DESIGN.md "Kernel scheduling"), and a
-//! `/sanitize[:paranoid]` suffix to run it under the compute-sanitizer
-//! layer (DESIGN.md §12).
+//! virtual-warp width of 8 (see DESIGN.md "Kernel scheduling"), and
+//! `gtx980/balanced+hash` gives the heaviest bin the shared-memory
+//! hash-intersection kernel. A `/reorder` suffix (after the scheduling
+//! clause) relabels vertices by descending degree before orientation, and
+//! a final `/sanitize[:paranoid]` suffix runs the pipeline under the
+//! compute-sanitizer layer (DESIGN.md §12).
 //! ```
 //!
 //! `<path>` may be `suite:<name>` (e.g. `suite:dblp`, `suite:kronecker-9`)
@@ -115,8 +118,9 @@ fn usage() -> ExitCode {
          backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
          \x20         hybrid[:<tau>] | gtx980 | c2050 | nvs5200m | <n>x<device> |\n\
          \x20         <device>/split:<parts>\n\
-         \x20         GPU backends accept /balanced[:<t>x<w>] for the\n\
-         \x20         workload-balanced kernel scheduler and /sanitize[:paranoid]\n\
+         \x20         GPU backends accept /balanced[:<t>x<w>] or /balanced+hash\n\
+         \x20         for the workload-balanced kernel scheduler, /reorder for\n\
+         \x20         degree-descending relabeling, and /sanitize[:paranoid]\n\
          \x20         for the compute-sanitizer layer"
     );
     ExitCode::from(2)

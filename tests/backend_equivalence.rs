@@ -41,6 +41,28 @@ fn all_backends() -> Vec<Backend> {
             options: GpuOptions::new(DeviceConfig::tesla_c2050().with_unlimited_memory()),
             devices: 4,
         },
+        Backend::Gpu(GpuOptions::balanced_hash(
+            DeviceConfig::gtx_980().with_unlimited_memory(),
+        )),
+        Backend::Gpu({
+            let mut o = GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory());
+            o.reorder = true;
+            o
+        }),
+        Backend::Gpu({
+            let mut o = GpuOptions::balanced_hash(DeviceConfig::gtx_980().with_unlimited_memory());
+            o.reorder = true;
+            o
+        }),
+        Backend::MultiGpu {
+            options: {
+                let mut o =
+                    GpuOptions::balanced(DeviceConfig::tesla_c2050().with_unlimited_memory());
+                o.reorder = true;
+                o
+            },
+            devices: 2,
+        },
     ]
 }
 

@@ -38,10 +38,15 @@ fn devices() -> [(&'static str, DeviceConfig); 2] {
     ]
 }
 
-fn schedules() -> [(&'static str, KernelSchedule); 2] {
+/// (token, schedule, reorder) variants. `balanced+hash` degrades to the
+/// plain balanced plan on thin-tailed smoke graphs — identical rows there
+/// are the graceful-degradation guarantee, not a snapshot bug.
+fn variants() -> [(&'static str, KernelSchedule, bool); 4] {
     [
-        ("tpe", KernelSchedule::ThreadPerEdge),
-        ("balanced", KernelSchedule::Balanced),
+        ("tpe", KernelSchedule::ThreadPerEdge, false),
+        ("balanced", KernelSchedule::Balanced, false),
+        ("balanced+hash", KernelSchedule::BalancedHash, false),
+        ("tpe/reorder", KernelSchedule::ThreadPerEdge, true),
     ]
 }
 
@@ -56,9 +61,10 @@ fn snapshot() -> String {
             .find(|r| r.name == name)
             .unwrap_or_else(|| panic!("{name} missing from the smoke suite"));
         for (dev_tok, device) in devices() {
-            for (sched_tok, schedule) in schedules() {
+            for (sched_tok, schedule, reorder) in variants() {
                 let mut opts = GpuOptions::new(device.clone().with_unlimited_memory());
                 opts.schedule = schedule;
+                opts.reorder = reorder;
                 let report = run_gpu_pipeline(&row.graph, &opts)
                     .unwrap_or_else(|e| panic!("{name}/{dev_tok}/{sched_tok}: {e}"));
                 let k = &report.kernel;

@@ -98,6 +98,67 @@ fn count_is_relabeling_invariant() {
     }
 }
 
+/// Degree-descending reordering (`/reorder`) must be a pure relabeling:
+/// identical triangle counts on every suite graph × device preset ×
+/// schedule, and the input graph's canonical digest untouched (the pass
+/// works on device copies, never the host arrays).
+#[test]
+fn degree_reordering_is_a_pure_relabeling_across_suite_and_presets() {
+    use triangles::gen::suite::{full_suite, Scale};
+    for row in full_suite(Scale::Smoke) {
+        let digest = row.graph.digest();
+        let mut counts = std::collections::BTreeMap::new();
+        for device in ["gtx980", "c2050", "nvs5200m"] {
+            for schedule in ["", "/balanced", "/balanced+hash"] {
+                let plain = count(&row.graph, format!("{device}{schedule}").parse().unwrap())
+                    .unwrap_or_else(|e| panic!("{} {device}{schedule}: {e}", row.name));
+                let reordered = count(
+                    &row.graph,
+                    format!("{device}{schedule}/reorder").parse().unwrap(),
+                )
+                .unwrap_or_else(|e| panic!("{} {device}{schedule}/reorder: {e}", row.name));
+                assert_eq!(
+                    plain, reordered,
+                    "{} on {device}{schedule}: reorder changed the count",
+                    row.name
+                );
+                counts.insert(format!("{device}{schedule}"), plain);
+            }
+        }
+        // Every preset × schedule agrees with every other.
+        assert!(
+            counts.values().all(|&c| c == counts["gtx980"]),
+            "{}: presets disagree: {counts:?}",
+            row.name
+        );
+        assert_eq!(
+            row.graph.digest(),
+            digest,
+            "{}: reordering mutated the input graph",
+            row.name
+        );
+    }
+}
+
+/// Reordering composes with the random-relabeling invariance: reordering a
+/// randomly relabeled graph still reports the original count.
+#[test]
+fn reordering_is_relabeling_invariant_on_random_graphs() {
+    for case in 0..CASES / 4 {
+        let g = random_graph(case);
+        let expected = count_brute_force(&g);
+        let perm = random_permutation(g.num_nodes(), case * 13 + 5);
+        let h = relabel(&g, &perm);
+        for token in ["gtx980/reorder", "gtx980/balanced+hash/reorder"] {
+            assert_eq!(
+                count(&h, token.parse().unwrap()).unwrap(),
+                expected,
+                "case {case} on {token}"
+            );
+        }
+    }
+}
+
 #[test]
 fn count_ignores_arc_order() {
     for case in 0..CASES {

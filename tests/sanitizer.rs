@@ -62,6 +62,51 @@ fn multi_gpu_and_split_backends_are_clean_and_report() {
     }
 }
 
+/// The hash-intersection heavy bin must be sanitizer-clean while it is
+/// actually exercising the shared-memory table (the smoke suite's tails
+/// are too thin for the tuner, so this uses a clique — every edge's
+/// chunk-scan work is far above the hash threshold).
+#[test]
+fn hash_strategy_runs_clean_under_the_sanitizer() {
+    use triangles::core::count::GpuOptions;
+    use triangles::core::gpu::prepared::PreparedGraph;
+    use triangles::simt::DeviceConfig;
+
+    let n = 80u32;
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    let g = EdgeArray::from_undirected_pairs(pairs);
+    let want = count_forward(&g).unwrap();
+
+    // The tuner must actually give this graph a hash bin — otherwise the
+    // sanitized runs below wouldn't exercise the hash kernel at all.
+    let opts = GpuOptions::balanced_hash(DeviceConfig::gtx_980().with_unlimited_memory());
+    let prepared = PreparedGraph::prepare(&g, &opts).unwrap();
+    assert!(
+        prepared
+            .bin_plan()
+            .is_some_and(|p| p.occupied().any(|b| b.hash)),
+        "clique must earn a hash bin"
+    );
+    prepared.release().unwrap();
+
+    for token in [
+        "gtx980/balanced+hash/sanitize",
+        "gtx980/balanced+hash/reorder/sanitize",
+        "2xc2050/balanced+hash/sanitize",
+    ] {
+        let result = sanitized_run(&g, token);
+        assert_eq!(result.triangles, want, "{token}");
+        let report = result.sanitizer.as_ref().expect("report present");
+        assert_eq!(report.mode, SanitizerMode::Check, "{token}");
+        assert!(report.is_clean(), "{token}:\n{}", report.to_json());
+    }
+}
+
 #[test]
 fn seeded_bugs_are_detected_with_byte_identical_reports() {
     let first = selftest::run();
