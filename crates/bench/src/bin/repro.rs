@@ -6,7 +6,7 @@
 //!
 //! experiments: table1 | table2 | figure1 | ablations | amdahl |
 //!              input-format | approx | tuning | profile | throughput |
-//!              balance | hash | all
+//!              balance | hash | cluster | all
 //! ```
 //!
 //! `profile` prints the counting-kernel hardware counters for every suite
@@ -19,8 +19,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tc_bench::experiments::{
-    ablations, amdahl, approx_comparison, balance, bench_json, figure1, hash, input_format,
-    profile, table1, table2, throughput, tuning, ExpConfig,
+    ablations, amdahl, approx_comparison, balance, bench_json, cluster, figure1, hash,
+    input_format, profile, table1, table2, throughput, tuning, ExpConfig,
 };
 use tc_bench::report::Table;
 use tc_gen::{Scale, Seed};
@@ -36,7 +36,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|balance|hash|bench|all>\n\
+        "usage: repro <table1|table2|figure1|ablations|amdahl|input-format|approx|tuning|profile|throughput|balance|hash|cluster|bench|all>\n\
          \x20       [--scale smoke|bench|large] [--repeats N] [--seed S] [--csv DIR] [--out FILE]\n\
          \x20       [--check PRIOR_BENCH_JSON] [--check-tolerance FRAC]\n\
          \x20 bench: set TC_TELEMETRY_CI=1 to null the advisory (host-wall) section;\n\
@@ -140,6 +140,7 @@ fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
         "throughput" => emit(throughput::render(&throughput::run(cfg)), csv_dir),
         "balance" => emit(balance::render(&balance::run(cfg)), csv_dir),
         "hash" => emit(hash::render(&hash::run(cfg)), csv_dir),
+        "cluster" => emit(cluster::render(&cluster::run(cfg)), csv_dir),
         "bench" => {
             let entries = bench_json::run(cfg);
             emit(bench_json::render(&entries), csv_dir);
@@ -202,6 +203,7 @@ fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
                 "throughput",
                 "balance",
                 "hash",
+                "cluster",
             ] {
                 run_experiment_named(exp, args)?;
             }

@@ -1,8 +1,9 @@
 //! `repro bench` — the machine-readable perf trajectory artifact.
 //!
 //! Runs every suite graph against a fixed backend matrix (CPU forward,
-//! the paper's GTX 980 pipeline, the workload-balanced scheduler, and the
-//! balanced scheduler with the hash-intersection heavy bin) and
+//! the paper's GTX 980 pipeline, the workload-balanced scheduler, the
+//! balanced scheduler with the hash-intersection heavy bin, and a 2×2
+//! sharded cluster on the balanced schedule) and
 //! emits one `BENCH_<n>.json` at the repo root per PR so modeled and
 //! host-wall times can be tracked across the project's history. Modeled
 //! milliseconds are deterministic (the simulator is exact); host wall
@@ -24,19 +25,19 @@ use crate::report::Table;
 
 use super::ExpConfig;
 
-/// The bench artifact's schema/sequence number: `BENCH_5.json` belongs to
-/// the PR that added the hash-intersection heavy bin and degree-descending
-/// reordering to the backend matrix.
-pub const BENCH_SEQ: u32 = 5;
+/// The bench artifact's schema/sequence number: `BENCH_6.json` belongs to
+/// the PR that added the sharded cluster engine to the backend matrix.
+pub const BENCH_SEQ: u32 = 6;
 
 /// Backend tokens benched per graph (parsed through the canonical
 /// [`Backend`] grammar, so the JSON records exactly the tokens a user
 /// would pass to `tcount`).
-pub const BACKENDS: [&str; 4] = [
+pub const BACKENDS: [&str; 5] = [
     "forward",
     "gtx980",
     "gtx980/balanced",
     "gtx980/balanced+hash",
+    "cluster:2x2/gtx980/balanced",
 ];
 
 /// One graph × backend measurement.
@@ -275,7 +276,7 @@ mod tests {
             }
         }
         let json = to_json(&entries, &cfg);
-        assert!(json.starts_with("{\n  \"bench\": 5,\n"));
+        assert!(json.starts_with("{\n  \"bench\": 6,\n"));
         assert!(json.ends_with("]\n}\n"));
         assert_eq!(json.matches("\"graph\":").count(), entries.len());
         assert_eq!(

@@ -7,6 +7,7 @@ pub mod amdahl;
 pub mod approx_comparison;
 pub mod balance;
 pub mod bench_json;
+pub mod cluster;
 pub mod figure1;
 pub mod hash;
 pub mod input_format;

@@ -6,10 +6,11 @@ use std::time::Instant;
 
 use tc_graph::EdgeArray;
 use tc_simt::profiler::ProfileReport;
-use tc_simt::{DeviceConfig, LaunchConfig, SanitizerMode, SanitizerReport};
+use tc_simt::{ClusterTopology, DeviceConfig, LaunchConfig, SanitizerMode, SanitizerReport};
 
 use crate::cpu;
 use crate::error::{CoreError, ErrorContext};
+use crate::gpu::cluster::{run_cluster, run_cluster_profiled, ClusterPartition};
 use crate::gpu::multi::{merged_profile, run_multi_gpu, run_multi_gpu_profiled};
 use crate::gpu::pipeline::{run_gpu_pipeline, run_gpu_pipeline_profiled, GpuReport};
 use crate::gpu::{EdgeLayout, KernelSchedule, LoopVariant};
@@ -119,6 +120,16 @@ pub enum Backend {
     /// subproblem within bounded device memory (§VI future work, scheme
     /// of \[5\]).
     GpuSplit { options: GpuOptions, parts: usize },
+    /// A sharded multi-node cluster (DistTC-style partition-aware
+    /// ownership): `nodes` × `devices_per_node` simulated devices joined
+    /// by a modeled interconnect, each holding only its shard of the
+    /// oriented arcs plus the boundary adjacency it reads.
+    Cluster {
+        options: GpuOptions,
+        nodes: usize,
+        devices_per_node: usize,
+        partition: ClusterPartition,
+    },
 }
 
 impl Backend {
@@ -142,6 +153,17 @@ impl Backend {
         Backend::MultiGpu {
             options: GpuOptions::new(DeviceConfig::tesla_c2050()),
             devices,
+        }
+    }
+
+    /// A `nodes` × `devices_per_node` cluster of simulated GTX 980s with
+    /// 1D partitioning and the paper's defaults.
+    pub fn cluster_gtx980(nodes: usize, devices_per_node: usize) -> Self {
+        Backend::Cluster {
+            options: GpuOptions::new(DeviceConfig::gtx_980()),
+            nodes,
+            devices_per_node,
+            partition: ClusterPartition::OneD,
         }
     }
 
@@ -179,6 +201,22 @@ impl Backend {
             Backend::GpuSplit { options, parts } => {
                 format!("gpu-split({}, {} parts)", options.device.name, parts)
             }
+            Backend::Cluster {
+                options,
+                nodes,
+                devices_per_node,
+                partition,
+            } => {
+                let reorder = if options.reorder { ", reorder" } else { "" };
+                let sched = match options.schedule {
+                    KernelSchedule::ThreadPerEdge => String::new(),
+                    s => format!(", {s}"),
+                };
+                format!(
+                    "cluster-sim({nodes}x{devices_per_node}, {}, {partition}{sched}{reorder})",
+                    options.device.name
+                )
+            }
         }
     }
 
@@ -189,7 +227,10 @@ impl Backend {
     pub fn is_modeled(&self) -> bool {
         matches!(
             self,
-            Backend::Gpu(_) | Backend::MultiGpu { .. } | Backend::GpuSplit { .. }
+            Backend::Gpu(_)
+                | Backend::MultiGpu { .. }
+                | Backend::GpuSplit { .. }
+                | Backend::Cluster { .. }
         )
     }
 
@@ -197,9 +238,9 @@ impl Backend {
     fn schedule_mut(&mut self) -> Option<&mut KernelSchedule> {
         match self {
             Backend::Gpu(o) => Some(&mut o.schedule),
-            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
-                Some(&mut options.schedule)
-            }
+            Backend::MultiGpu { options, .. }
+            | Backend::GpuSplit { options, .. }
+            | Backend::Cluster { options, .. } => Some(&mut options.schedule),
             _ => None,
         }
     }
@@ -208,9 +249,9 @@ impl Backend {
     fn reorder_mut(&mut self) -> Option<&mut bool> {
         match self {
             Backend::Gpu(o) => Some(&mut o.reorder),
-            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
-                Some(&mut options.reorder)
-            }
+            Backend::MultiGpu { options, .. }
+            | Backend::GpuSplit { options, .. }
+            | Backend::Cluster { options, .. } => Some(&mut options.reorder),
             _ => None,
         }
     }
@@ -219,9 +260,9 @@ impl Backend {
     fn sanitizer_mut(&mut self) -> Option<&mut SanitizerMode> {
         match self {
             Backend::Gpu(o) => Some(&mut o.sanitizer),
-            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
-                Some(&mut options.sanitizer)
-            }
+            Backend::MultiGpu { options, .. }
+            | Backend::GpuSplit { options, .. }
+            | Backend::Cluster { options, .. } => Some(&mut options.sanitizer),
             _ => None,
         }
     }
@@ -242,9 +283,9 @@ impl Backend {
     pub fn sanitizer(&self) -> SanitizerMode {
         match self {
             Backend::Gpu(o) => o.sanitizer,
-            Backend::MultiGpu { options, .. } | Backend::GpuSplit { options, .. } => {
-                options.sanitizer
-            }
+            Backend::MultiGpu { options, .. }
+            | Backend::GpuSplit { options, .. }
+            | Backend::Cluster { options, .. } => options.sanitizer,
             _ => SanitizerMode::Off,
         }
     }
@@ -338,6 +379,25 @@ impl fmt::Display for Backend {
                 f.write_str(reorder_suffix(options.reorder))?;
                 f.write_str(sanitize_suffix(options.sanitizer))
             }
+            Backend::Cluster {
+                options,
+                nodes,
+                devices_per_node,
+                partition,
+            } => {
+                write!(
+                    f,
+                    "cluster:{nodes}x{devices_per_node}{}",
+                    partition.token_suffix()
+                )?;
+                match device_token(options.device.name) {
+                    Some(tok) => write!(f, "/{tok}")?,
+                    None => write!(f, "/gpu:{}", options.device.name)?,
+                }
+                f.write_str(&options.schedule.token_suffix())?;
+                f.write_str(reorder_suffix(options.reorder))?;
+                f.write_str(sanitize_suffix(options.sanitizer))
+            }
         }
     }
 }
@@ -353,10 +413,10 @@ impl fmt::Display for ParseBackendError {
         write!(
             f,
             "unknown backend {:?} (expected forward, edge-iterator, node-iterator, hashed, \
-             parallel, hybrid[:<tau>], gtx980, c2050, nvs5200m, <n>x<device>, or \
-             <device>/split:<parts>, each GPU form optionally followed by \
-             /balanced[:<t>x<w>] or /balanced+hash, then /reorder, then \
-             /sanitize[:paranoid])",
+             parallel, hybrid[:<tau>], gtx980, c2050, nvs5200m, <n>x<device>, \
+             <device>/split:<parts>, or cluster:<n>x<m>[:2d]/<device>, each GPU form \
+             optionally followed by /balanced[:<t>x<w>] or /balanced+hash, then /reorder, \
+             then /sanitize[:paranoid])",
             self.token
         )
     }
@@ -378,6 +438,11 @@ impl FromStr for Backend {
     /// scheduling clause; the compute-sanitizer is a final
     /// `/sanitize[:paranoid]` suffix on any GPU form.
     ///
+    /// A sharded cluster is `cluster:<n>x<m>[:2d]/<device>` — `n` nodes of
+    /// `m` devices each, 1D edge partitioning by default, `:2d` for the
+    /// two-dimensional owner × target grid — and composes with the same
+    /// suffixes: `cluster:2x2/gtx980/balanced`.
+    ///
     /// ```
     /// use tc_core::Backend;
     ///
@@ -396,6 +461,9 @@ impl FromStr for Backend {
     ///     "c2050/sanitize:paranoid",
     ///     "gtx980/balanced/sanitize",
     ///     "gtx980/balanced/reorder/sanitize",
+    ///     "cluster:2x2/gtx980",
+    ///     "cluster:4x2:2d/c2050",
+    ///     "cluster:2x2/gtx980/balanced",
     /// ] {
     ///     let b: Backend = token.parse().unwrap();
     ///     assert_eq!(b.to_string(), token, "canonical tokens round-trip");
@@ -448,6 +516,27 @@ impl FromStr for Backend {
         if let Some(tau) = s.strip_prefix("hybrid:") {
             let t = tau.parse::<u32>().map_err(|_| err())?;
             return Ok(Backend::CpuHybrid { threshold: Some(t) });
+        }
+        // `cluster:<n>x<m>[:2d]/<device>`: a sharded multi-node cluster.
+        if let Some(rest) = s.strip_prefix("cluster:") {
+            let (topo, devtok) = rest.split_once('/').ok_or_else(err)?;
+            let (topo, partition) = match topo.strip_suffix(":2d") {
+                Some(t) => (t, ClusterPartition::TwoD),
+                None => (topo, ClusterPartition::OneD),
+            };
+            let (n, m) = topo.split_once('x').ok_or_else(err)?;
+            let nodes = n.parse::<usize>().map_err(|_| err())?;
+            let devices_per_node = m.parse::<usize>().map_err(|_| err())?;
+            if nodes == 0 || devices_per_node == 0 {
+                return Err(err());
+            }
+            let dev = device_for_token(devtok).ok_or_else(err)?;
+            return Ok(Backend::Cluster {
+                options: GpuOptions::new(dev),
+                nodes,
+                devices_per_node,
+                partition,
+            });
         }
         if let Some(dev) = device_for_token(s) {
             return Ok(Backend::Gpu(GpuOptions::new(dev)));
@@ -616,6 +705,28 @@ impl CountRequest {
                     sanitizer: report.sanitizer,
                     gpu: None,
                     profile: None,
+                })
+            }
+            Backend::Cluster {
+                options,
+                nodes,
+                devices_per_node,
+                partition,
+            } => {
+                let topology = ClusterTopology::new(*nodes, *devices_per_node);
+                let (report, profile) = if self.profile {
+                    let (report, traces) = run_cluster_profiled(g, options, topology, *partition)?;
+                    (report, Some(merged_profile(&traces)))
+                } else {
+                    (run_cluster(g, options, topology, *partition)?, None)
+                };
+                Ok(TriangleCount {
+                    triangles: report.triangles,
+                    backend: label,
+                    seconds: report.total_s,
+                    sanitizer: report.sanitizer,
+                    gpu: None,
+                    profile,
                 })
             } // `Backend` is non_exhaustive for downstream crates; within
               // this crate the match stays exhaustive so a new variant is a
@@ -790,6 +901,16 @@ mod tests {
             "gtx980/split:3/balanced/sanitize",
             "gtx980/reorder/sanitize",
             "gtx980/balanced+hash/reorder/sanitize:paranoid",
+            "cluster:1x1/gtx980",
+            "cluster:2x2/gtx980",
+            "cluster:4x2/c2050",
+            "cluster:2x2:2d/gtx980",
+            "cluster:2x2/gtx980/balanced",
+            "cluster:2x2/gtx980/balanced+hash",
+            "cluster:2x2:2d/c2050/balanced:16x8",
+            "cluster:2x2/gtx980/reorder",
+            "cluster:2x2/gtx980/sanitize",
+            "cluster:2x2:2d/gtx980/balanced/reorder/sanitize:paranoid",
         ];
         for tok in canonical {
             let b: Backend = tok.parse().unwrap_or_else(|e| panic!("{tok}: {e}"));
@@ -821,6 +942,14 @@ mod tests {
             "gtx980/reorder/balanced",
             "gtx980/sanitize/reorder",
             "/reorder",
+            "cluster:",
+            "cluster:2x2",
+            "cluster:0x2/gtx980",
+            "cluster:2x0/gtx980",
+            "cluster:2/gtx980",
+            "cluster:2x2:3d/gtx980",
+            "cluster:2x2/warp9",
+            "cluster:axb/gtx980",
         ] {
             assert!(bad.parse::<Backend>().is_err(), "{bad:?} must not parse");
         }

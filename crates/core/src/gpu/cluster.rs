@@ -1,0 +1,1093 @@
+//! Sharded cluster counting: DistTC-style partition-aware ownership.
+//!
+//! The paper's multi-GPU scheme (§III-E, [`super::multi`]) broadcasts the
+//! whole oriented CSR to every device, so the largest countable graph is
+//! capped by *single-device* memory no matter how many cards participate.
+//! Distributed triangle counters (DistTC, TRUST) scale past that by
+//! *partitioning* edge ownership: each device holds only the arcs it owns
+//! plus the boundary adjacency those arcs' intersections read.
+//!
+//! This module is that scheme on the simulated cluster of
+//! [`tc_simt::cluster`]:
+//!
+//! 1. the host orients the graph globally (the same degree order the GPU
+//!    preprocessing produces, so per-arc counts are independent of the
+//!    partition);
+//! 2. the oriented arcs are split into one shard per device — 1D
+//!    contiguous owner ranges or a 2D (owner, target) grid, both balanced
+//!    by the scheduler's per-edge work estimate
+//!    ([`crate::gpu::schedule::edge_work`]);
+//! 3. each shard becomes a compact sub-CSR — local endpoint indices over
+//!    the shard's referenced-vertex set, adjacency values kept *global* so
+//!    intersections compare true vertex ids — and is uploaded to its
+//!    device, crossing the modeled interconnect for nodes past the first;
+//! 4. every device runs the existing merge / chunk-scan / hash kernels
+//!    over its shard (per-shard bin plans reuse the same static tuner);
+//! 5. the per-shard counts merge in flat device-index order, each remote
+//!    shard charging one interconnect message — a fixed summation order,
+//!    so the total is byte-identical across runs and worker counts.
+//!
+//! **Exactness.** Orientation happens once, globally, before partitioning;
+//! the shards partition the oriented arc multiset. The forward algorithm's
+//! per-arc count `|N⁺(u) ∩ N⁺(v)|` depends only on the two full adjacency
+//! rows, which every owning shard replicates in full. Summing disjoint
+//! per-arc counts therefore reproduces the single-device total exactly —
+//! not approximately — whatever the topology.
+
+use std::fmt;
+
+use tc_graph::{Csr, EdgeArray, Orientation};
+use tc_simt::primitives::{charge_transform_pass, reduce_sum_u64, sort_u64};
+use tc_simt::profiler::{relative_spans, ProfileReport, RelSpan};
+use tc_simt::{
+    Cluster, ClusterTopology, DeviceBuffer, Interconnect, KernelStats, LaunchConfig,
+    SanitizerReport,
+};
+
+use crate::count::GpuOptions;
+use crate::error::{CoreError, ErrorContext};
+use crate::gpu::count_kernel::{CountKernel, KernelArrays};
+use crate::gpu::pipeline::RunTrace;
+use crate::gpu::schedule::{bin_specs, Bin, BinPlan};
+use crate::gpu::warp_centric::{
+    hash_scratch_len, hash_shared_slots, IntersectStrategy, WarpCentricKernel,
+};
+use crate::gpu::EdgeLayout;
+
+/// How the oriented arcs are split across the cluster's devices.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterPartition {
+    /// 1D: contiguous owner-vertex ranges, one per device, balanced by the
+    /// per-edge work estimate. Low replication (each shard's owner rows
+    /// appear exactly once cluster-wide) but boundary targets are
+    /// replicated wherever they are referenced.
+    #[default]
+    OneD,
+    /// 2D: an N×M grid — owner-vertex row blocks (one per node) × target-
+    /// vertex column blocks (one per device within the node). Bounds the
+    /// per-shard referenced-vertex set by a row block plus a column block,
+    /// the classic 2D decomposition of DistTC-style counters.
+    TwoD,
+}
+
+impl ClusterPartition {
+    /// The backend-token suffix selecting this partition (`""` for the
+    /// default 1D, `":2d"` for 2D).
+    pub fn token_suffix(&self) -> &'static str {
+        match self {
+            ClusterPartition::OneD => "",
+            ClusterPartition::TwoD => ":2d",
+        }
+    }
+
+    /// Short lowercase label (`"1d"` / `"2d"`) for reports and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClusterPartition::OneD => "1d",
+            ClusterPartition::TwoD => "2d",
+        }
+    }
+}
+
+impl fmt::Display for ClusterPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One shard's host-side arrays, ready for upload.
+struct HostShard {
+    /// Local owner indices into the shard's referenced-vertex set.
+    eu: Vec<u32>,
+    /// Local target indices.
+    ev: Vec<u32>,
+    /// Local CSR offsets over the referenced vertices' full rows.
+    node: Vec<u32>,
+    /// Concatenated adjacency rows — values stay *global* vertex ids, so
+    /// intersection-by-value is exact across shards.
+    nbr: Vec<u32>,
+    /// Per-arc work estimate (min endpoint out-degree), for the bin plan.
+    work: Vec<u32>,
+}
+
+impl HostShard {
+    fn arcs(&self) -> usize {
+        self.eu.len()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.work.iter().map(|&w| w as u64).sum()
+    }
+}
+
+/// Split `[0, n)` into `parts` contiguous blocks balanced by the prefix
+/// weight array (`prefix[i]` = total weight of vertices `< i`). Returns
+/// the `parts + 1` block starts. Deterministic: targets are exact integer
+/// fractions of the total, boundaries their partition points.
+fn balanced_blocks(prefix: &[u64], parts: usize) -> Vec<usize> {
+    let n = prefix.len() - 1;
+    let total = prefix[n];
+    let mut starts = Vec::with_capacity(parts + 1);
+    starts.push(0);
+    for s in 1..parts {
+        let target = total * s as u64 / parts as u64;
+        starts.push(prefix.partition_point(|&x| x < target).min(n));
+    }
+    starts.push(n);
+    starts
+}
+
+/// The block a vertex falls in, given the block starts.
+#[inline]
+fn block_of(starts: &[usize], v: u32) -> usize {
+    starts.partition_point(|&b| b <= v as usize) - 1
+}
+
+/// Partition the oriented CSR into one [`HostShard`] per device.
+fn build_shards(
+    csr: &Csr,
+    topology: ClusterTopology,
+    partition: ClusterPartition,
+) -> Vec<HostShard> {
+    let n = csr.num_nodes();
+    let shards_total = topology.num_devices();
+    let deg = |v: u32| csr.degree(v);
+
+    // Per-vertex work: the sum of this row's per-arc estimates — exactly
+    // what the balanced scheduler bins by, reused at the partition level.
+    let mut work_prefix = Vec::with_capacity(n + 1);
+    work_prefix.push(0u64);
+    let mut acc = 0u64;
+    for u in 0..n as u32 {
+        for &v in csr.neighbors(u) {
+            acc += deg(u).min(deg(v)) as u64;
+        }
+        work_prefix.push(acc);
+    }
+
+    // The shard index of each arc.
+    let shard_of: Box<dyn Fn(u32, u32) -> usize> = match partition {
+        ClusterPartition::OneD => {
+            let starts = balanced_blocks(&work_prefix, shards_total);
+            Box::new(move |u, _v| block_of(&starts, u))
+        }
+        ClusterPartition::TwoD => {
+            // Rows: owner blocks balanced by work, one per node. Columns:
+            // target blocks balanced by oriented in-degree (arcs landing in
+            // the block), one per device within a node.
+            let row_starts = balanced_blocks(&work_prefix, topology.nodes);
+            let mut indeg = vec![0u64; n];
+            for &v in csr.targets() {
+                indeg[v as usize] += 1;
+            }
+            let mut indeg_prefix = Vec::with_capacity(n + 1);
+            indeg_prefix.push(0u64);
+            let mut acc = 0u64;
+            for d in indeg {
+                acc += d;
+                indeg_prefix.push(acc);
+            }
+            let col_starts = balanced_blocks(&indeg_prefix, topology.devices_per_node);
+            let cols = topology.devices_per_node;
+            Box::new(move |u, v| block_of(&row_starts, u) * cols + block_of(&col_starts, v))
+        }
+    };
+
+    // Assign arcs in global CSR order (owner ascending, target ascending
+    // within a row) — the shard arc order is a pure function of the graph.
+    let mut arcs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); shards_total];
+    for u in 0..n as u32 {
+        for &v in csr.neighbors(u) {
+            arcs[shard_of(u, v)].push((u, v));
+        }
+    }
+
+    arcs.into_iter()
+        .map(|list| {
+            // Referenced vertices: every endpoint, sorted ascending by
+            // global id — the shard's local id space.
+            let mut verts: Vec<u32> = list.iter().flat_map(|&(u, v)| [u, v]).collect();
+            verts.sort_unstable();
+            verts.dedup();
+            let local = |x: u32| verts.binary_search(&x).expect("endpoint in vertex set") as u32;
+            let mut node = Vec::with_capacity(verts.len() + 1);
+            node.push(0u32);
+            let mut nbr = Vec::new();
+            for &v in &verts {
+                nbr.extend_from_slice(csr.neighbors(v));
+                node.push(nbr.len() as u32);
+            }
+            let eu: Vec<u32> = list.iter().map(|&(u, _)| local(u)).collect();
+            let ev: Vec<u32> = list.iter().map(|&(_, v)| local(v)).collect();
+            let work: Vec<u32> = list.iter().map(|&(u, v)| deg(u).min(deg(v))).collect();
+            HostShard {
+                eu,
+                ev,
+                node,
+                nbr,
+                work,
+            }
+        })
+        .collect()
+}
+
+/// One shard resident on its device.
+#[derive(Debug)]
+struct ShardOnDevice {
+    m: usize,
+    eu: DeviceBuffer<u32>,
+    ev: DeviceBuffer<u32>,
+    node: DeviceBuffer<u32>,
+    nbr: DeviceBuffer<u32>,
+    result: DeviceBuffer<u64>,
+    plan: Option<BinPlan>,
+    hash_scratch: Option<DeviceBuffer<u32>>,
+}
+
+/// A graph sharded across a simulated cluster, ready to serve counts —
+/// the cluster analog of [`super::prepared::PreparedGraph`].
+#[derive(Debug)]
+pub struct PreparedCluster {
+    cluster: Cluster,
+    opts: GpuOptions,
+    partition: ClusterPartition,
+    lc: LaunchConfig,
+    total_threads: usize,
+    shards: Vec<ShardOnDevice>,
+    per_shard_arcs: Vec<usize>,
+    imbalance: f64,
+    digest: u64,
+    prepare_s: f64,
+    prepare_trace: Vec<RelSpan>,
+    counts_served: u64,
+}
+
+/// One count served from a [`PreparedCluster`]: the per-shard kernel
+/// phases plus the internode merge.
+#[derive(Clone, Debug)]
+pub struct ClusterCount {
+    pub triangles: u64,
+    /// Modeled seconds of this count: the slowest shard's kernel + reduce
+    /// + merge-message window (shards run in parallel).
+    pub count_s: f64,
+    /// Per-shard modeled seconds, flat device order.
+    pub per_shard_s: Vec<f64>,
+    /// The slowest kernel launch across every shard and bin.
+    pub kernel: KernelStats,
+    /// Merged per-shard profile of exactly this count's ops.
+    pub profile: ProfileReport,
+    /// Per-shard spans on a clock-base-free relative timeline, flat device
+    /// order (paths `shard-count/...`, `internode-merge`).
+    pub trace: Vec<RelSpan>,
+}
+
+impl PreparedCluster {
+    /// Shard `g` across a fresh `topology.num_devices()`-device cluster:
+    /// orient globally on the host, partition the oriented arcs, upload
+    /// each shard (crossing the modeled interconnect for nodes past the
+    /// first), and build per-shard bin plans.
+    pub fn prepare(
+        g: &EdgeArray,
+        opts: &GpuOptions,
+        topology: ClusterTopology,
+        partition: ClusterPartition,
+    ) -> Result<PreparedCluster, CoreError> {
+        assert!(
+            opts.layout == EdgeLayout::SoA,
+            "the cluster path dispatches gathered endpoint arrays (SoA only)"
+        );
+        // The per-run sanitizer request folds into the device preset so
+        // every shard device installs its shadow map at construction.
+        let mut cfg = opts.device.clone();
+        cfg.sanitizer = cfg.sanitizer.max(opts.sanitizer);
+        let mut cluster = Cluster::homogeneous(topology, Interconnect::default(), cfg);
+        if opts.preinit_context {
+            cluster.preinit_all();
+        }
+        cluster.reset_clocks();
+
+        let lc = opts
+            .launch
+            .unwrap_or_else(|| cluster.device(0).config().paper_launch());
+        let lc = LaunchConfig {
+            blocks: lc.blocks * opts.warp_split,
+            threads_per_block: lc.threads_per_block,
+            warp_split: opts.warp_split,
+        };
+        let total_threads = lc.active_threads(cluster.device(0).config().warp_size);
+
+        // ---- global orientation on the host ----
+        // The cluster front-end plays DistTC's distributed loader: the
+        // orientation (and the optional degree-descending relabel) happens
+        // once, host-side, before any shard exists — so every shard
+        // partitions the *same* oriented arc multiset and per-arc counts
+        // cannot depend on the topology. The modeled device window starts
+        // at the shard uploads.
+        let orient = if opts.reorder {
+            let ranks = reorder_ranks(g);
+            Orientation::forward_with_ranks(g, &ranks)?
+        } else {
+            Orientation::forward(g)?
+        };
+        let host_shards = build_shards(&orient.csr, topology, partition);
+        let per_shard_arcs: Vec<usize> = host_shards.iter().map(HostShard::arcs).collect();
+        let shard_works: Vec<u64> = host_shards.iter().map(HostShard::total_work).collect();
+        let total_work: u64 = shard_works.iter().sum();
+        let imbalance = if total_work == 0 {
+            1.0
+        } else {
+            let mean = total_work as f64 / shard_works.len() as f64;
+            shard_works.iter().copied().max().unwrap_or(0) as f64 / mean
+        };
+
+        // ---- per-shard upload + schedule ----
+        let mut shards = Vec::with_capacity(host_shards.len());
+        for (i, hs) in host_shards.iter().enumerate() {
+            let built = upload_shard(&mut cluster, i, hs, opts, total_threads);
+            let built = built.map_err(|e| {
+                e.with_context(ErrorContext {
+                    device: Some(format!(
+                        "{} (node {}, device {})",
+                        cluster.device(i).config().name,
+                        topology.node_of(i),
+                        i
+                    )),
+                    phase: Some("shard-partition".into()),
+                    ..Default::default()
+                })
+            })?;
+            shards.push(built);
+        }
+
+        let prepare_s = cluster.elapsed_max();
+        let prepare_trace: Vec<RelSpan> = (0..shards.len())
+            .flat_map(|i| {
+                let dev = cluster.device(i);
+                relative_spans(dev.spans(), dev.time_log(), 0, 0)
+            })
+            .collect();
+        Ok(PreparedCluster {
+            cluster,
+            opts: opts.clone(),
+            partition,
+            lc,
+            total_threads,
+            shards,
+            per_shard_arcs,
+            imbalance,
+            digest: g.digest(),
+            prepare_s,
+            prepare_trace,
+            counts_served: 0,
+        })
+    }
+
+    /// Run the counting phase: every shard dispatches its kernels (bin
+    /// plan or single gathered launch), reduces, and sends its partial to
+    /// the merge in flat device-index order.
+    pub fn count(&mut self) -> Result<ClusterCount, CoreError> {
+        let s = self.shards.len();
+        let span_marks: Vec<usize> = (0..s)
+            .map(|i| self.cluster.device(i).spans().len())
+            .collect();
+        let log_marks: Vec<usize> = (0..s)
+            .map(|i| self.cluster.device(i).time_log().len())
+            .collect();
+        let counters0: Vec<_> = (0..s).map(|i| *self.cluster.device(i).counters()).collect();
+
+        let mut triangles = 0u64;
+        let mut slowest: Option<KernelStats> = None;
+        for i in 0..s {
+            self.cluster.device_mut(i).push_phase("shard-count");
+            let counted = self.count_shard(i);
+            let (t, stats) = match counted {
+                Ok(pair) => pair,
+                Err(e) => {
+                    self.cluster.device_mut(i).pop_phase();
+                    return Err(e.with_context(ErrorContext {
+                        device: Some(self.cluster.device(i).config().name.to_string()),
+                        phase: Some("shard-count".into()),
+                        ..Default::default()
+                    }));
+                }
+            };
+            self.cluster.device_mut(i).pop_phase();
+            // Deterministic merge: partials sum in flat device-index order
+            // (u64 addition is associative, but the fixed order keeps the
+            // *protocol* — and so every charged message — identical across
+            // runs and worker counts).
+            triangles += t;
+            if let Some(stats) = stats {
+                if slowest.as_ref().is_none_or(|sl| stats.time_s > sl.time_s) {
+                    slowest = Some(stats);
+                }
+            }
+        }
+        // The merge: each shard off node 0 sends its 8-byte partial over
+        // the interconnect (one message; latency-dominated).
+        for i in 0..s {
+            self.cluster.device_mut(i).push_phase("internode-merge");
+            self.cluster
+                .charge_internode(i, 8, "internode: result send");
+            self.cluster.device_mut(i).pop_phase();
+        }
+        self.counts_served += 1;
+
+        // Per-shard modeled seconds: sum of this count's op durations —
+        // clock-base-free, like the single-device path.
+        let per_shard_s: Vec<f64> = (0..s)
+            .map(|i| {
+                self.cluster.device(i).time_log()[log_marks[i]..]
+                    .iter()
+                    .map(|op| op.seconds)
+                    .sum()
+            })
+            .collect();
+        let count_s = per_shard_s.iter().copied().fold(0.0, f64::max);
+        let profiles: Vec<ProfileReport> = (0..s)
+            .map(|i| {
+                let dev = self.cluster.device(i);
+                ProfileReport {
+                    device: dev.config().name.to_string(),
+                    peak_bandwidth_gbs: dev.config().dram_bandwidth_gbs,
+                    devices: 1,
+                    total_s: per_shard_s[i],
+                    totals: dev.counters().delta(&counters0[i]),
+                    spans: dev.spans()[span_marks[i]..].to_vec(),
+                }
+            })
+            .collect();
+        let trace: Vec<RelSpan> = (0..s)
+            .flat_map(|i| {
+                let dev = self.cluster.device(i);
+                relative_spans(dev.spans(), dev.time_log(), span_marks[i], log_marks[i])
+            })
+            .collect();
+        Ok(ClusterCount {
+            triangles,
+            count_s,
+            per_shard_s,
+            kernel: slowest.unwrap_or_default(),
+            profile: ProfileReport::merged(&profiles),
+            trace,
+        })
+    }
+
+    /// Dispatch one shard's kernels; returns its partial count and the
+    /// slowest launch (if any ran — empty shards launch nothing).
+    fn count_shard(&mut self, i: usize) -> Result<(u64, Option<KernelStats>), CoreError> {
+        let shard = &self.shards[i];
+        let (m, eu, ev, node, nbr, result) = (
+            shard.m,
+            shard.eu,
+            shard.ev,
+            shard.node,
+            shard.nbr,
+            shard.result,
+        );
+        let (plan, hash_scratch) = (shard.plan.clone(), shard.hash_scratch);
+        let lc = self.lc;
+        let total_threads = self.total_threads;
+        let dev = self.cluster.device_mut(i);
+        if m == 0 {
+            return Ok((0, None));
+        }
+        let mut triangles = 0u64;
+        let mut slowest: Option<KernelStats> = None;
+        let dispatch = |dev: &mut tc_simt::Device,
+                        eu: DeviceBuffer<u32>,
+                        ev: DeviceBuffer<u32>,
+                        bin: Bin|
+         -> Result<KernelStats, CoreError> {
+            dev.poke(&result, &vec![0u64; total_threads]);
+            if bin.width == 1 {
+                let kernel = CountKernel {
+                    arrays: KernelArrays::Gathered { eu, ev, adj: nbr },
+                    node,
+                    result,
+                    offset: bin.start,
+                    count: bin.len,
+                    variant: self.opts.kernel,
+                    use_texture_cache: self.opts.use_texture_cache,
+                };
+                Ok(dev.with_phase("count-kernel", |d| {
+                    d.launch("CountTriangles(shard)", lc, &kernel)
+                })?)
+            } else {
+                let kernel = WarpCentricKernel {
+                    adj: nbr,
+                    edge_u: eu,
+                    edge_v: ev,
+                    node,
+                    result,
+                    offset: bin.start,
+                    count: bin.len,
+                    virtual_warp: bin.width,
+                    use_texture_cache: self.opts.use_texture_cache,
+                    strategy: if bin.hash {
+                        IntersectStrategy::Hash
+                    } else {
+                        IntersectStrategy::ChunkScan
+                    },
+                    scratch: if bin.hash { hash_scratch } else { None },
+                    shared_slots: if bin.hash {
+                        hash_shared_slots(dev.config(), lc.threads_per_block, bin.width)
+                    } else {
+                        0
+                    },
+                };
+                let label = if bin.hash {
+                    "CountTrianglesWarpHash(shard)"
+                } else {
+                    "CountTrianglesWarp(shard)"
+                };
+                Ok(dev.with_phase("count-kernel", |d| d.launch(label, lc, &kernel))?)
+            }
+        };
+        match plan {
+            Some(plan) => {
+                for bin in plan.occupied() {
+                    let stats = dispatch(dev, plan.eu, plan.ev, *bin)?;
+                    triangles += dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
+                    if slowest.as_ref().is_none_or(|s| stats.time_s > s.time_s) {
+                        slowest = Some(stats);
+                    }
+                }
+            }
+            None => {
+                let whole = Bin {
+                    start: 0,
+                    len: m,
+                    width: 1,
+                    hash: false,
+                };
+                let stats = dispatch(dev, eu, ev, whole)?;
+                triangles += dev.with_phase("reduce", |d| reduce_sum_u64(d, &result));
+                slowest = Some(stats);
+            }
+        }
+        Ok((triangles, slowest))
+    }
+
+    /// Free every device buffer on every shard. The cluster's devices are
+    /// dropped with the session (unlike the single-device path there is no
+    /// pool to hand them back to — a cluster session owns its devices).
+    pub fn release(mut self) -> Result<(), CoreError> {
+        for i in 0..self.shards.len() {
+            let shard = &mut self.shards[i];
+            let plan = shard.plan.take();
+            let scratch = shard.hash_scratch.take();
+            let (eu, ev, node, nbr, result) =
+                (shard.eu, shard.ev, shard.node, shard.nbr, shard.result);
+            let dev = self.cluster.device_mut(i);
+            if let Some(plan) = plan {
+                dev.free(plan.eu)?;
+                dev.free(plan.ev)?;
+            }
+            if let Some(scratch) = scratch {
+                dev.free(scratch)?;
+            }
+            dev.free(result)?;
+            dev.free(eu)?;
+            dev.free(ev)?;
+            dev.free(node)?;
+            dev.free(nbr)?;
+        }
+        Ok(())
+    }
+
+    /// Content digest of the sharded graph (cache key material).
+    #[inline]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Modeled seconds of the shard-partition window (uploads + interconnect
+    /// + per-shard bin plans; the slowest device).
+    #[inline]
+    pub fn prepare_s(&self) -> f64 {
+        self.prepare_s
+    }
+
+    /// The prepare window's spans (`shard-partition` and children) across
+    /// every shard, flat device order, on a clock-base-free timeline.
+    #[inline]
+    pub fn prepare_trace(&self) -> &[RelSpan] {
+        &self.prepare_trace
+    }
+
+    /// How many counts this cluster session has served.
+    #[inline]
+    pub fn counts_served(&self) -> u64 {
+        self.counts_served
+    }
+
+    /// The cluster's shape.
+    #[inline]
+    pub fn topology(&self) -> ClusterTopology {
+        self.cluster.topology()
+    }
+
+    /// The partition scheme in force.
+    #[inline]
+    pub fn partition(&self) -> ClusterPartition {
+        self.partition
+    }
+
+    /// The options the shards were prepared under.
+    #[inline]
+    pub fn options(&self) -> &GpuOptions {
+        &self.opts
+    }
+
+    /// Oriented arcs per shard, flat device order.
+    #[inline]
+    pub fn per_shard_arcs(&self) -> &[usize] {
+        &self.per_shard_arcs
+    }
+
+    /// Max shard work over mean shard work (1.0 = perfectly balanced).
+    #[inline]
+    pub fn imbalance(&self) -> f64 {
+        self.imbalance
+    }
+
+    /// The largest per-device peak memory footprint in bytes — the
+    /// capacity each card of this topology would need.
+    #[inline]
+    pub fn max_resident_bytes(&self) -> u64 {
+        self.cluster.mem_peak_max()
+    }
+
+    /// Per-device peak memory footprints, flat device order.
+    pub fn per_shard_peak_bytes(&self) -> Vec<u64> {
+        self.cluster.iter().map(|d| d.mem_peak()).collect()
+    }
+
+    /// Merged sanitizer findings across every shard device, flat device
+    /// order (`None` when the sanitizer is off).
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        let reports: Vec<SanitizerReport> = self
+            .cluster
+            .iter()
+            .filter_map(|d| d.sanitizer_report())
+            .collect();
+        if reports.is_empty() {
+            None
+        } else {
+            Some(SanitizerReport::merged(&reports))
+        }
+    }
+
+    /// Per-device traces (for `--trace` / `--profile` on cluster runs).
+    pub fn run_traces(&self) -> Vec<RunTrace> {
+        (0..self.shards.len())
+            .map(|i| {
+                let dev = self.cluster.device(i);
+                let node = self.cluster.topology().node_of(i);
+                RunTrace {
+                    device_name: format!("node{node}/gpu{i} ({})", dev.config().name),
+                    log: dev.time_log().to_vec(),
+                    spans: dev.spans().to_vec(),
+                    profile: dev.profile(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Degree-descending relabel ranks (the `/reorder` permutation): vertices
+/// sorted by (descending degree, ascending id), rank = position. A pure
+/// relabeling — triangle counts are invariant under any vertex permutation.
+fn reorder_ranks(g: &EdgeArray) -> Vec<u32> {
+    let deg = g.degrees();
+    let n = g.num_nodes();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (((u32::MAX - deg[v as usize]) as u64) << 32) | v as u64);
+    let mut ranks = vec![0u32; n];
+    for (rank, &v) in order.iter().enumerate() {
+        ranks[v as usize] = rank as u32;
+    }
+    ranks
+}
+
+/// Upload one shard and build its device-resident state: endpoint + CSR
+/// arrays (interconnect charged for nodes past the first), the per-shard
+/// bin plan (same charged passes as the single-device scheduler), the
+/// result array, and hash scratch if the plan needs it.
+fn upload_shard(
+    cluster: &mut Cluster,
+    i: usize,
+    hs: &HostShard,
+    opts: &GpuOptions,
+    total_threads: usize,
+) -> Result<ShardOnDevice, CoreError> {
+    let m = hs.arcs();
+    cluster.device_mut(i).push_phase("shard-partition");
+    let out = upload_shard_inner(cluster, i, hs, opts, total_threads, m);
+    cluster.device_mut(i).pop_phase();
+    out
+}
+
+fn upload_shard_inner(
+    cluster: &mut Cluster,
+    i: usize,
+    hs: &HostShard,
+    opts: &GpuOptions,
+    total_threads: usize,
+    m: usize,
+) -> Result<ShardOnDevice, CoreError> {
+    let eu = cluster.htod_scatter(i, &hs.eu)?;
+    let ev = cluster.htod_scatter(i, &hs.ev)?;
+    let node = cluster.htod_scatter(i, &hs.node)?;
+    let nbr = cluster.htod_scatter(i, &hs.nbr)?;
+
+    // Per-shard bin plan: the same static tuner and the same charged
+    // binning passes as `schedule::build_plan`, over the shard's arrays.
+    let plan = build_shard_plan(cluster.device_mut(i), &hs.eu, &hs.ev, &hs.work, opts)?;
+
+    let dev = cluster.device_mut(i);
+    let result = dev.alloc::<u64>(total_threads)?;
+    let scratch_len = plan.as_ref().and_then(|p| {
+        p.bins
+            .iter()
+            .filter(|b| b.hash && b.len > 0)
+            .map(|b| hash_scratch_len(total_threads, b.width))
+            .max()
+    });
+    let hash_scratch = match scratch_len {
+        Some(len) => Some(dev.alloc::<u32>(len)?),
+        None => None,
+    };
+    Ok(ShardOnDevice {
+        m,
+        eu,
+        ev,
+        node,
+        nbr,
+        result,
+        plan,
+        hash_scratch,
+    })
+}
+
+/// The shard-local analog of [`crate::gpu::schedule::build_plan`]: same
+/// tuner, same charged passes (work-estimate keys, radix sort, gather),
+/// over the shard's local endpoint arrays.
+fn build_shard_plan(
+    dev: &mut tc_simt::Device,
+    eu: &[u32],
+    ev: &[u32],
+    work: &[u32],
+    opts: &GpuOptions,
+) -> Result<Option<BinPlan>, CoreError> {
+    let m = work.len();
+    let Some(specs) = bin_specs(opts.schedule, work) else {
+        return Ok(None);
+    };
+    for spec in &specs {
+        assert!(
+            spec.width == 1 || dev.config().warp_size.is_multiple_of(spec.width),
+            "virtual-warp width {} must divide the warp size {}",
+            spec.width,
+            dev.config().warp_size
+        );
+    }
+    let mb = m as u64;
+    let keys = dev.alloc::<u64>(m)?;
+    let mut host_keys: Vec<u64> = work
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| ((w as u64) << 32) | i as u64)
+        .collect();
+    dev.poke(&keys, &host_keys);
+    dev.with_phase("bin-sort", |d| {
+        charge_transform_pass(d, "schedule: work-estimate keys", mb * 24, mb * 8)
+    });
+    dev.with_phase("bin-sort", |d| sort_u64(d, &keys, m))?;
+    host_keys.sort_unstable();
+
+    let gathered_eu = dev.alloc::<u32>(m)?;
+    let gathered_ev = dev.alloc::<u32>(m)?;
+    let gathered_u: Vec<u32> = host_keys
+        .iter()
+        .map(|&k| eu[(k & 0xffff_ffff) as usize])
+        .collect();
+    let gathered_v: Vec<u32> = host_keys
+        .iter()
+        .map(|&k| ev[(k & 0xffff_ffff) as usize])
+        .collect();
+    dev.poke(&gathered_eu, &gathered_u);
+    dev.poke(&gathered_ev, &gathered_v);
+    dev.with_phase("bin-gather", |d| {
+        charge_transform_pass(d, "schedule: bin gather", mb * 16, mb * 8)
+    });
+    dev.free(keys)?;
+
+    let sorted_work: Vec<u32> = host_keys.iter().map(|&k| (k >> 32) as u32).collect();
+    let mut bins = Vec::with_capacity(specs.len());
+    let mut start = 0usize;
+    for (i, spec) in specs.iter().enumerate() {
+        let end = if i + 1 == specs.len() {
+            m
+        } else {
+            sorted_work.partition_point(|&w| w < spec.max_work)
+        };
+        bins.push(Bin {
+            start,
+            len: end - start,
+            width: spec.width,
+            hash: spec.hash,
+        });
+        start = end;
+    }
+    debug_assert_eq!(start, m, "bins must cover every shard arc");
+    Ok(Some(BinPlan {
+        eu: gathered_eu,
+        ev: gathered_ev,
+        bins,
+    }))
+}
+
+/// Results of a one-shot cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    pub triangles: u64,
+    /// Modeled wall time: shard-partition window + the slowest shard's
+    /// count-plus-merge window.
+    pub total_s: f64,
+    /// The shard-partition window (uploads + interconnect + bin plans).
+    pub partition_s: f64,
+    /// The slowest shard's count window.
+    pub count_s: f64,
+    pub nodes: usize,
+    pub devices_per_node: usize,
+    pub partition: ClusterPartition,
+    /// Oriented arcs owned per shard, flat device order.
+    pub per_shard_arcs: Vec<usize>,
+    /// Per-shard count seconds, flat device order.
+    pub per_shard_s: Vec<f64>,
+    /// Per-device peak resident bytes, flat device order.
+    pub per_shard_peak_bytes: Vec<u64>,
+    /// The largest per-device peak — the per-card capacity this topology
+    /// needs.
+    pub max_resident_bytes: u64,
+    /// Max shard work over mean shard work (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// The slowest kernel launch across shards and bins.
+    pub kernel: KernelStats,
+    /// Merged sanitizer findings (`None` when off).
+    pub sanitizer: Option<SanitizerReport>,
+}
+
+/// One-shot cluster run: prepare, one count, release.
+pub fn run_cluster(
+    g: &EdgeArray,
+    opts: &GpuOptions,
+    topology: ClusterTopology,
+    partition: ClusterPartition,
+) -> Result<ClusterReport, CoreError> {
+    run_cluster_profiled(g, opts, topology, partition).map(|(report, _)| report)
+}
+
+/// Like [`run_cluster`] but also returns one [`RunTrace`] per device
+/// (trace threads `node0/gpu0`, `node0/gpu1`, …).
+pub fn run_cluster_profiled(
+    g: &EdgeArray,
+    opts: &GpuOptions,
+    topology: ClusterTopology,
+    partition: ClusterPartition,
+) -> Result<(ClusterReport, Vec<RunTrace>), CoreError> {
+    let mut prepared = PreparedCluster::prepare(g, opts, topology, partition)?;
+    let count = prepared.count()?;
+    let traces = prepared.run_traces();
+    let report = ClusterReport {
+        triangles: count.triangles,
+        total_s: prepared.prepare_s() + count.count_s,
+        partition_s: prepared.prepare_s(),
+        count_s: count.count_s,
+        nodes: topology.nodes,
+        devices_per_node: topology.devices_per_node,
+        partition,
+        per_shard_arcs: prepared.per_shard_arcs().to_vec(),
+        per_shard_s: count.per_shard_s.clone(),
+        per_shard_peak_bytes: prepared.per_shard_peak_bytes(),
+        max_resident_bytes: prepared.max_resident_bytes(),
+        imbalance: prepared.imbalance(),
+        kernel: count.kernel,
+        sanitizer: prepared.sanitizer_report(),
+    };
+    prepared.release()?;
+    Ok((report, traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::count_forward;
+    use tc_simt::DeviceConfig;
+
+    fn skewed_graph() -> EdgeArray {
+        // A hub-heavy graph: enough skew that the balanced tuner engages.
+        let mut pairs = Vec::new();
+        for a in 0..64u32 {
+            for b in (a + 1)..64 {
+                if (a * 5 + b * 3) % 4 != 1 {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        for t in 64..160u32 {
+            pairs.push((0, t));
+            pairs.push((1, t));
+        }
+        EdgeArray::from_undirected_pairs(pairs)
+    }
+
+    fn opts() -> GpuOptions {
+        GpuOptions::new(DeviceConfig::gtx_980().with_unlimited_memory())
+    }
+
+    #[test]
+    fn cluster_counts_match_cpu_across_topologies_and_partitions() {
+        let g = skewed_graph();
+        let want = count_forward(&g).unwrap();
+        for (n, m) in [(1, 1), (1, 4), (2, 2), (4, 2)] {
+            for partition in [ClusterPartition::OneD, ClusterPartition::TwoD] {
+                let report =
+                    run_cluster(&g, &opts(), ClusterTopology::new(n, m), partition).unwrap();
+                assert_eq!(report.triangles, want, "{n}x{m} {partition}");
+                assert_eq!(report.per_shard_arcs.iter().sum::<usize>(), g.num_edges());
+                assert!(report.imbalance >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_shrinks_the_per_device_footprint() {
+        let g = skewed_graph();
+        let one = run_cluster(
+            &g,
+            &opts(),
+            ClusterTopology::new(1, 1),
+            ClusterPartition::OneD,
+        )
+        .unwrap();
+        let four = run_cluster(
+            &g,
+            &opts(),
+            ClusterTopology::new(2, 2),
+            ClusterPartition::OneD,
+        )
+        .unwrap();
+        assert!(
+            four.max_resident_bytes < one.max_resident_bytes,
+            "2x2 peak {} !< 1x1 peak {}",
+            four.max_resident_bytes,
+            one.max_resident_bytes
+        );
+    }
+
+    #[test]
+    fn remote_nodes_pay_the_interconnect() {
+        let g = skewed_graph();
+        // Same shard layout, different node placement: 1x2 keeps both
+        // devices on node 0, 2x1 puts the second shard across the wire.
+        let local = run_cluster(
+            &g,
+            &opts(),
+            ClusterTopology::new(1, 2),
+            ClusterPartition::OneD,
+        )
+        .unwrap();
+        let remote = run_cluster(
+            &g,
+            &opts(),
+            ClusterTopology::new(2, 1),
+            ClusterPartition::OneD,
+        )
+        .unwrap();
+        assert_eq!(local.triangles, remote.triangles);
+        assert!(
+            remote.partition_s > local.partition_s,
+            "crossing nodes must charge the interconnect: {} !> {}",
+            remote.partition_s,
+            local.partition_s
+        );
+    }
+
+    #[test]
+    fn prepared_cluster_serves_identical_repeated_counts() {
+        let g = skewed_graph();
+        let mut prepared = PreparedCluster::prepare(
+            &g,
+            &opts(),
+            ClusterTopology::new(2, 2),
+            ClusterPartition::OneD,
+        )
+        .unwrap();
+        let first = prepared.count().unwrap();
+        let second = prepared.count().unwrap();
+        assert_eq!(first.triangles, second.triangles);
+        assert_eq!(first.count_s, second.count_s);
+        assert_eq!(first.per_shard_s, second.per_shard_s);
+        assert_eq!(first.trace, second.trace);
+        assert_eq!(prepared.counts_served(), 2);
+        prepared.release().unwrap();
+    }
+
+    #[test]
+    fn balanced_and_hash_schedules_shard_exactly() {
+        let g = skewed_graph();
+        let want = count_forward(&g).unwrap();
+        let dev = DeviceConfig::gtx_980().with_unlimited_memory();
+        for o in [
+            GpuOptions::balanced(dev.clone()),
+            GpuOptions::balanced_hash(dev.clone()),
+        ] {
+            for partition in [ClusterPartition::OneD, ClusterPartition::TwoD] {
+                let report = run_cluster(&g, &o, ClusterTopology::new(2, 2), partition).unwrap();
+                assert_eq!(report.triangles, want, "{} {partition}", o.schedule);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_is_count_invariant_on_clusters() {
+        let g = skewed_graph();
+        let want = count_forward(&g).unwrap();
+        let mut o = opts();
+        o.reorder = true;
+        let report =
+            run_cluster(&g, &o, ClusterTopology::new(2, 2), ClusterPartition::TwoD).unwrap();
+        assert_eq!(report.triangles, want);
+    }
+
+    #[test]
+    fn empty_graph_shards_to_zero() {
+        let report = run_cluster(
+            &EdgeArray::default(),
+            &opts(),
+            ClusterTopology::new(2, 2),
+            ClusterPartition::OneD,
+        )
+        .unwrap();
+        assert_eq!(report.triangles, 0);
+        assert_eq!(report.imbalance, 1.0);
+    }
+
+    #[test]
+    fn balanced_blocks_cover_and_order() {
+        let prefix: Vec<u64> = vec![0, 5, 5, 10, 30, 31];
+        let starts = balanced_blocks(&prefix, 3);
+        assert_eq!(starts.first(), Some(&0));
+        assert_eq!(starts.last(), Some(&5));
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        for v in 0..5u32 {
+            let b = block_of(&starts, v);
+            assert!(b < 3);
+            assert!(starts[b] <= v as usize && (v as usize) < starts[b + 1].max(starts[b] + 1));
+        }
+    }
+}

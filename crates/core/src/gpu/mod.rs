@@ -9,6 +9,7 @@
 //!   device-to-host copy and free;
 //! * [`multi`] — the multi-GPU extension (§III-E).
 
+pub mod cluster;
 pub mod count_kernel;
 pub mod multi;
 pub mod pipeline;

@@ -82,6 +82,18 @@ impl KernelSchedule {
 
     /// The token suffix appended to a backend device token (`""` for the
     /// default schedule).
+    ///
+    /// ```
+    /// use tc_core::KernelSchedule;
+    ///
+    /// assert_eq!(KernelSchedule::ThreadPerEdge.token_suffix(), "");
+    /// assert_eq!(KernelSchedule::Balanced.token_suffix(), "/balanced");
+    /// assert_eq!(KernelSchedule::BalancedHash.token_suffix(), "/balanced+hash");
+    /// assert_eq!(
+    ///     KernelSchedule::BalancedFixed { threshold: 16, width: 8 }.token_suffix(),
+    ///     "/balanced:16x8",
+    /// );
+    /// ```
     pub fn token_suffix(&self) -> String {
         match self {
             KernelSchedule::ThreadPerEdge => String::new(),
@@ -95,6 +107,22 @@ impl KernelSchedule {
 
     /// Parse the `balanced[:<t>x<w>]` part of a backend token (the part
     /// after the `/`). `None` when it is not a schedule clause.
+    ///
+    /// ```
+    /// use tc_core::KernelSchedule;
+    ///
+    /// assert_eq!(
+    ///     KernelSchedule::parse_clause("balanced"),
+    ///     Some(KernelSchedule::Balanced),
+    /// );
+    /// assert_eq!(
+    ///     KernelSchedule::parse_clause("balanced:16x8"),
+    ///     Some(KernelSchedule::BalancedFixed { threshold: 16, width: 8 }),
+    /// );
+    /// // Widths must be 1 or divide every preset's warp size.
+    /// assert_eq!(KernelSchedule::parse_clause("balanced:16x3"), None);
+    /// assert_eq!(KernelSchedule::parse_clause("split:2"), None);
+    /// ```
     pub fn parse_clause(clause: &str) -> Option<KernelSchedule> {
         if clause == "balanced" {
             return Some(KernelSchedule::Balanced);
@@ -216,6 +244,17 @@ const HASH_MIN_WORK: u32 = 64;
 /// Per-edge work estimate over the oriented CSR: `min` of the endpoint
 /// out-degrees (an upper bound on the intersection size and a proxy for
 /// the merge length).
+///
+/// ```
+/// use tc_core::gpu::schedule::edge_work;
+///
+/// // Oriented CSR: v0 -> [1, 2], v1 -> [2], v2 -> [].
+/// let node = [0u32, 2, 3, 3];
+/// let owner = [0u32, 0, 1];
+/// let nbr = [1u32, 2, 2];
+/// // Arc (0,1): min(deg 2, deg 1) = 1; arcs into the sink v2 cost 0.
+/// assert_eq!(edge_work(&owner, &nbr, &node), vec![1, 0, 0]);
+/// ```
 pub fn edge_work(owner: &[u32], nbr: &[u32], node: &[u32]) -> Vec<u32> {
     owner
         .iter()
@@ -231,6 +270,22 @@ pub fn edge_work(owner: &[u32], nbr: &[u32], node: &[u32]) -> Vec<u32> {
 /// The static auto-tuner: pick bin specs from the work multiset, or `None`
 /// when binning cannot pay for itself. Deterministic — a pure function of
 /// its input.
+///
+/// ```
+/// use tc_core::gpu::schedule::auto_bin_specs;
+///
+/// // Uniform low-degree work tunes to no plan at all.
+/// let uniform: Vec<u32> = vec![3; 1000];
+/// assert!(auto_bin_specs(&uniform).is_none());
+///
+/// // A skewed multiset with a real heavy tail earns a two-bin plan:
+/// // line-width chunks for the bulk, width-32 for the tail.
+/// let mut skewed: Vec<u32> = vec![20; 5000];
+/// skewed.extend([2000u32; 100]);
+/// let specs = auto_bin_specs(&skewed).unwrap();
+/// assert_eq!(specs.len(), 2);
+/// assert_eq!(specs[1].width, 32);
+/// ```
 pub fn auto_bin_specs(work: &[u32]) -> Option<Vec<BinSpec>> {
     let m = work.len();
     if m == 0 {
@@ -274,6 +329,20 @@ pub fn auto_bin_specs(work: &[u32]) -> Option<Vec<BinSpec>> {
 /// work clears `HASH_MIN_WORK` form a width-32 hash bin (when they are
 /// numerous enough to amortize its launch — otherwise the plan degrades
 /// to the plain balanced one). Deterministic, like [`auto_bin_specs`].
+///
+/// ```
+/// use tc_core::gpu::schedule::{auto_bin_specs, auto_bin_specs_hash};
+///
+/// let mut skewed: Vec<u32> = vec![20; 5000];
+/// skewed.extend([2000u32; 100]);
+/// let specs = auto_bin_specs_hash(&skewed).unwrap();
+/// assert!(specs.last().unwrap().hash, "the heavy tail probes by hash");
+///
+/// // With no tail past the hash gate the plan degrades to the plain
+/// // balanced one — never worse than `balanced`.
+/// let mild: Vec<u32> = vec![25; 10_000];
+/// assert_eq!(auto_bin_specs_hash(&mild), auto_bin_specs(&mild));
+/// ```
 pub fn auto_bin_specs_hash(work: &[u32]) -> Option<Vec<BinSpec>> {
     let m = work.len();
     if m == 0 {
@@ -302,7 +371,7 @@ pub fn auto_bin_specs_hash(work: &[u32]) -> Option<Vec<BinSpec>> {
 }
 
 /// Bin specs for a schedule, or `None` when no plan should be built.
-fn bin_specs(schedule: KernelSchedule, work: &[u32]) -> Option<Vec<BinSpec>> {
+pub(crate) fn bin_specs(schedule: KernelSchedule, work: &[u32]) -> Option<Vec<BinSpec>> {
     match schedule {
         KernelSchedule::ThreadPerEdge => None,
         KernelSchedule::Balanced => auto_bin_specs(work),

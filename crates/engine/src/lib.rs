@@ -58,10 +58,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use tc_core::gpu::prepared::PreparedGraph;
-use tc_core::{Backend, CountRequest, GpuOptions};
+use tc_core::{Backend, CountRequest, GpuOptions, PreparedCluster};
 use tc_graph::EdgeArray;
 use tc_simt::profiler::{ProfileReport, RelSpan};
-use tc_simt::{DevicePool, PoolTicket};
+use tc_simt::{ClusterTopology, DevicePool, PoolTicket};
 use tc_telemetry::{
     chrome_trace_json, seconds_to_ns, Determinism, MetricsRegistry, MetricsSnapshot, RequestTrace,
     Stage, TraceSpan,
@@ -111,6 +111,21 @@ impl Default for EngineConfig {
 }
 
 /// One unit of work: count the triangles of `graph` with `backend`.
+///
+/// Built with [`Job::new`] plus chainable options:
+///
+/// ```
+/// use std::sync::Arc;
+/// use tc_engine::Job;
+/// use tc_graph::EdgeArray;
+///
+/// let g = Arc::new(EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (0, 2)]));
+/// let job = Job::new("triangle", g, "gtx980".parse().unwrap())
+///     .profile(true)
+///     .timeout_ms(50.0);
+/// assert!(job.profile);
+/// assert_eq!(job.timeout_ms, Some(50.0));
+/// ```
 #[derive(Clone, Debug)]
 pub struct Job {
     /// Caller-chosen label; carried through to the report.
@@ -207,6 +222,19 @@ pub struct BatchReport {
 impl BatchReport {
     /// Deterministic JSON: same jobs → same bytes, regardless of worker
     /// count (restrict to modeled backends; CPU timings are host-measured).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use tc_engine::{Engine, EngineConfig, Job};
+    /// use tc_graph::EdgeArray;
+    ///
+    /// let engine = Engine::new(EngineConfig::default());
+    /// let g = Arc::new(EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (0, 2)]));
+    /// let report = engine.run_batch(vec![Job::new("t", g, "gtx980".parse().unwrap())]);
+    /// let json = report.to_json();
+    /// assert!(json.contains("\"triangles\": 1"));
+    /// assert!(json.contains("\"backend\": \"gtx980\""));
+    /// ```
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 256 * self.jobs.len());
         out.push_str("{\n  \"jobs\": [\n");
@@ -358,9 +386,22 @@ fn build_trace(id: u64, rec: &JobRecord) -> RequestTrace {
 /// orderings (the digest is order-independent).
 type CacheKey = (u64, String);
 
-struct CacheEntry {
-    prepared: PreparedGraph,
-    ticket: PoolTicket,
+/// One resident prepared session. Single-device sessions hold a device
+/// leased from the engine's pool (the ticket returns it on release);
+/// cluster sessions own their whole node × device grid outright — the
+/// pool only models single warm devices, and a cluster's interconnect
+/// charging is bound to its topology, so its devices are never shared.
+enum CacheEntry {
+    Single {
+        // Boxed so the enum stays small: a cluster entry is a slim
+        // handle while a single-device session embeds the whole
+        // prepared state.
+        prepared: Box<PreparedGraph>,
+        ticket: PoolTicket,
+    },
+    Cluster {
+        prepared: Box<PreparedCluster>,
+    },
 }
 
 /// How the planner routed a job (fixed before execution so reports are
@@ -420,6 +461,23 @@ impl Engine {
 
     /// Lifetime cache hit ratio (hits / cacheable lookups), from the
     /// deterministic counters. `None` until a cacheable job has run.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use tc_engine::{Engine, EngineConfig, Job};
+    /// use tc_graph::EdgeArray;
+    ///
+    /// let engine = Engine::new(EngineConfig::default());
+    /// assert_eq!(engine.cache_hit_ratio(), None);
+    ///
+    /// let g = Arc::new(EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (0, 2)]));
+    /// let jobs = (0..4)
+    ///     .map(|i| Job::new(format!("j{i}"), Arc::clone(&g), "gtx980".parse().unwrap()))
+    ///     .collect();
+    /// engine.run_batch(jobs);
+    /// // One prepare served three hits: 3 / 4.
+    /// assert_eq!(engine.cache_hit_ratio(), Some(0.75));
+    /// ```
     pub fn cache_hit_ratio(&self) -> Option<f64> {
         let hits = self.metrics.counter_value("engine_cache_hits_total", &[]);
         let misses = self.metrics.counter_value("engine_cache_misses_total", &[]);
@@ -651,9 +709,9 @@ impl Engine {
         let mut cache = self.cache.lock().unwrap();
         jobs.iter()
             .map(|job| {
-                let Backend::Gpu(_) = &job.backend else {
+                if !matches!(&job.backend, Backend::Gpu(_) | Backend::Cluster { .. }) {
                     return Plan::OneShot;
-                };
+                }
                 let key: CacheKey = (job.graph.digest(), job.backend.to_string());
                 if !admitted.contains(&key) {
                     if admitted.len() >= self.config.cache_capacity {
@@ -716,9 +774,6 @@ impl Engine {
     }
 
     fn run_cached(&self, job: &Job, key: &CacheKey, hit: bool) -> Result<JobResult, EngineError> {
-        let Backend::Gpu(opts) = &job.backend else {
-            unreachable!("only single-GPU backends are planned as cached");
-        };
         let slot = Arc::clone(
             self.cache
                 .lock()
@@ -730,42 +785,113 @@ impl Engine {
         // *different* sessions proceed in parallel on other workers.
         let mut entry = slot.lock().unwrap();
         if entry.is_none() {
-            let lease = self.pool.acquire(&opts.device);
-            let (device, ticket) = lease.detach();
-            match PreparedGraph::prepare_on(device, &job.graph, opts) {
-                Ok(prepared) => *entry = Some(CacheEntry { prepared, ticket }),
-                Err(e) => {
-                    // The ticket drops here, freeing the pool slot; the
-                    // next job for this key will retry the prepare.
-                    return Err(EngineError::Count(e));
+            // On a prepare error nothing is cached (for single-device
+            // sessions the pool ticket drops here, freeing the slot);
+            // the next job for this key retries the prepare.
+            *entry = Some(match &job.backend {
+                Backend::Gpu(opts) => {
+                    let lease = self.pool.acquire(&opts.device);
+                    let (device, ticket) = lease.detach();
+                    let prepared = PreparedGraph::prepare_on(device, &job.graph, opts)
+                        .map_err(EngineError::Count)?;
+                    CacheEntry::Single {
+                        prepared: Box::new(prepared),
+                        ticket,
+                    }
                 }
-            }
+                Backend::Cluster {
+                    options,
+                    nodes,
+                    devices_per_node,
+                    partition,
+                } => {
+                    let topology = ClusterTopology::new(*nodes, *devices_per_node);
+                    let prepared =
+                        PreparedCluster::prepare(&job.graph, options, topology, *partition)
+                            .map_err(EngineError::Count)?;
+                    CacheEntry::Cluster {
+                        prepared: Box::new(prepared),
+                    }
+                }
+                _ => unreachable!("only GPU and cluster backends are planned as cached"),
+            });
         }
-        let entry = entry.as_mut().expect("just prepared");
-        let counted = entry.prepared.count().map_err(EngineError::Count)?;
         // The prepare is charged to the first-occurrence job from the
         // plan, not to whichever worker happened to run it first: the
         // modeled prepare cost is deterministic, so the report is too.
-        let prepare_s = if hit { 0.0 } else { entry.prepared.prepare_s() };
-        let prepare_trace = if hit {
-            Vec::new()
-        } else {
-            entry.prepared.prepare_trace().to_vec()
-        };
-        Ok(JobResult {
-            triangles: counted.triangles,
-            seconds: prepare_s + counted.count_s,
-            prepare_s,
-            count_s: counted.count_s,
-            cache_hit: hit,
-            modeled: true,
-            profile: job.profile.then_some(counted.profile),
-            prepare_trace,
-            kernel_trace: counted.trace,
-        })
+        match entry.as_mut().expect("just prepared") {
+            CacheEntry::Single { prepared, .. } => {
+                let counted = prepared.count().map_err(EngineError::Count)?;
+                let prepare_s = if hit { 0.0 } else { prepared.prepare_s() };
+                let prepare_trace = if hit {
+                    Vec::new()
+                } else {
+                    prepared.prepare_trace().to_vec()
+                };
+                Ok(JobResult {
+                    triangles: counted.triangles,
+                    seconds: prepare_s + counted.count_s,
+                    prepare_s,
+                    count_s: counted.count_s,
+                    cache_hit: hit,
+                    modeled: true,
+                    profile: job.profile.then_some(counted.profile),
+                    prepare_trace,
+                    kernel_trace: counted.trace,
+                })
+            }
+            CacheEntry::Cluster { prepared } => {
+                let counted = prepared.count().map_err(EngineError::Count)?;
+                let prepare_s = if hit { 0.0 } else { prepared.prepare_s() };
+                let prepare_trace = if hit {
+                    Vec::new()
+                } else {
+                    prepared.prepare_trace().to_vec()
+                };
+                Ok(JobResult {
+                    triangles: counted.triangles,
+                    seconds: prepare_s + counted.count_s,
+                    prepare_s,
+                    count_s: counted.count_s,
+                    cache_hit: hit,
+                    modeled: true,
+                    profile: job.profile.then_some(counted.profile),
+                    prepare_trace,
+                    kernel_trace: counted.trace,
+                })
+            }
+        }
     }
 
     fn run_oneshot(&self, job: &Job) -> Result<JobResult, EngineError> {
+        if let Backend::Cluster {
+            options,
+            nodes,
+            devices_per_node,
+            partition,
+        } = &job.backend
+        {
+            // Uncached cluster job (overflow beyond `cache_capacity`): a
+            // full shard/count/release session on a transient cluster.
+            let topology = ClusterTopology::new(*nodes, *devices_per_node);
+            let mut prepared = PreparedCluster::prepare(&job.graph, options, topology, *partition)
+                .map_err(EngineError::Count)?;
+            let prepare_s = prepared.prepare_s();
+            let prepare_trace = prepared.prepare_trace().to_vec();
+            let counted = prepared.count().map_err(EngineError::Count)?;
+            prepared.release().map_err(EngineError::Count)?;
+            return Ok(JobResult {
+                triangles: counted.triangles,
+                seconds: prepare_s + counted.count_s,
+                prepare_s,
+                count_s: counted.count_s,
+                cache_hit: false,
+                modeled: true,
+                profile: job.profile.then_some(counted.profile),
+                prepare_trace,
+                kernel_trace: counted.trace,
+            });
+        }
         if let Backend::Gpu(opts) = &job.backend {
             // Uncached GPU job: full prepare+count+release session on a
             // pooled (warm) device.
@@ -827,14 +953,36 @@ impl Engine {
     }
 
     /// Release every prepared session, returning its warm device to the
-    /// pool. The engine stays usable; the next batch re-admits from
-    /// scratch.
+    /// pool (cluster sessions own their devices and simply drop them). The
+    /// engine stays usable; the next batch re-admits from scratch.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use tc_engine::{Engine, EngineConfig, Job};
+    /// use tc_graph::EdgeArray;
+    ///
+    /// let engine = Engine::new(EngineConfig::default());
+    /// let g = Arc::new(EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (0, 2)]));
+    /// engine.run_batch(vec![Job::new("warm", g, "cluster:2x2/gtx980".parse().unwrap())]);
+    /// assert_eq!(engine.cached_sessions(), 1);
+    /// engine.clear_cache();
+    /// assert_eq!(engine.cached_sessions(), 0);
+    /// ```
     pub fn clear_cache(&self) {
         let mut cache = self.cache.lock().unwrap();
         for (_, slot) in cache.drain() {
             if let Some(entry) = slot.lock().unwrap().take() {
-                if let Ok(device) = entry.prepared.release() {
-                    entry.ticket.restore(device);
+                match entry {
+                    CacheEntry::Single { prepared, ticket } => {
+                        if let Ok(device) = prepared.release() {
+                            ticket.restore(device);
+                        }
+                    }
+                    // Cluster devices belong to the session, not the
+                    // pool — releasing frees their arenas and drops them.
+                    CacheEntry::Cluster { prepared } => {
+                        let _ = prepared.release();
+                    }
                 }
             }
         }
@@ -1062,6 +1210,64 @@ mod tests {
         }
         assert_eq!(json[0], json[1]);
         assert!(json[0].contains("\"cache_hit\": true"));
+    }
+
+    #[test]
+    fn cluster_sessions_cache_separately_per_topology() {
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let c22: Backend = "cluster:2x2/gtx980".parse().unwrap();
+        let c12: Backend = "cluster:1x2/gtx980".parse().unwrap();
+        let report = engine.run_batch(vec![
+            Job::new("c22-0", Arc::clone(&g), c22.clone()),
+            Job::new("c22-1", Arc::clone(&g), c22),
+            Job::new("c12-0", g, c12),
+        ]);
+        // Same graph, different topology token → different session: the
+        // 2x2 pair shares one prepare, the 1x2 job pays its own.
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(engine.cached_sessions(), 2);
+        for job in &report.jobs {
+            let r = job.result.as_ref().unwrap();
+            assert_eq!(r.triangles, 2);
+            assert!(r.modeled);
+        }
+        assert_eq!(report.jobs[0].backend, "cluster:2x2/gtx980");
+        assert_eq!(report.jobs[2].backend, "cluster:1x2/gtx980");
+        let hit = report.jobs[1].result.as_ref().unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.prepare_s, 0.0);
+        assert!(hit.prepare_trace.is_empty());
+        // The miss's traces carry the cluster stage vocabulary.
+        let miss = report.jobs[0].result.as_ref().unwrap();
+        assert!(miss
+            .prepare_trace
+            .iter()
+            .any(|s| s.path.starts_with("shard-partition")));
+        assert!(miss
+            .kernel_trace
+            .iter()
+            .any(|s| s.path.starts_with("shard-count")));
+        assert!(miss
+            .kernel_trace
+            .iter()
+            .any(|s| s.path == "internode-merge"));
+        engine.clear_cache();
+        assert_eq!(engine.cached_sessions(), 0);
+    }
+
+    #[test]
+    fn cluster_and_single_device_counts_agree_through_the_engine() {
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let report = engine.run_batch(vec![
+            Job::new("single", Arc::clone(&g), gpu()),
+            Job::new("cluster", g, "cluster:2x2/gtx980/balanced".parse().unwrap()),
+        ]);
+        let single = report.jobs[0].result.as_ref().unwrap();
+        let cluster = report.jobs[1].result.as_ref().unwrap();
+        assert_eq!(single.triangles, cluster.triangles);
     }
 
     #[test]

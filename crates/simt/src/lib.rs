@@ -25,6 +25,9 @@
 //! * **Analysis**: a compute-sanitizer-style layer ([`sanitizer`]) —
 //!   memcheck, initcheck, racecheck, and access-pattern lints over the
 //!   simulated memory path, off by default and a true no-op when off.
+//! * **Clusters**: a multi-node topology with a latency + bandwidth
+//!   interconnect cost model ([`cluster`]) layered on the per-node PCIe
+//!   model, for the sharded engine in `tc-engine`.
 //!
 //! Simulated time is deterministic: the same kernel on the same device
 //! preset always reports the same cycle count, cache hit rate, and DRAM
@@ -34,6 +37,7 @@
 
 pub mod arena;
 pub mod cache;
+pub mod cluster;
 pub mod coalesce;
 pub mod config;
 pub mod device;
@@ -48,6 +52,7 @@ pub mod sanitizer;
 pub mod trace;
 
 pub use arena::{DeviceBuffer, DeviceScalar};
+pub use cluster::{Cluster, ClusterTopology, Interconnect};
 pub use config::DeviceConfig;
 pub use device::{Device, TimedOp};
 pub use error::SimtError;

@@ -74,6 +74,14 @@ pub enum Stage {
     Count,
     /// Result assembly / partial-count merge.
     Merge,
+    /// Cluster only: host-side orientation, edge partitioning, and shard
+    /// uploads across the node × device grid.
+    ShardPartition,
+    /// Cluster only: per-shard kernel dispatch and local reductions.
+    ShardCount,
+    /// Cluster only: shipping per-shard partials over the modeled
+    /// interconnect and summing them in node-index order.
+    InternodeMerge,
 }
 
 impl Stage {
@@ -88,11 +96,16 @@ impl Stage {
             Stage::Prepare => "prepare",
             Stage::Count => "count",
             Stage::Merge => "merge",
+            Stage::ShardPartition => "shard-partition",
+            Stage::ShardCount => "shard-count",
+            Stage::InternodeMerge => "internode-merge",
         }
     }
 
-    /// Every stage, in request order.
-    pub fn all() -> [Stage; 7] {
+    /// Every stage, in request order. The three cluster stages come last:
+    /// a single-device request never emits them, a cluster request emits
+    /// them instead of `prepare`/`count`/`merge`.
+    pub fn all() -> [Stage; 10] {
         [
             Stage::Admission,
             Stage::QueueWait,
@@ -101,6 +114,9 @@ impl Stage {
             Stage::Prepare,
             Stage::Count,
             Stage::Merge,
+            Stage::ShardPartition,
+            Stage::ShardCount,
+            Stage::InternodeMerge,
         ]
     }
 }
@@ -156,9 +172,12 @@ mod tests {
     #[test]
     fn stage_tokens_are_stable_and_ordered() {
         let all = Stage::all();
-        assert_eq!(all.len(), 7);
+        assert_eq!(all.len(), 10);
         assert_eq!(all[0].as_str(), "admission");
         assert_eq!(all[6].as_str(), "merge");
+        assert_eq!(all[7].as_str(), "shard-partition");
+        assert_eq!(all[8].as_str(), "shard-count");
+        assert_eq!(all[9].as_str(), "internode-merge");
         assert_eq!(Stage::Prepare.to_string(), "prepare");
         // Request order is the enum order.
         for pair in all.windows(2) {

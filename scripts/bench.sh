@@ -4,7 +4,8 @@
 # Usage: scripts/bench.sh [--scale smoke|bench|paper] [extra repro flags...]
 #
 # Runs the `repro bench` matrix (every suite graph x CPU forward, GTX 980,
-# GTX 980 balanced, GTX 980 balanced+hash) and writes BENCH_<n>.json, the
+# GTX 980 balanced, GTX 980 balanced+hash, and a 2x2 sharded cluster on
+# the balanced schedule) and writes BENCH_<n>.json, the
 # per-PR perf trajectory record. Modeled milliseconds are deterministic;
 # host wall milliseconds
 # live in the per-entry advisory section (nulled when TC_TELEMETRY_CI=1).
@@ -36,7 +37,7 @@ import json, os
 path = os.environ["OUT"]
 with open(path) as f:
     doc = json.load(f)
-assert doc["bench"] == 5, f"{path}: bench seq {doc['bench']} != 5"
+assert doc["bench"] == 6, f"{path}: bench seq {doc['bench']} != 6"
 assert doc["entries"], f"{path}: no entries"
 for e in doc["entries"]:
     assert {"graph", "backend", "triangles", "modeled_ms", "advisory"} <= e.keys(), e

@@ -29,20 +29,26 @@ cargo test --release -q --test modeled_perf_golden
 echo "==> balanced scheduler smoke"
 ./target/release/repro balance --scale smoke > /dev/null
 
+echo "==> cluster sharding smoke"
+# A sharded 2x2 cluster run must agree with the single device (the
+# integration suite holds this byte-for-byte across the whole matrix;
+# this is the CLI-path canary).
+./target/release/tcount suite:dblp --backend cluster:2x2/gtx980/balanced > /dev/null
+
 echo "==> bench artifact is valid JSON"
 ./target/release/repro bench --scale smoke --out /tmp/tc_bench_smoke.json > /dev/null
 python3 - <<'PY'
 import json
 with open("/tmp/tc_bench_smoke.json") as f:
     doc = json.load(f)
-assert doc["bench"] == 5 and doc["entries"]
+assert doc["bench"] == 6 and doc["entries"]
 for e in doc["entries"]:
     assert {"graph", "backend", "triangles", "modeled_ms", "advisory"} <= e.keys(), e
     assert "host_wall_ms" not in e, "host_wall_ms must live under advisory"
     adv = e["advisory"]
     assert adv is None or set(adv.keys()) == {"host_wall_ms"}, e
 # The committed prior artifacts still parse (including the old flat schema).
-for path, seq in [("BENCH_3.json", 3), ("BENCH_4.json", 4)]:
+for path, seq in [("BENCH_3.json", 3), ("BENCH_4.json", 4), ("BENCH_5.json", 5)]:
     with open(path) as f:
         doc = json.load(f)
     assert doc["bench"] == seq and doc["entries"], path
@@ -52,7 +58,7 @@ PY
 echo "==> bench-regression gate (committed artifacts)"
 # Modeled milliseconds are simulator-exact: any drift beyond tolerance in
 # the committed perf trajectory is a real regression.
-scripts/bench_check.sh BENCH_5.json BENCH_4.json > /dev/null
+scripts/bench_check.sh BENCH_6.json BENCH_5.json > /dev/null
 
 echo "==> telemetry determinism gate"
 # The engine's metrics snapshot and unified request trace must be
@@ -107,6 +113,10 @@ PY
 
 echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> doctests"
+# Example-bearing API docs are executable; keep them honest.
+cargo test --workspace --release -q --doc
 
 echo "==> sanitized smoke gate"
 # Two representative suite graphs (a clique-union co-paper analog and a

@@ -23,6 +23,7 @@ MARKERS = {
     "TUNING": "== Section III-C:",
     "BALANCE": "== Balanced scheduling",
     "HASH": "== Hash intersection",
+    "CLUSTER": "== Cluster sharding",
 }
 
 

@@ -11,7 +11,8 @@
 //!
 //! backends: forward (default) | edge-iterator | node-iterator | hashed |
 //!           parallel | hybrid[:<tau>] | gtx980 | c2050 | nvs5200m |
-//!           <n>x<device> | <device>/split:<parts>
+//!           <n>x<device> | <device>/split:<parts> |
+//!           cluster:<n>x<m>[:2d]/<device>
 //!
 //! Any simulated-GPU backend takes a `/balanced[:<t>x<w>]` suffix to turn
 //! on the workload-balanced kernel scheduler: `gtx980/balanced` auto-tunes
@@ -22,6 +23,13 @@
 //! clause) relabels vertices by descending degree before orientation, and
 //! a final `/sanitize[:paranoid]` suffix runs the pipeline under the
 //! compute-sanitizer layer (DESIGN.md §12).
+//!
+//! `cluster:<n>x<m>[:2d]/<device>` runs the sharded cluster engine on a
+//! simulated grid of `n` nodes × `m` devices: the oriented arcs are
+//! partitioned (1D owner ranges by default, `:2d` for the owner × target
+//! grid), each device holds only its shard, and remote nodes pay a modeled
+//! interconnect (DESIGN.md §14). Composes with the same suffixes:
+//! `cluster:2x2/gtx980/balanced+hash/reorder`.
 //! ```
 //!
 //! `<path>` may be `suite:<name>` (e.g. `suite:dblp`, `suite:kronecker-9`)
@@ -74,6 +82,7 @@ use std::process::ExitCode;
 
 use triangles::core::clustering::{average_clustering, transitivity};
 use triangles::core::count::{Backend, CountRequest, TriangleCount};
+use triangles::core::gpu::cluster::run_cluster_profiled;
 use triangles::core::gpu::multi::{merged_profile, run_multi_gpu_profiled};
 use triangles::core::gpu::pipeline::{run_gpu_pipeline_profiled, RunTrace};
 use triangles::engine::{parse_jobfile, Admission, Engine, EngineConfig};
@@ -117,11 +126,12 @@ fn usage() -> ExitCode {
          <path> may be suite:<name> to generate a smoke-scale suite graph\n\
          backends: forward | edge-iterator | node-iterator | hashed | parallel |\n\
          \x20         hybrid[:<tau>] | gtx980 | c2050 | nvs5200m | <n>x<device> |\n\
-         \x20         <device>/split:<parts>\n\
+         \x20         <device>/split:<parts> | cluster:<n>x<m>[:2d]/<device>\n\
          \x20         GPU backends accept /balanced[:<t>x<w>] or /balanced+hash\n\
          \x20         for the workload-balanced kernel scheduler, /reorder for\n\
          \x20         degree-descending relabeling, and /sanitize[:paranoid]\n\
-         \x20         for the compute-sanitizer layer"
+         \x20         for the compute-sanitizer layer; cluster:<n>x<m> shards\n\
+         \x20         the graph across n nodes x m devices (\":2d\" = 2D grid)"
     );
     ExitCode::from(2)
 }
@@ -240,6 +250,30 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
         }
         Backend::MultiGpu { options, devices } => {
             let (report, traces) = run_multi_gpu_profiled(graph, options, *devices)
+                .map_err(|e| format!("counting: {e}"))?;
+            if let Some(path) = &args.trace {
+                write_trace(&traces, path)?;
+            }
+            if let Some(file) = &args.profile {
+                emit_profile(&merged_profile(&traces), file)?;
+            }
+            Ok(TriangleCount {
+                triangles: report.triangles,
+                backend: args.backend.label(),
+                seconds: report.total_s,
+                profile: Some(merged_profile(&traces)),
+                sanitizer: report.sanitizer,
+                gpu: None,
+            })
+        }
+        Backend::Cluster {
+            options,
+            nodes,
+            devices_per_node,
+            partition,
+        } => {
+            let topology = triangles::simt::ClusterTopology::new(*nodes, *devices_per_node);
+            let (report, traces) = run_cluster_profiled(graph, options, topology, *partition)
                 .map_err(|e| format!("counting: {e}"))?;
             if let Some(path) = &args.trace {
                 write_trace(&traces, path)?;

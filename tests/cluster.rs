@@ -1,0 +1,147 @@
+//! Cluster-sharding exactness and determinism.
+//!
+//! The sharded cluster engine orients once on the host and partitions the
+//! oriented arcs, so *every* topology × partition × schedule cell must
+//! reproduce the single-device count byte-identically — not "close", but
+//! `==` on `u64`. These tests sweep the full smoke suite across the
+//! topology ladder under all three kernel schedules, then pin down the
+//! engine-level behavior: distinct cache sessions per cluster token and
+//! worker-count-independent batch artifacts.
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use triangles::core::count::{Backend, CountRequest};
+use triangles::engine::{Admission, Engine, EngineConfig, Job};
+use triangles::gen::suite::{full_suite, Scale};
+
+fn count(g: &triangles::graph::EdgeArray, token: &str) -> u64 {
+    let backend = Backend::from_str(token).unwrap_or_else(|e| panic!("{token}: {e}"));
+    CountRequest::new(backend)
+        .run(g)
+        .unwrap_or_else(|e| panic!("{token}: {e}"))
+        .triangles
+}
+
+/// Every suite graph × topology × schedule agrees with the single-device
+/// run under the same schedule. The 2D partition rides along on the 2x2
+/// grid, where the owner × target split actually differs from 1D.
+#[test]
+fn suite_counts_are_byte_identical_to_single_device() {
+    for item in full_suite(Scale::Smoke) {
+        for sched in ["", "/balanced", "/balanced+hash"] {
+            let want = count(&item.graph, &format!("gtx980{sched}"));
+            for topo in ["1x1", "1x4", "2x2", "4x2", "2x2:2d"] {
+                let token = format!("cluster:{topo}/gtx980{sched}");
+                let got = count(&item.graph, &token);
+                assert_eq!(got, want, "{}: {token} disagrees", item.name);
+            }
+        }
+    }
+}
+
+/// Reordering relabels before orientation; the cluster path must apply it
+/// the same way the single-device path does.
+#[test]
+fn reordered_cluster_counts_agree() {
+    for item in full_suite(Scale::Smoke).into_iter().take(4) {
+        let want = count(&item.graph, "gtx980/balanced/reorder");
+        let got = count(&item.graph, "cluster:2x2/gtx980/balanced/reorder");
+        assert_eq!(got, want, "{}", item.name);
+    }
+}
+
+/// A clean graph under the sanitizer still counts correctly and reports
+/// zero findings through the cluster path.
+#[test]
+fn sanitized_cluster_run_is_clean_and_exact() {
+    let item = &full_suite(Scale::Smoke)[0];
+    let backend = Backend::from_str("cluster:2x2/gtx980/sanitize").unwrap();
+    let result = CountRequest::new(backend).run(&item.graph).unwrap();
+    assert_eq!(result.triangles, count(&item.graph, "gtx980"));
+    let report = result.sanitizer.expect("sanitize suffix produces a report");
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+fn engine_config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: 8,
+        cache_capacity: 4,
+        admission: Admission::Block,
+    }
+}
+
+/// Cluster tokens are part of the cache key: the same graph under
+/// different topologies (or vs single-device) must get distinct prepared
+/// sessions, never cross-serve counts.
+#[test]
+fn engine_cache_keys_separate_cluster_sessions() {
+    let g = Arc::new(full_suite(Scale::Smoke)[0].graph.clone());
+    let engine = Engine::new(engine_config(2));
+    let tokens = [
+        "gtx980",
+        "cluster:1x1/gtx980",
+        "cluster:2x2/gtx980",
+        "cluster:2x2:2d/gtx980",
+    ];
+    let jobs: Vec<Job> = tokens
+        .iter()
+        .chain(tokens.iter()) // every token twice: second pass must hit
+        .map(|t| Job::new(t.to_string(), Arc::clone(&g), t.parse().unwrap()))
+        .collect();
+    let report = engine.run_batch(jobs);
+    assert_eq!(report.cache_misses, tokens.len());
+    assert_eq!(report.cache_hits, tokens.len());
+    assert_eq!(engine.cached_sessions(), tokens.len());
+    let counts: Vec<u64> = report
+        .jobs
+        .iter()
+        .map(|j| j.result.as_ref().unwrap().triangles)
+        .collect();
+    assert!(counts.iter().all(|&c| c == counts[0]), "{counts:?}");
+    for (job, token) in report.jobs.iter().zip(tokens.iter().chain(tokens.iter())) {
+        assert_eq!(&job.backend, token);
+    }
+}
+
+/// The deterministic batch artifacts (report JSON, CI-mode metrics,
+/// unified trace) are byte-identical across worker counts for a batch of
+/// cluster jobs.
+#[test]
+fn cluster_batch_artifacts_are_worker_count_independent() {
+    let suite = full_suite(Scale::Smoke);
+    let graphs: Vec<Arc<triangles::graph::EdgeArray>> = suite
+        .iter()
+        .take(3)
+        .map(|item| Arc::new(item.graph.clone()))
+        .collect();
+    let mk_jobs = || -> Vec<Job> {
+        graphs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, g)| {
+                ["cluster:2x2/gtx980/balanced", "cluster:1x4/gtx980"]
+                    .into_iter()
+                    .map(move |t| Job::new(format!("j{i}-{t}"), Arc::clone(g), t.parse().unwrap()))
+            })
+            .collect()
+    };
+    let mut artifacts = Vec::new();
+    for workers in [1, 4] {
+        let engine = Engine::new(engine_config(workers));
+        let report = engine.run_batch(mk_jobs());
+        artifacts.push((
+            report.to_json(),
+            report.metrics_json(false),
+            report.trace_json(),
+        ));
+    }
+    assert_eq!(artifacts[0].0, artifacts[1].0, "report JSON differs");
+    assert_eq!(artifacts[0].1, artifacts[1].1, "CI metrics differ");
+    assert_eq!(artifacts[0].2, artifacts[1].2, "unified trace differs");
+    // The trace must surface the cluster stage vocabulary.
+    assert!(artifacts[0].2.contains("shard-partition"));
+    assert!(artifacts[0].2.contains("shard-count"));
+    assert!(artifacts[0].2.contains("internode-merge"));
+}
