@@ -104,7 +104,7 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn emit(table: Table, csv_dir: &Option<PathBuf>) {
+fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
     print!("{}", table.render());
     println!();
     if let Some(dir) = csv_dir {
@@ -122,28 +122,28 @@ fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
     let cfg = &args.cfg;
     let csv_dir = &args.csv_dir;
     match name {
-        "table1" => emit(table1::render(&table1::run(cfg)), csv_dir),
-        "table2" => emit(table2::render(&table2::run(cfg)), csv_dir),
+        "table1" => emit(&table1::render(&table1::run(cfg)), csv_dir),
+        "table2" => emit(&table2::render(&table2::run(cfg)), csv_dir),
         "figure1" => {
             let points = figure1::run(cfg);
-            emit(figure1::render(&points), csv_dir);
+            emit(&figure1::render(&points), csv_dir);
             println!("{}", figure1::ascii_plot(&points));
         }
-        "ablations" => emit(ablations::render(&ablations::run(cfg)), csv_dir),
-        "amdahl" => emit(amdahl::render(&amdahl::run(cfg)), csv_dir),
-        "input-format" => emit(input_format::render(&input_format::run(cfg)), csv_dir),
+        "ablations" => emit(&ablations::render(&ablations::run(cfg)), csv_dir),
+        "amdahl" => emit(&amdahl::render(&amdahl::run(cfg)), csv_dir),
+        "input-format" => emit(&input_format::render(&input_format::run(cfg)), csv_dir),
         "approx" => emit(
-            approx_comparison::render(&approx_comparison::run(cfg)),
+            &approx_comparison::render(&approx_comparison::run(cfg)),
             csv_dir,
         ),
-        "tuning" => emit(tuning::render(&tuning::run(cfg)), csv_dir),
-        "throughput" => emit(throughput::render(&throughput::run(cfg)), csv_dir),
-        "balance" => emit(balance::render(&balance::run(cfg)), csv_dir),
-        "hash" => emit(hash::render(&hash::run(cfg)), csv_dir),
-        "cluster" => emit(cluster::render(&cluster::run(cfg)), csv_dir),
+        "tuning" => emit(&tuning::render(&tuning::run(cfg)), csv_dir),
+        "throughput" => emit(&throughput::render(&throughput::run(cfg)), csv_dir),
+        "balance" => emit(&balance::render(&balance::run(cfg)), csv_dir),
+        "hash" => emit(&hash::render(&hash::run(cfg)), csv_dir),
+        "cluster" => emit(&cluster::render(&cluster::run(cfg)), csv_dir),
         "bench" => {
             let entries = bench_json::run(cfg);
-            emit(bench_json::render(&entries), csv_dir);
+            emit(&bench_json::render(&entries), csv_dir);
             let path = args
                 .out
                 .clone()
@@ -184,10 +184,10 @@ fn run_experiment_named(name: &str, args: &Args) -> Result<(), String> {
         }
         "profile" => {
             let rows = profile::run(cfg);
-            emit(profile::render(&rows), csv_dir);
+            emit(&profile::render(&rows), csv_dir);
             if let Some(first) = rows.first() {
                 println!("per-phase breakdown of {}:", first.name);
-                emit(tc_bench::profile::phase_table(&first.profile), csv_dir);
+                emit(&tc_bench::profile::phase_table(&first.profile), csv_dir);
             }
         }
         "all" => {

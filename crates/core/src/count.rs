@@ -6,7 +6,9 @@ use std::time::Instant;
 
 use tc_graph::EdgeArray;
 use tc_simt::profiler::ProfileReport;
-use tc_simt::{ClusterTopology, DeviceConfig, LaunchConfig, SanitizerMode, SanitizerReport};
+use tc_simt::{
+    ClusterTopology, DeviceConfig, LaunchConfig, SanitizerMode, SanitizerReport, VerifierReport,
+};
 
 use crate::cpu;
 use crate::error::{CoreError, ErrorContext};
@@ -47,6 +49,12 @@ pub struct GpuOptions {
     /// effective mode is the stricter of this and the device config's own
     /// `sanitizer` field.
     pub sanitizer: SanitizerMode,
+    /// Static kernel-launch verifier: prove every launch's declared access
+    /// contract in-bounds and race-free before it runs, and check analytic
+    /// host passes against the allocation map. Host-side only — modeled
+    /// time is untouched. The effective setting is this OR the device
+    /// config's own `verifier` field.
+    pub verify: bool,
 }
 
 impl GpuOptions {
@@ -63,6 +71,7 @@ impl GpuOptions {
             schedule: KernelSchedule::ThreadPerEdge,
             reorder: false,
             sanitizer: SanitizerMode::Off,
+            verify: false,
         }
     }
 
@@ -289,6 +298,41 @@ impl Backend {
             _ => SanitizerMode::Off,
         }
     }
+
+    /// The verifier knob of the backend's GPU options, if it has one.
+    fn verify_mut(&mut self) -> Option<&mut bool> {
+        match self {
+            Backend::Gpu(o) => Some(&mut o.verify),
+            Backend::MultiGpu { options, .. }
+            | Backend::GpuSplit { options, .. }
+            | Backend::Cluster { options, .. } => Some(&mut options.verify),
+            _ => None,
+        }
+    }
+
+    /// Toggle the static launch verifier on a GPU backend. Returns whether
+    /// the backend has a verifier knob (CPU backends do not).
+    pub fn set_verify(&mut self, on: bool) -> bool {
+        match self.verify_mut() {
+            Some(slot) => {
+                *slot = on;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the backend runs the static launch verifier (`false` for
+    /// CPU backends).
+    pub fn verify(&self) -> bool {
+        match self {
+            Backend::Gpu(o) => o.verify,
+            Backend::MultiGpu { options, .. }
+            | Backend::GpuSplit { options, .. }
+            | Backend::Cluster { options, .. } => options.verify,
+            _ => false,
+        }
+    }
 }
 
 /// The `/reorder` token suffix for the relabeling toggle.
@@ -315,6 +359,15 @@ fn parse_sanitize_clause(clause: &str) -> Option<SanitizerMode> {
         "sanitize" => Some(SanitizerMode::Check),
         "sanitize:paranoid" => Some(SanitizerMode::Paranoid),
         _ => None,
+    }
+}
+
+/// The `/verify` token suffix for the static launch verifier toggle.
+fn verify_suffix(on: bool) -> &'static str {
+    if on {
+        "/verify"
+    } else {
+        ""
     }
 }
 
@@ -359,7 +412,8 @@ impl fmt::Display for Backend {
                 }
                 f.write_str(&o.schedule.token_suffix())?;
                 f.write_str(reorder_suffix(o.reorder))?;
-                f.write_str(sanitize_suffix(o.sanitizer))
+                f.write_str(sanitize_suffix(o.sanitizer))?;
+                f.write_str(verify_suffix(o.verify))
             }
             Backend::MultiGpu { options, devices } => {
                 match device_token(options.device.name) {
@@ -368,7 +422,8 @@ impl fmt::Display for Backend {
                 }
                 f.write_str(&options.schedule.token_suffix())?;
                 f.write_str(reorder_suffix(options.reorder))?;
-                f.write_str(sanitize_suffix(options.sanitizer))
+                f.write_str(sanitize_suffix(options.sanitizer))?;
+                f.write_str(verify_suffix(options.verify))
             }
             Backend::GpuSplit { options, parts } => {
                 match device_token(options.device.name) {
@@ -377,7 +432,8 @@ impl fmt::Display for Backend {
                 }
                 f.write_str(&options.schedule.token_suffix())?;
                 f.write_str(reorder_suffix(options.reorder))?;
-                f.write_str(sanitize_suffix(options.sanitizer))
+                f.write_str(sanitize_suffix(options.sanitizer))?;
+                f.write_str(verify_suffix(options.verify))
             }
             Backend::Cluster {
                 options,
@@ -396,7 +452,8 @@ impl fmt::Display for Backend {
                 }
                 f.write_str(&options.schedule.token_suffix())?;
                 f.write_str(reorder_suffix(options.reorder))?;
-                f.write_str(sanitize_suffix(options.sanitizer))
+                f.write_str(sanitize_suffix(options.sanitizer))?;
+                f.write_str(verify_suffix(options.verify))
             }
         }
     }
@@ -416,7 +473,7 @@ impl fmt::Display for ParseBackendError {
              parallel, hybrid[:<tau>], gtx980, c2050, nvs5200m, <n>x<device>, \
              <device>/split:<parts>, or cluster:<n>x<m>[:2d]/<device>, each GPU form \
              optionally followed by /balanced[:<t>x<w>] or /balanced+hash, then /reorder, \
-             then /sanitize[:paranoid])",
+             then /sanitize[:paranoid], then /verify)",
             self.token
         )
     }
@@ -435,8 +492,9 @@ impl FromStr for Backend {
     /// fixes the light/heavy work threshold and heavy-bin virtual-warp
     /// width, and `gtx980/balanced+hash` adds the hash-strategy heavy bin.
     /// Degree-descending reordering is a `/reorder` suffix after the
-    /// scheduling clause; the compute-sanitizer is a final
-    /// `/sanitize[:paranoid]` suffix on any GPU form.
+    /// scheduling clause; the compute-sanitizer is a
+    /// `/sanitize[:paranoid]` suffix after that; the static launch
+    /// verifier is a final `/verify` suffix on any GPU form.
     ///
     /// A sharded cluster is `cluster:<n>x<m>[:2d]/<device>` — `n` nodes of
     /// `m` devices each, 1D edge partitioning by default, `:2d` for the
@@ -461,6 +519,9 @@ impl FromStr for Backend {
     ///     "c2050/sanitize:paranoid",
     ///     "gtx980/balanced/sanitize",
     ///     "gtx980/balanced/reorder/sanitize",
+    ///     "gtx980/verify",
+    ///     "gtx980/sanitize/verify",
+    ///     "gtx980/balanced+hash/reorder/sanitize:paranoid/verify",
     ///     "cluster:2x2/gtx980",
     ///     "cluster:4x2:2d/c2050",
     ///     "cluster:2x2/gtx980/balanced",
@@ -472,10 +533,24 @@ impl FromStr for Backend {
     /// assert!("forward/balanced".parse::<Backend>().is_err());
     /// assert!("forward/sanitize".parse::<Backend>().is_err());
     /// assert!("forward/reorder".parse::<Backend>().is_err());
+    /// assert!("forward/verify".parse::<Backend>().is_err());
+    /// assert!("gtx980/verify/sanitize".parse::<Backend>().is_err());
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseBackendError { token: s.into() };
-        // Peel the sanitizer suffix first: it is the last suffix of every
+        // Peel the verifier suffix first: it is the final suffix of every
+        // canonical GPU token (`gtx980/verify`,
+        // `gtx980/balanced+hash/sanitize/verify`, …), so anything trailing
+        // it is rejected.
+        if let Some(pos) = s.find("/verify") {
+            if pos + "/verify".len() != s.len() {
+                return Err(err());
+            }
+            let mut backend: Backend = s[..pos].parse().map_err(|_| err())?;
+            *backend.verify_mut().ok_or_else(err)? = true;
+            return Ok(backend);
+        }
+        // Then the sanitizer suffix — last before `/verify` in every
         // canonical GPU token (`gtx980/sanitize`,
         // `2xc2050/balanced:16x8/sanitize:paranoid`, …).
         if let Some(pos) = s.find("/sanitize") {
@@ -583,6 +658,9 @@ pub struct TriangleCount {
     /// Sanitizer findings/lints, when a GPU backend ran with the
     /// compute-sanitizer on (`None` otherwise).
     pub sanitizer: Option<SanitizerReport>,
+    /// Static launch-verifier report, when a GPU backend ran with the
+    /// verifier on (`None` otherwise).
+    pub verifier: Option<VerifierReport>,
 }
 
 /// A triangle-count request: the backend plus per-request options, built
@@ -676,6 +754,7 @@ impl CountRequest {
                     backend: label,
                     seconds: report.total_s,
                     sanitizer: report.sanitizer.clone(),
+                    verifier: report.verifier.clone(),
                     gpu: Some(report),
                     profile,
                 })
@@ -692,6 +771,7 @@ impl CountRequest {
                     backend: label,
                     seconds: report.total_s,
                     sanitizer: report.sanitizer,
+                    verifier: report.verifier,
                     gpu: None,
                     profile,
                 })
@@ -703,6 +783,7 @@ impl CountRequest {
                     backend: label,
                     seconds: report.total_s,
                     sanitizer: report.sanitizer,
+                    verifier: report.verifier,
                     gpu: None,
                     profile: None,
                 })
@@ -725,6 +806,7 @@ impl CountRequest {
                     backend: label,
                     seconds: report.total_s,
                     sanitizer: report.sanitizer,
+                    verifier: report.verifier,
                     gpu: None,
                     profile,
                 })
@@ -748,6 +830,7 @@ where
         gpu: None,
         profile: None,
         sanitizer: None,
+        verifier: None,
     })
 }
 
@@ -911,6 +994,19 @@ mod tests {
             "cluster:2x2/gtx980/reorder",
             "cluster:2x2/gtx980/sanitize",
             "cluster:2x2:2d/gtx980/balanced/reorder/sanitize:paranoid",
+            "gtx980/verify",
+            "nvs5200m/verify",
+            "4xc2050/verify",
+            "gtx980/split:3/verify",
+            "gtx980/balanced/verify",
+            "gtx980/balanced+hash/verify",
+            "gtx980/reorder/verify",
+            "gtx980/sanitize/verify",
+            "gtx980/sanitize:paranoid/verify",
+            "gtx980/balanced+hash/reorder/sanitize/verify",
+            "c2050/balanced:16x8/reorder/sanitize:paranoid/verify",
+            "cluster:2x2/gtx980/verify",
+            "cluster:2x2:2d/gtx980/balanced/reorder/sanitize:paranoid/verify",
         ];
         for tok in canonical {
             let b: Backend = tok.parse().unwrap_or_else(|e| panic!("{tok}: {e}"));
@@ -950,6 +1046,13 @@ mod tests {
             "cluster:2x2:3d/gtx980",
             "cluster:2x2/warp9",
             "cluster:axb/gtx980",
+            "forward/verify",
+            "gtx980/verify:paranoid",
+            "gtx980/verified",
+            "gtx980/verify/sanitize",
+            "gtx980/verify/balanced",
+            "gtx980/verify/reorder",
+            "/verify",
         ] {
             assert!(bad.parse::<Backend>().is_err(), "{bad:?} must not parse");
         }
@@ -973,6 +1076,16 @@ mod tests {
         assert_eq!(toggled.to_string(), "gtx980/sanitize:paranoid");
         let mut cpu = Backend::CpuForward;
         assert!(!cpu.set_sanitizer(SanitizerMode::Check));
+        // And the verifier toggle: a verified run's proofs (and skipped
+        // racechecks) must not leak into an unverified cache entry.
+        let verified: Backend = "gtx980/verify".parse().unwrap();
+        assert!(verified.verify());
+        assert_ne!(plain.to_string(), verified.to_string());
+        let mut toggled_verify = plain;
+        assert!(toggled_verify.set_verify(true));
+        assert_eq!(toggled_verify.to_string(), "gtx980/verify");
+        assert!(!cpu.set_verify(true));
+        assert!(!Backend::CpuForward.verify());
         // Helper constructors print their canonical tokens.
         assert_eq!(Backend::gpu_gtx980().to_string(), "gtx980");
         assert_eq!(Backend::multi_gpu_c2050(4).to_string(), "4xc2050");

@@ -41,7 +41,7 @@ use tc_simt::primitives::{charge_transform_pass, reduce_sum_u64, sort_u64};
 use tc_simt::profiler::{relative_spans, ProfileReport, RelSpan};
 use tc_simt::{
     Cluster, ClusterTopology, DeviceBuffer, Interconnect, KernelStats, LaunchConfig,
-    SanitizerReport,
+    SanitizerReport, VerifierReport,
 };
 
 use crate::count::GpuOptions;
@@ -301,7 +301,8 @@ impl PreparedCluster {
         // every shard device installs its shadow map at construction.
         let mut cfg = opts.device.clone();
         cfg.sanitizer = cfg.sanitizer.max(opts.sanitizer);
-        let mut cluster = Cluster::homogeneous(topology, Interconnect::default(), cfg);
+        cfg.verifier = cfg.verifier || opts.verify;
+        let mut cluster = Cluster::homogeneous(topology, Interconnect::default(), &cfg);
         if opts.preinit_context {
             cluster.preinit_all();
         }
@@ -680,6 +681,21 @@ impl PreparedCluster {
         }
     }
 
+    /// Merged static launch-verifier reports across every shard device,
+    /// flat device order (`None` when the verifier is off).
+    pub fn verifier_report(&self) -> Option<VerifierReport> {
+        let reports: Vec<VerifierReport> = self
+            .cluster
+            .iter()
+            .filter_map(|d| d.verifier_report())
+            .collect();
+        if reports.is_empty() {
+            None
+        } else {
+            Some(VerifierReport::merged(&reports))
+        }
+    }
+
     /// Per-device traces (for `--trace` / `--profile` on cluster runs).
     pub fn run_traces(&self) -> Vec<RunTrace> {
         (0..self.shards.len())
@@ -879,6 +895,8 @@ pub struct ClusterReport {
     pub kernel: KernelStats,
     /// Merged sanitizer findings (`None` when off).
     pub sanitizer: Option<SanitizerReport>,
+    /// Merged static launch-verifier reports (`None` when off).
+    pub verifier: Option<VerifierReport>,
 }
 
 /// One-shot cluster run: prepare, one count, release.
@@ -917,6 +935,7 @@ pub fn run_cluster_profiled(
         imbalance: prepared.imbalance(),
         kernel: count.kernel,
         sanitizer: prepared.sanitizer_report(),
+        verifier: prepared.verifier_report(),
     };
     prepared.release()?;
     Ok((report, traces))
@@ -1044,7 +1063,7 @@ mod tests {
         let dev = DeviceConfig::gtx_980().with_unlimited_memory();
         for o in [
             GpuOptions::balanced(dev.clone()),
-            GpuOptions::balanced_hash(dev.clone()),
+            GpuOptions::balanced_hash(dev),
         ] {
             for partition in [ClusterPartition::OneD, ClusterPartition::TwoD] {
                 let report = run_cluster(&g, &o, ClusterTopology::new(2, 2), partition).unwrap();

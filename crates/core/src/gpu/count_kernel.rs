@@ -16,7 +16,10 @@
 //! one-past-the-end load on its last iteration (`a = edge[++u_it]` with
 //! `u_it == u_end`); the simulator's arena guarantees those loads are safe.
 
-use tc_simt::{DeviceBuffer, Effect, Kernel, Lane, MemView};
+use tc_simt::{
+    AccessContract, AffineFootprint, DeviceBuffer, Effect, Interval, Kernel, Lane, LaunchConfig,
+    MemView,
+};
 
 use super::LoopVariant;
 
@@ -58,6 +61,50 @@ pub struct CountKernel {
 
 impl Kernel for CountKernel {
     type Lane = CountLane;
+
+    fn contract(&self, _lc: LaunchConfig, total: usize) -> Option<AccessContract> {
+        // Reads: the edge stripe this grid covers, the whole node array
+        // (endpoint vertices are data-dependent), and the whole neighbour
+        // array the merges walk. The final variant's benign one-past-the-end
+        // load is covered by the verifier's guard-byte tolerance on reads.
+        let mut reads = vec![Interval::bytes(self.node.addr(), self.node.byte_len())];
+        match self.arrays {
+            KernelArrays::SoA { nbr, owner } => {
+                reads.push(Interval::bytes(
+                    owner.addr() + self.offset as u64 * 4,
+                    self.count as u64 * 4,
+                ));
+                reads.push(Interval::bytes(nbr.addr(), nbr.byte_len()));
+            }
+            // Packed arcs serve both as the edge stripe and as the
+            // adjacency storage the node array points into.
+            KernelArrays::AoS { arcs } => {
+                reads.push(Interval::bytes(arcs.addr(), arcs.byte_len()));
+            }
+            KernelArrays::Gathered { eu, ev, adj } => {
+                reads.push(Interval::bytes(
+                    eu.addr() + self.offset as u64 * 4,
+                    self.count as u64 * 4,
+                ));
+                reads.push(Interval::bytes(
+                    ev.addr() + self.offset as u64 * 4,
+                    self.count as u64 * 4,
+                ));
+                reads.push(Interval::bytes(adj.addr(), adj.byte_len()));
+            }
+        }
+        // Each lane writes exactly its own 8-byte result cell, once.
+        let writes = vec![AffineFootprint::per_lane(
+            self.result.addr(),
+            8,
+            total as u64,
+        )];
+        Some(AccessContract {
+            reads,
+            writes,
+            ..AccessContract::default()
+        })
+    }
 
     fn spawn(&self, tid: usize, total: usize) -> CountLane {
         CountLane {

@@ -9,7 +9,7 @@
 use tc_graph::EdgeArray;
 use tc_simt::primitives::reduce_sum_u64;
 use tc_simt::profiler::ProfileReport;
-use tc_simt::{DeviceGroup, KernelStats, LaunchConfig, SanitizerReport};
+use tc_simt::{DeviceGroup, KernelStats, LaunchConfig, SanitizerReport, VerifierReport};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
@@ -42,6 +42,9 @@ pub struct MultiGpuReport {
     /// Merged compute-sanitizer findings across every device, in device
     /// index order (`None` when the sanitizer was off).
     pub sanitizer: Option<SanitizerReport>,
+    /// Merged static launch-verifier reports across every device, in
+    /// device index order (`None` when the verifier was off).
+    pub verifier: Option<VerifierReport>,
 }
 
 /// Run the §III-E scheme on `devices` identical simulated cards.
@@ -70,7 +73,8 @@ pub fn run_multi_gpu_profiled(
     // striped device installs its shadow map at construction.
     let mut cfg = opts.device.clone();
     cfg.sanitizer = cfg.sanitizer.max(opts.sanitizer);
-    let mut group = DeviceGroup::homogeneous(cfg, devices);
+    cfg.verifier = cfg.verifier || opts.verify;
+    let mut group = DeviceGroup::homogeneous(&cfg, devices);
     if opts.preinit_context {
         group.preinit_all();
     }
@@ -269,6 +273,14 @@ pub fn run_multi_gpu_profiled(
     } else {
         Some(SanitizerReport::merged(&per_device_reports))
     };
+    let verifier_reports: Vec<VerifierReport> = (0..devices)
+        .filter_map(|i| group.device(i).verifier_report())
+        .collect();
+    let verifier = if verifier_reports.is_empty() {
+        None
+    } else {
+        Some(VerifierReport::merged(&verifier_reports))
+    };
     let report = MultiGpuReport {
         triangles,
         total_s,
@@ -279,6 +291,7 @@ pub fn run_multi_gpu_profiled(
         per_device_s,
         kernel: kernel_stats.expect("at least one device"),
         sanitizer,
+        verifier,
     };
     Ok((report, traces))
 }

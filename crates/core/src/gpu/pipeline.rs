@@ -5,7 +5,7 @@
 
 use tc_graph::EdgeArray;
 use tc_simt::profiler::{ProfileReport, Span};
-use tc_simt::{KernelStats, SanitizerReport, TimedOp};
+use tc_simt::{KernelStats, SanitizerReport, TimedOp, VerifierReport};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
@@ -38,6 +38,9 @@ pub struct GpuReport {
     /// Compute-sanitizer findings for the whole run, including the
     /// teardown frees (`None` when the sanitizer was off).
     pub sanitizer: Option<SanitizerReport>,
+    /// Static launch-verifier report for the whole run (`None` when the
+    /// verifier was off).
+    pub verifier: Option<VerifierReport>,
 }
 
 /// Everything the profiler recorded about one device's run: the leaf
@@ -91,6 +94,7 @@ pub fn run_gpu_pipeline_profiled(
     // Snapshot the sanitizer after release so the teardown frees (double
     // frees, stale handles) are covered too.
     let sanitizer = dev.sanitizer_report();
+    let verifier = dev.verifier_report();
 
     let total_s = dev.elapsed() + host_seconds;
     let count_s = total_s - preprocess_s;
@@ -110,6 +114,7 @@ pub fn run_gpu_pipeline_profiled(
             0.0
         },
         sanitizer,
+        verifier,
     };
     let trace = RunTrace {
         device_name: dev.config().name.to_string(),

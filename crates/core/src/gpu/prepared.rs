@@ -104,6 +104,9 @@ impl PreparedGraph {
         // the first copy) puts the whole measured session — preprocessing,
         // scheduling, counting, release — under the shadow.
         dev.set_sanitizer_mode(opts.sanitizer.max(dev.config().sanitizer));
+        // Likewise the static launch verifier: on when either the request
+        // or the device config asks for it.
+        dev.set_verifier(opts.verify || dev.config().verifier);
 
         // Launch geometry is fixed up front so preprocessing can reserve
         // room for the result array in its capacity plan.
@@ -451,6 +454,13 @@ impl PreparedGraph {
     #[inline]
     pub fn sanitizer_report(&self) -> Option<tc_simt::SanitizerReport> {
         self.dev.sanitizer_report()
+    }
+
+    /// Static launch-verifier report accumulated across prepare and every
+    /// count so far (`None` when the verifier is off).
+    #[inline]
+    pub fn verifier_report(&self) -> Option<tc_simt::VerifierReport> {
+        self.dev.verifier_report()
     }
 }
 

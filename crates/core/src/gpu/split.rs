@@ -22,7 +22,7 @@
 //! `n1 = t1`, `n2 = t2 − (p−1)·t1`, `n3 = t3 − (p−2)·n2 − C(p−1,2)·n1`.
 
 use tc_graph::{Edge, EdgeArray};
-use tc_simt::SanitizerReport;
+use tc_simt::{SanitizerReport, VerifierReport};
 
 use crate::count::GpuOptions;
 use crate::error::CoreError;
@@ -42,6 +42,9 @@ pub struct SplitReport {
     /// Merged compute-sanitizer findings across every executed subproblem,
     /// in execution order (`None` when the sanitizer was off).
     pub sanitizer: Option<SanitizerReport>,
+    /// Merged static launch-verifier reports across every executed
+    /// subproblem, in execution order (`None` when the verifier was off).
+    pub verifier: Option<VerifierReport>,
 }
 
 /// Partition id: contiguous ranges keep the induced-subgraph extraction a
@@ -83,6 +86,7 @@ pub fn count_split(
             subproblems: 1,
             max_subproblem_arcs: g.num_arcs(),
             sanitizer: r.sanitizer,
+            verifier: r.verifier,
         });
     }
 
@@ -90,6 +94,7 @@ pub fn count_split(
     let mut subproblems = 0usize;
     let mut max_arcs = 0usize;
     let mut sub_reports: Vec<SanitizerReport> = Vec::new();
+    let mut sub_verifier: Vec<VerifierReport> = Vec::new();
     let mut run = |keep: &[usize]| -> Result<u64, CoreError> {
         let sub = induced(g, n, parts, keep);
         max_arcs = max_arcs.max(sub.num_arcs());
@@ -100,6 +105,7 @@ pub fn count_split(
         let r = run_gpu_pipeline(&sub, opts)?;
         total_s += r.total_s;
         sub_reports.extend(r.sanitizer);
+        sub_verifier.extend(r.verifier);
         Ok(r.triangles)
     };
 
@@ -135,12 +141,18 @@ pub fn count_split(
     } else {
         Some(SanitizerReport::merged(&sub_reports))
     };
+    let verifier = if sub_verifier.is_empty() {
+        None
+    } else {
+        Some(VerifierReport::merged(&sub_verifier))
+    };
     Ok(SplitReport {
         triangles: n1 + n2 + n3,
         total_s,
         subproblems,
         max_subproblem_arcs: max_arcs,
         sanitizer,
+        verifier,
     })
 }
 

@@ -39,7 +39,10 @@
 //! (the vertex-centric amortization TRUST is named for). Counts are
 //! exact under all strategies.
 
-use tc_simt::{DeviceBuffer, Effect, Kernel, Lane, MemView};
+use tc_simt::{
+    AccessContract, AffineFootprint, DeviceBuffer, Effect, Interval, Kernel, Lane, LaunchConfig,
+    MemView,
+};
 
 /// Per-virtual-warp hash-table scratch stride in `u32` slots (16 KB): the
 /// static shared-memory window a CUDA build would declare per warp. Tables
@@ -136,6 +139,54 @@ pub struct WarpCentricKernel {
 
 impl Kernel for WarpCentricKernel {
     type Lane = WarpCentricLane;
+
+    fn contract(&self, lc: LaunchConfig, total: usize) -> Option<AccessContract> {
+        let w = self.virtual_warp.max(1);
+        let reads = vec![
+            Interval::bytes(self.node.addr(), self.node.byte_len()),
+            Interval::bytes(self.adj.addr(), self.adj.byte_len()),
+            Interval::bytes(
+                self.edge_u.addr() + self.offset as u64 * 4,
+                self.count as u64 * 4,
+            ),
+            Interval::bytes(
+                self.edge_v.addr() + self.offset as u64 * 4,
+                self.count as u64 * 4,
+            ),
+        ];
+        // Each lane writes exactly its own 8-byte result cell, once.
+        let writes = vec![AffineFootprint::per_lane(
+            self.result.addr(),
+            8,
+            total as u64,
+        )];
+        // Hash strategy: the virtual warps share HASH_TABLE_SLOTS-slot
+        // scratch windows — disjoint across warps, cooperatively written
+        // within one. Its on-chip portion claims the per-block shared
+        // budget (the spilled remainder travels L2/DRAM instead).
+        let mut scratch = Vec::new();
+        let mut shared_bytes_per_block = 0;
+        if let Some(s) = self.scratch {
+            let window = HASH_TABLE_SLOTS as u64 * 4;
+            scratch.push(AffineFootprint {
+                base: s.addr(),
+                stride: window,
+                span: window,
+                groups: (total as u64) / w as u64,
+                lanes_per_group: w,
+                disjoint: true,
+            });
+            let vwarps_per_block = (lc.threads_per_block / w).max(1) as u64;
+            shared_bytes_per_block =
+                vwarps_per_block * self.shared_slots.min(HASH_TABLE_SLOTS) as u64 * 4;
+        }
+        Some(AccessContract {
+            reads,
+            writes,
+            scratch,
+            shared_bytes_per_block,
+        })
+    }
 
     fn spawn(&self, tid: usize, total: usize) -> WarpCentricLane {
         let w = self.virtual_warp as usize;

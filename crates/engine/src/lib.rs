@@ -513,7 +513,7 @@ impl Engine {
                             &[],
                             enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
                         );
-                        let record = self.execute(job, plan);
+                        let record = self.execute(&job, &plan);
                         self.record_job_metrics(&record);
                         *results[idx].lock().unwrap() = Some(record);
                     }
@@ -728,10 +728,10 @@ impl Engine {
             .collect()
     }
 
-    fn execute(&self, job: Job, plan: Plan) -> JobRecord {
+    fn execute(&self, job: &Job, plan: &Plan) -> JobRecord {
         let name = job.name.clone();
         let backend = job.backend.to_string();
-        let result = catch_unwind(AssertUnwindSafe(|| self.execute_inner(&job, &plan)))
+        let result = catch_unwind(AssertUnwindSafe(|| self.execute_inner(job, plan)))
             .unwrap_or_else(|panic| {
                 let detail = panic
                     .downcast_ref::<String>()
@@ -1102,6 +1102,34 @@ mod tests {
         }
         assert_eq!(report.jobs[0].backend, "gtx980");
         assert_eq!(report.jobs[1].backend, "gtx980/sanitize");
+    }
+
+    #[test]
+    fn verified_and_plain_backends_get_distinct_sessions() {
+        // `/verify` is the final suffix of the canonical token, so a
+        // verified run (which carries launch proofs and may skip dynamic
+        // racechecks) never shares a prepared session with a plain run.
+        let engine = Engine::new(small_config());
+        let g = diamond();
+        let mut verified = gpu();
+        assert!(verified.set_verify(true));
+        let jobs = vec![
+            Job::new("plain", Arc::clone(&g), gpu()),
+            Job::new("ver0", Arc::clone(&g), verified.clone()),
+            Job::new("ver1", g, verified),
+        ];
+        let report = engine.run_batch(jobs);
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(report.cache_hits, 1);
+        for job in &report.jobs {
+            assert_eq!(job.result.as_ref().unwrap().triangles, 2);
+        }
+        assert_eq!(report.jobs[1].backend, "gtx980/verify");
+        // Verification is host-side only: the verified jobs count the
+        // same triangles in the same modeled time as the plain job.
+        let plain_s = report.jobs[0].result.as_ref().unwrap().count_s;
+        let verified_s = report.jobs[1].result.as_ref().unwrap().count_s;
+        assert_eq!(plain_s, verified_s);
     }
 
     #[test]

@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn random_permutation_is_a_permutation() {
         let p = random_permutation(100, 3);
-        let mut sorted = p.clone();
+        let mut sorted = p;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
     }

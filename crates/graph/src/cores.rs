@@ -158,7 +158,7 @@ mod tests {
     fn peel_positions_are_a_permutation() {
         let g = EdgeArray::from_undirected_pairs([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
         let d = core_decomposition(&g).unwrap();
-        let mut seen = d.position.clone();
+        let mut seen = d.position;
         seen.sort_unstable();
         assert_eq!(seen, (0..g.num_nodes() as u32).collect::<Vec<_>>());
     }

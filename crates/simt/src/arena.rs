@@ -281,6 +281,17 @@ impl Arena {
         self.used.saturating_add(bytes) <= self.capacity
     }
 
+    /// The live allocation at or nearest below `addr`, as
+    /// `(base, logical_bytes)` — the static verifier's bounds oracle.
+    /// Callers must still check the queried range against the returned
+    /// logical extent: the record nearest below may end before `addr`.
+    pub(crate) fn live_alloc_below(&self, addr: u64) -> Option<(u64, u64)> {
+        self.live
+            .range(..=addr)
+            .next_back()
+            .map(|(&base, &bytes)| (base, bytes))
+    }
+
     /// Raw backing bytes (for the executor's functional memory view).
     #[inline]
     pub(crate) fn bytes(&self) -> &[u8] {

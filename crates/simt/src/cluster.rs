@@ -107,7 +107,7 @@ impl Cluster {
     pub fn homogeneous(
         topology: ClusterTopology,
         interconnect: Interconnect,
-        cfg: DeviceConfig,
+        cfg: &DeviceConfig,
     ) -> Self {
         Cluster {
             topology,
@@ -237,7 +237,7 @@ mod tests {
     fn scatter_to_remote_nodes_charges_the_interconnect() {
         let cfg = DeviceConfig::tesla_c2050().with_unlimited_memory();
         let mut cluster =
-            Cluster::homogeneous(ClusterTopology::new(2, 1), Interconnect::default(), cfg);
+            Cluster::homogeneous(ClusterTopology::new(2, 1), Interconnect::default(), &cfg);
         cluster.preinit_all();
         cluster.reset_clocks();
         let data: Vec<u32> = (0..4096).collect();
@@ -260,11 +260,8 @@ mod tests {
     fn internode_charges_are_deterministic() {
         let cfg = DeviceConfig::gtx_980().with_unlimited_memory();
         let run = || {
-            let mut c = Cluster::homogeneous(
-                ClusterTopology::new(2, 2),
-                Interconnect::default(),
-                cfg.clone(),
-            );
+            let mut c =
+                Cluster::homogeneous(ClusterTopology::new(2, 2), Interconnect::default(), &cfg);
             c.preinit_all();
             c.reset_clocks();
             let data: Vec<u64> = (0..1000).collect();
@@ -280,7 +277,7 @@ mod tests {
     #[test]
     fn mem_peak_max_tracks_the_largest_device() {
         let cfg = DeviceConfig::gtx_980().with_unlimited_memory();
-        let mut c = Cluster::homogeneous(ClusterTopology::new(1, 2), Interconnect::default(), cfg);
+        let mut c = Cluster::homogeneous(ClusterTopology::new(1, 2), Interconnect::default(), &cfg);
         c.preinit_all();
         let big: Vec<u32> = vec![0; 10_000];
         let small: Vec<u32> = vec![0; 10];

@@ -79,6 +79,11 @@ pub struct DeviceConfig {
     /// (memcheck/initcheck/racecheck over the simulated memory path).
     /// `Off` is a true no-op — modeled statistics are byte-identical.
     pub sanitizer: SanitizerMode,
+    /// Whether devices built from this config run the static launch
+    /// verifier (per-kernel access contracts proven in-bounds and
+    /// race-free before each launch). Host-side only: modeled timings are
+    /// byte-identical with it on or off.
+    pub verifier: bool,
 }
 
 impl DeviceConfig {
@@ -115,6 +120,7 @@ impl DeviceConfig {
             context_init_ms: 100.0,
             memory_capacity: 20 * 1024 * 1024,
             sanitizer: SanitizerMode::Off,
+            verifier: false,
         }
     }
 
@@ -150,6 +156,7 @@ impl DeviceConfig {
             context_init_ms: 100.0,
             memory_capacity: 48 * 1024 * 1024,
             sanitizer: SanitizerMode::Off,
+            verifier: false,
         }
     }
 
@@ -184,6 +191,7 @@ impl DeviceConfig {
             context_init_ms: 100.0,
             memory_capacity: 18 * 1024 * 1024,
             sanitizer: SanitizerMode::Off,
+            verifier: false,
         }
     }
 
@@ -204,6 +212,12 @@ impl DeviceConfig {
     /// A variant with the given sanitizer mode.
     pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
         self.sanitizer = mode;
+        self
+    }
+
+    /// A variant with the static launch verifier on or off.
+    pub fn with_verifier(mut self, on: bool) -> Self {
+        self.verifier = on;
         self
     }
 

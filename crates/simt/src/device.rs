@@ -15,6 +15,7 @@ use crate::executor::{simulate, simulate_traced, KernelStats, LaunchConfig};
 use crate::kernel::Kernel;
 use crate::profiler::{Counters, OpenSpan, ProfileReport, Span};
 use crate::sanitizer::{check_launch, Finding, Lint, SanitizerMode, SanitizerReport};
+use crate::verifier::{self, Interval, VerifierFinding, VerifierReport};
 
 /// One entry of the device time log.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,6 +67,14 @@ pub struct Device {
     spans: Vec<Span>,
     findings: Vec<Finding>,
     lints: Vec<Lint>,
+    /// Static launch verifier on/off (host-side only — never charges
+    /// modeled time).
+    verifier: bool,
+    vfindings: Vec<VerifierFinding>,
+    launches_checked: u64,
+    launches_proven: u64,
+    racechecks_skipped: u64,
+    passes_checked: u64,
 }
 
 impl Device {
@@ -73,6 +82,7 @@ impl Device {
         let mut arena = Arena::new(cfg.memory_capacity);
         arena.set_sanitizer(cfg.sanitizer);
         Device {
+            verifier: cfg.verifier,
             cfg,
             arena,
             now_s: 0.0,
@@ -83,6 +93,11 @@ impl Device {
             spans: Vec::new(),
             findings: Vec::new(),
             lints: Vec::new(),
+            vfindings: Vec::new(),
+            launches_checked: 0,
+            launches_proven: 0,
+            racechecks_skipped: 0,
+            passes_checked: 0,
         }
     }
 
@@ -100,6 +115,62 @@ impl Device {
     #[inline]
     pub fn sanitizer_mode(&self) -> SanitizerMode {
         self.arena.sanitizer_mode()
+    }
+
+    /// Switch the static launch verifier on or off. Any accumulated
+    /// verifier findings and counters are discarded either way. The
+    /// verifier is purely host-side: it never charges modeled time.
+    pub fn set_verifier(&mut self, on: bool) {
+        self.verifier = on;
+        self.vfindings.clear();
+        self.launches_checked = 0;
+        self.launches_proven = 0;
+        self.racechecks_skipped = 0;
+        self.passes_checked = 0;
+    }
+
+    /// Whether the static launch verifier is currently active.
+    #[inline]
+    pub fn verifier_enabled(&self) -> bool {
+        self.verifier
+    }
+
+    /// Snapshot the static verifier's report so far. `None` when the
+    /// verifier is off.
+    pub fn verifier_report(&self) -> Option<VerifierReport> {
+        if !self.verifier {
+            return None;
+        }
+        Some(VerifierReport {
+            device: self.cfg.name.to_string(),
+            launches_checked: self.launches_checked,
+            launches_proven: self.launches_proven,
+            racechecks_skipped: self.racechecks_skipped,
+            passes_checked: self.passes_checked,
+            findings: self.vfindings.clone(),
+        })
+    }
+
+    /// Statically check an analytic host pass (the primitives family peeks,
+    /// computes on the host, and pokes results back) against the live
+    /// allocation map. Declared read intervals tolerate the arena's guard
+    /// bytes; write intervals do not. Infallible: findings are recorded in
+    /// the verifier report rather than failing the pass, because analytic
+    /// passes have already modeled their cost when this runs. No-op when
+    /// the verifier is off.
+    pub fn verify_pass(&mut self, label: &str, reads: &[Interval], writes: &[Interval]) {
+        if !self.verifier {
+            return;
+        }
+        self.passes_checked += 1;
+        let phase = self.current_phase();
+        self.vfindings.extend(verifier::check_host_pass(
+            &self.arena,
+            label,
+            &phase,
+            reads,
+            writes,
+        ));
     }
 
     /// Snapshot the sanitizer's findings and lints so far. `None` when the
@@ -368,19 +439,64 @@ impl Device {
         kernel: &K,
     ) -> Result<KernelStats, SimtError> {
         self.ensure_context();
+        // Pre-launch static verification: prove the declared footprint
+        // in-bounds and race-free against the live allocation map before
+        // any lane runs. Host-side only — charges no modeled time.
+        let mut contract = None;
+        let mut proven_race_free = false;
+        if self.verifier {
+            let total = lc.active_threads(self.cfg.warp_size);
+            contract = kernel.contract(lc, total);
+            let phase = self.current_phase();
+            let check = verifier::check_launch_static(
+                contract.as_ref(),
+                lc,
+                &self.cfg,
+                &self.arena,
+                label,
+                &phase,
+            );
+            self.launches_checked += 1;
+            if !check.findings.is_empty() {
+                let n = check.findings.len();
+                self.vfindings.extend(check.findings);
+                return Err(SimtError::VerifierRejected { findings: n });
+            }
+            proven_race_free = check.race_free;
+            if proven_race_free {
+                self.launches_proven += 1;
+            }
+        }
         if self.arena.sanitizer_mode().is_on() {
             let (stats, writes, accesses) =
                 simulate_traced(&self.cfg, &self.arena, lc, kernel, true)?;
             let phase = self.current_phase();
+            // A statically proven launch needs no dynamic race sweep in
+            // Check mode; Paranoid still sweeps (and cross-validates the
+            // contract against the observed trace below).
+            let skip_racecheck =
+                proven_race_free && self.arena.sanitizer_mode() == SanitizerMode::Check;
+            if skip_racecheck {
+                self.racechecks_skipped += 1;
+            }
             let (findings, lints) = check_launch(
                 self.arena.shadow().expect("sanitizer is on"),
                 &accesses,
                 &stats,
                 label,
                 &phase,
+                skip_racecheck,
             );
             self.findings.extend(findings);
             self.lints.extend(lints);
+            if self.verifier && self.arena.sanitizer_mode() >= SanitizerMode::Paranoid {
+                if let Some(c) = contract.as_ref() {
+                    let total = lc.active_threads(self.cfg.warp_size);
+                    self.vfindings.extend(verifier::check_trace_containment(
+                        c, &accesses, lc, total, label, &phase,
+                    ));
+                }
+            }
             for w in writes {
                 self.arena.commit_store(w.addr, w.bytes, w.value);
             }

@@ -16,6 +16,11 @@ pub enum SimtError {
     /// A launch configuration was degenerate (zero blocks/threads, or a warp
     /// split that does not divide the warp).
     BadLaunch { message: &'static str },
+    /// The static launch verifier rejected the kernel's access contract
+    /// (out-of-bounds footprint, missing contract, shared-budget overrun,
+    /// …). The findings are in the device's
+    /// [`crate::VerifierReport`]; this carries the count.
+    VerifierRejected { findings: usize },
 }
 
 impl fmt::Display for SimtError {
@@ -33,6 +38,11 @@ impl fmt::Display for SimtError {
             }
             SimtError::InvalidBuffer { addr } => write!(f, "invalid buffer handle @{addr:#x}"),
             SimtError::BadLaunch { message } => write!(f, "bad launch config: {message}"),
+            SimtError::VerifierRejected { findings } => write!(
+                f,
+                "static verifier rejected the launch ({findings} finding{})",
+                if *findings == 1 { "" } else { "s" }
+            ),
         }
     }
 }

@@ -28,7 +28,7 @@ use crate::coalesce::coalesce_into;
 use crate::config::DeviceConfig;
 use crate::error::SimtError;
 use crate::kernel::{Effect, Kernel, Lane, MemView};
-use crate::sanitizer::Access;
+use crate::verifier::Access;
 
 /// Grid dimensions for a launch, in the paper's terms (§III-C): number of
 /// blocks and threads per block. `warp_split` simulates the reduced-warp
@@ -56,7 +56,7 @@ impl LaunchConfig {
         warps * (warp_size / self.warp_split) as usize
     }
 
-    fn validate(&self, cfg: &DeviceConfig) -> Result<(), SimtError> {
+    pub(crate) fn validate(&self, cfg: &DeviceConfig) -> Result<(), SimtError> {
         if self.blocks == 0 || self.threads_per_block == 0 {
             return Err(SimtError::BadLaunch {
                 message: "zero blocks or threads",
@@ -370,6 +370,7 @@ fn simulate_sm<K: Kernel>(
                                 bytes,
                                 write: false,
                                 scratch: false,
+                                spilled: false,
                             });
                         }
                         if cached {
@@ -386,6 +387,7 @@ fn simulate_sm<K: Kernel>(
                                 bytes,
                                 write: true,
                                 scratch: false,
+                                spilled: false,
                             });
                         }
                         writes.push(PendingWrite { addr, bytes, value });
@@ -404,6 +406,7 @@ fn simulate_sm<K: Kernel>(
                                 bytes,
                                 write: false,
                                 scratch: true,
+                                spilled,
                             });
                         }
                         if spilled {
@@ -428,6 +431,7 @@ fn simulate_sm<K: Kernel>(
                                 bytes,
                                 write: true,
                                 scratch: true,
+                                spilled,
                             });
                         }
                         writes.push(PendingWrite { addr, bytes, value });

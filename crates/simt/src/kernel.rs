@@ -117,6 +117,18 @@ pub trait Kernel: Sync {
     /// Create the lane for global thread `tid` of `total` (`total` is the
     /// active thread count — the grid-stride denominator).
     fn spawn(&self, tid: usize, total: usize) -> Self::Lane;
+
+    /// The kernel's declared [`crate::verifier::AccessContract`] for this launch geometry,
+    /// if it carries one. Kernels without a contract cannot launch on a
+    /// device with the static verifier on (`missing-contract` finding);
+    /// with the verifier off the declaration is never consulted.
+    fn contract(
+        &self,
+        _lc: crate::executor::LaunchConfig,
+        _total: usize,
+    ) -> Option<crate::verifier::AccessContract> {
+        None
+    }
 }
 
 #[cfg(test)]

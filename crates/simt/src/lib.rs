@@ -24,7 +24,9 @@
 //!
 //! * **Analysis**: a compute-sanitizer-style layer ([`sanitizer`]) —
 //!   memcheck, initcheck, racecheck, and access-pattern lints over the
-//!   simulated memory path, off by default and a true no-op when off.
+//!   simulated memory path, off by default and a true no-op when off —
+//!   plus a static launch verifier ([`verifier`]) that proves per-kernel
+//!   access contracts in-bounds and race-free before a launch runs.
 //! * **Clusters**: a multi-node topology with a latency + bandwidth
 //!   interconnect cost model ([`cluster`]) layered on the per-node PCIe
 //!   model, for the sharded engine in `tc-engine`.
@@ -50,6 +52,7 @@ pub mod primitives;
 pub mod profiler;
 pub mod sanitizer;
 pub mod trace;
+pub mod verifier;
 
 pub use arena::{DeviceBuffer, DeviceScalar};
 pub use cluster::{Cluster, ClusterTopology, Interconnect};
@@ -62,3 +65,7 @@ pub use multi::DeviceGroup;
 pub use pool::{DeviceLease, DevicePool, PoolTicket};
 pub use profiler::{Counters, ProfileReport, Span};
 pub use sanitizer::{Finding, FindingKind, Lint, LintKind, SanitizerMode, SanitizerReport};
+pub use verifier::{
+    Access, AccessContract, AffineFootprint, Interval, VerifierFinding, VerifierFindingKind,
+    VerifierReport,
+};

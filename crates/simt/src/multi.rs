@@ -18,7 +18,7 @@ pub struct DeviceGroup {
 
 impl DeviceGroup {
     /// `count` identical devices.
-    pub fn homogeneous(cfg: DeviceConfig, count: usize) -> Self {
+    pub fn homogeneous(cfg: &DeviceConfig, count: usize) -> Self {
         assert!(count >= 1);
         DeviceGroup {
             devices: (0..count).map(|_| Device::new(cfg.clone())).collect(),
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn broadcast_replicates_data() {
         let mut group =
-            DeviceGroup::homogeneous(DeviceConfig::tesla_c2050().with_unlimited_memory(), 4);
+            DeviceGroup::homogeneous(&DeviceConfig::tesla_c2050().with_unlimited_memory(), 4);
         group.preinit_all();
         group.reset_clocks();
         let data: Vec<u32> = (0..256).collect();

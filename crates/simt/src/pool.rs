@@ -318,7 +318,7 @@ mod tests {
     fn acquire_unblocks_when_a_lease_returns() {
         let pool = DevicePool::new(1);
         let lease = pool.acquire(&cfg());
-        let pool2 = pool.clone();
+        let pool2 = pool;
         let handle = std::thread::spawn(move || {
             let l = pool2.acquire(&DeviceConfig::gtx_980().with_unlimited_memory());
             l.config().name

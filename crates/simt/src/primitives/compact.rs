@@ -2,6 +2,7 @@
 
 use crate::arena::DeviceBuffer;
 use crate::device::Device;
+use crate::verifier::Interval;
 
 use super::charge_pass;
 
@@ -15,6 +16,8 @@ where
     P: Fn(u64) -> bool + Sync,
 {
     assert!(len <= buf.len());
+    let span = [Interval::bytes(buf.addr(), len as u64 * 8)];
+    dev.verify_pass("mark-backward kernel", &span, &[]);
     let data = dev.peek(&buf.slice(0, len));
     let marks: Vec<bool> = data.iter().map(|&x| pred(x)).collect();
     charge_pass(dev, "mark-backward kernel", len as u64 * 8, len as u64); // read + flag write
@@ -33,6 +36,9 @@ pub fn compact_marked_u64(
 ) -> usize {
     assert!(len <= buf.len());
     assert_eq!(marks.len(), len);
+    // Survivor count is data-dependent; declare the worst case (all kept).
+    let span = [Interval::bytes(buf.addr(), len as u64 * 8)];
+    dev.verify_pass("thrust::remove_if", &span, &span);
     let data = dev.peek(&buf.slice(0, len));
     let kept: Vec<u64> = data
         .iter()

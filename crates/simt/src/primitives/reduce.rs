@@ -2,12 +2,15 @@
 
 use crate::arena::DeviceBuffer;
 use crate::device::Device;
+use crate::verifier::Interval;
 
 use super::charge_pass;
 
 /// Sum-reduce a `u64` buffer (the paper's final step: summing the per-thread
 /// `result` array). One read pass.
 pub fn reduce_sum_u64(dev: &mut Device, buf: &DeviceBuffer<u64>) -> u64 {
+    let span = [Interval::bytes(buf.addr(), buf.byte_len())];
+    dev.verify_pass("thrust::reduce(sum)", &span, &[]);
     let data = dev.peek(buf);
     charge_pass(dev, "thrust::reduce(sum)", buf.byte_len(), 0);
     tc_par::sum_by_u64(data.len(), |i| data[i])
@@ -20,6 +23,8 @@ pub fn reduce_map_max_u64<F>(dev: &mut Device, buf: &DeviceBuffer<u64>, map: F) 
 where
     F: Fn(u64) -> u64 + Sync,
 {
+    let span = [Interval::bytes(buf.addr(), buf.byte_len())];
+    dev.verify_pass("thrust::reduce(max)", &span, &[]);
     let data = dev.peek(buf);
     charge_pass(dev, "thrust::reduce(max)", buf.byte_len(), 0);
     tc_par::map_chunks(&data, 64 * 1024, |_, c| {

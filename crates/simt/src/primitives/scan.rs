@@ -8,6 +8,7 @@
 
 use crate::arena::DeviceBuffer;
 use crate::device::Device;
+use crate::verifier::Interval;
 
 use super::charge_pass;
 
@@ -15,6 +16,8 @@ use super::charge_pass;
 /// total (the value that would follow the last element).
 pub fn exclusive_scan_u32(dev: &mut Device, buf: &DeviceBuffer<u32>, len: usize) -> u64 {
     assert!(len <= buf.len());
+    let span = [Interval::bytes(buf.addr(), len as u64 * 4)];
+    dev.verify_pass("thrust::exclusive_scan", &span, &span);
     let mut data = dev.peek(&buf.slice(0, len));
     let mut acc: u64 = 0;
     for v in data.iter_mut() {
@@ -35,6 +38,8 @@ pub fn exclusive_scan_u32(dev: &mut Device, buf: &DeviceBuffer<u32>, len: usize)
 /// In-place inclusive prefix sum. Returns the total.
 pub fn inclusive_scan_u32(dev: &mut Device, buf: &DeviceBuffer<u32>, len: usize) -> u64 {
     assert!(len <= buf.len());
+    let span = [Interval::bytes(buf.addr(), len as u64 * 4)];
+    dev.verify_pass("thrust::inclusive_scan", &span, &span);
     let mut data = dev.peek(&buf.slice(0, len));
     let mut acc: u64 = 0;
     for v in data.iter_mut() {

@@ -14,6 +14,7 @@
 use crate::arena::DeviceBuffer;
 use crate::device::Device;
 use crate::error::SimtError;
+use crate::verifier::Interval;
 
 use super::charge_pass;
 
@@ -30,6 +31,12 @@ pub fn sort_u64(dev: &mut Device, buf: &DeviceBuffer<u64>, len: usize) -> Result
     // The double buffer must be allocated before we touch the data, like
     // thrust does: OOM must happen *before* any work.
     let temp = dev.alloc::<u64>(len)?;
+    let span = [Interval::bytes(buf.addr(), len as u64 * 8)];
+    let scatter = [
+        Interval::bytes(buf.addr(), len as u64 * 8),
+        Interval::bytes(temp.addr(), len as u64 * 8),
+    ];
+    dev.verify_pass("thrust::sort(u64)", &span, &scatter);
     let view = buf.slice(0, len);
     let mut data = dev.peek(&view);
     data.sort_unstable();
@@ -55,6 +62,12 @@ pub fn sort_pairs_baseline(
 ) -> Result<(), SimtError> {
     assert!(len <= buf.len());
     let temp = dev.alloc::<u64>(len)?;
+    let span = [Interval::bytes(buf.addr(), len as u64 * 8)];
+    let scatter = [
+        Interval::bytes(buf.addr(), len as u64 * 8),
+        Interval::bytes(temp.addr(), len as u64 * 8),
+    ];
+    dev.verify_pass("thrust::sort(pair structs)", &span, &scatter);
     let view = buf.slice(0, len);
     let mut data = dev.peek(&view);
     data.sort_unstable();

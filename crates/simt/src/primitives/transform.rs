@@ -4,6 +4,7 @@
 use crate::arena::DeviceBuffer;
 use crate::device::Device;
 use crate::error::SimtError;
+use crate::verifier::Interval;
 
 use super::charge_pass;
 
@@ -19,6 +20,14 @@ pub fn unzip_u64(
     assert!(len <= buf.len());
     let lo_buf = dev.alloc::<u32>(len)?;
     let hi_buf = dev.alloc::<u32>(len)?;
+    dev.verify_pass(
+        "unzip",
+        &[Interval::bytes(buf.addr(), len as u64 * 8)],
+        &[
+            Interval::bytes(lo_buf.addr(), len as u64 * 4),
+            Interval::bytes(hi_buf.addr(), len as u64 * 4),
+        ],
+    );
     let data = dev.peek(&buf.slice(0, len));
     let lo: Vec<u32> = data.iter().map(|&x| x as u32).collect();
     let hi: Vec<u32> = data.iter().map(|&x| (x >> 32) as u32).collect();
@@ -48,6 +57,11 @@ where
     assert!(len <= buf.len());
     assert!(len <= u32::MAX as usize);
     let node_buf = dev.alloc::<u32>(n + 1)?;
+    dev.verify_pass(
+        "node-array kernel",
+        &[Interval::bytes(buf.addr(), len as u64 * 8)],
+        &[Interval::bytes(node_buf.addr(), (n as u64 + 1) * 4)],
+    );
     let data = dev.peek(&buf.slice(0, len));
     let mut node = vec![0u32; n + 1];
     // Thread 0's special case: groups before the first element are empty.

@@ -83,23 +83,10 @@ impl fmt::Display for SanitizerMode {
     }
 }
 
-/// One recorded kernel memory access (read or write), with the issuing
-/// lane's global thread id. The executor records these per launch when the
-/// sanitizer is on; the stream is deterministic (SM-index merge order).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Access {
-    /// Global thread id of the issuing lane.
-    pub lane: u32,
-    pub addr: u64,
-    pub bytes: u32,
-    pub write: bool,
-    /// Shared-memory-modeled scratch access (hash-table build/probe,
-    /// including spilled tables). Memcheck bounds apply, but initcheck and
-    /// racecheck do not: the kernel initializes its table in-launch behind
-    /// a modeled barrier between the build and probe phases, which the
-    /// pre-launch shadow and the orderless access log cannot represent.
-    pub scratch: bool,
-}
+/// The shared access record lives in [`crate::verifier`]: the sanitizer's
+/// dynamic checks and the verifier's static-containment check consume the
+/// same executor-recorded stream.
+pub use crate::verifier::Access;
 
 /// The kind of a sanitizer finding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -679,13 +666,17 @@ const MAX_ACCESS_BYTES: u64 = 64;
 /// the access-pattern lints. Returns attributed findings and lints. The
 /// caller commits the buffered stores afterwards (via
 /// [`crate::arena::Arena::commit_store`], which marks init and skips
-/// stores the shadow rejects).
+/// stores the shadow rejects). `skip_racecheck` elides *only* the WW/RW
+/// race sweeps — the static verifier sets it for launches whose contract
+/// already proves race-freedom; memcheck, initcheck, and the lints still
+/// run, so findings on clean launches are byte-identical either way.
 pub(crate) fn check_launch(
     shadow: &Shadow,
     accesses: &[Access],
     stats: &KernelStats,
     label: &str,
     phase: &str,
+    skip_racecheck: bool,
 ) -> (Vec<Finding>, Vec<Lint>) {
     let mut raw: Vec<RawViolation> = Vec::new();
     let mut reads: Vec<&Access> = Vec::new();
@@ -714,11 +705,16 @@ pub(crate) fn check_launch(
     // --- racecheck: write-write ---
     // Sort the store intervals and sweep maximal overlapping runs; a run
     // touched by more than one lane is one conflict (the paper's kernels
-    // write only lane-private slots, so any overlap is a bug).
-    let mut ws: Vec<(u64, u64, u32)> = writes
-        .iter()
-        .map(|a| (a.addr, a.addr + a.bytes as u64, a.lane))
-        .collect();
+    // write only lane-private slots, so any overlap is a bug). Skipped
+    // wholesale when the static verifier already proved race-freedom.
+    let mut ws: Vec<(u64, u64, u32)> = if skip_racecheck {
+        Vec::new()
+    } else {
+        writes
+            .iter()
+            .map(|a| (a.addr, a.addr + a.bytes as u64, a.lane))
+            .collect()
+    };
     ws.sort_unstable();
     let mut i = 0;
     while i < ws.len() {
@@ -747,11 +743,16 @@ pub(crate) fn check_launch(
     // --- racecheck: read-write ---
     // For each store, find reads from other lanes overlapping it. Reads
     // are bounded-width, so only a bounded window of the sorted read list
-    // can overlap; one finding per store suffices.
-    let mut rs: Vec<(u64, u64, u32)> = reads
-        .iter()
-        .map(|a| (a.addr, a.addr + a.bytes as u64, a.lane))
-        .collect();
+    // can overlap; one finding per store suffices. (`ws` is empty when
+    // the race sweeps are skipped, so this loop no-ops then.)
+    let mut rs: Vec<(u64, u64, u32)> = if ws.is_empty() {
+        Vec::new()
+    } else {
+        reads
+            .iter()
+            .map(|a| (a.addr, a.addr + a.bytes as u64, a.lane))
+            .collect()
+    };
     rs.sort_unstable();
     for &(waddr, wend, wlane) in &ws {
         let lo = waddr.saturating_sub(MAX_ACCESS_BYTES);
@@ -1105,10 +1106,11 @@ mod tests {
                 bytes: 8,
                 write: true,
                 scratch: false,
+                spilled: false,
             })
             .collect();
         let stats = KernelStats::default();
-        let (findings, _) = check_launch(&sh, &accesses, &stats, "k", "p");
+        let (findings, _) = check_launch(&sh, &accesses, &stats, "k", "p", false);
         let races: Vec<&Finding> = findings
             .iter()
             .filter(|f| f.kind == FindingKind::WriteWriteRace)
@@ -1136,6 +1138,7 @@ mod tests {
                         bytes: 8,
                         write: true,
                         scratch: false,
+                        spilled: false,
                     },
                     Access {
                         lane,
@@ -1143,11 +1146,12 @@ mod tests {
                         bytes: 8,
                         write: false,
                         scratch: false,
+                        spilled: false,
                     },
                 ]
             })
             .collect();
-        let (findings, _) = check_launch(&sh, &private, &stats, "k", "");
+        let (findings, _) = check_launch(&sh, &private, &stats, "k", "", false);
         assert!(findings.is_empty(), "{findings:?}");
         // Lane 1 reads what lane 0 writes: read-write race.
         let racy = vec![
@@ -1157,6 +1161,7 @@ mod tests {
                 bytes: 8,
                 write: true,
                 scratch: false,
+                spilled: false,
             },
             Access {
                 lane: 1,
@@ -1164,9 +1169,10 @@ mod tests {
                 bytes: 8,
                 write: false,
                 scratch: false,
+                spilled: false,
             },
         ];
-        let (findings, _) = check_launch(&sh, &racy, &stats, "k", "");
+        let (findings, _) = check_launch(&sh, &racy, &stats, "k", "", false);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].kind, FindingKind::ReadWriteRace);
         assert_eq!(findings[0].lane, Some(1));
@@ -1186,6 +1192,7 @@ mod tests {
                 bytes: 4,
                 write: true,
                 scratch: true,
+                spilled: false,
             },
             Access {
                 lane: 1,
@@ -1193,9 +1200,10 @@ mod tests {
                 bytes: 12, // chain walk across the written slot
                 write: false,
                 scratch: true,
+                spilled: false,
             },
         ];
-        let (findings, _) = check_launch(&sh, &synced, &stats, "k", "");
+        let (findings, _) = check_launch(&sh, &synced, &stats, "k", "", false);
         assert!(findings.is_empty(), "{findings:?}");
         // But bounds still apply: a probe past the scratch window is OOB.
         let oob = vec![Access {
@@ -1204,8 +1212,9 @@ mod tests {
             bytes: 4,
             write: false,
             scratch: true,
+            spilled: false,
         }];
-        let (findings, _) = check_launch(&sh, &oob, &stats, "k", "");
+        let (findings, _) = check_launch(&sh, &oob, &stats, "k", "", false);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].kind, FindingKind::OobRead);
         assert_eq!(findings[0].lane, Some(2));

@@ -25,7 +25,7 @@ fn main() {
     );
 
     let device = DeviceConfig::gtx_980().with_unlimited_memory();
-    let published = GpuOptions::new(device.clone());
+    let published = GpuOptions::new(device);
     let base = run_gpu_pipeline(&graph, &published).expect("pipeline");
     println!("published configuration (SoA, read-avoiding loop, texture cache):");
     println!(
@@ -57,7 +57,7 @@ fn main() {
         prelim.kernel = LoopVariant::Preliminary;
         let mut nocache = published.clone();
         nocache.use_texture_cache = false;
-        let mut split = published.clone();
+        let mut split = published;
         split.warp_split = 2;
         vec![
             ("array-of-structures layout (no unzip)", aos),

@@ -3,11 +3,12 @@
 //! ```text
 //! tcount <path> [--format text|binary|metis] [--backend NAME]
 //!               [--clustering] [--validate] [--trace FILE]
-//!               [--profile [FILE]] [--sanitize [paranoid]]
+//!               [--profile [FILE]] [--sanitize [paranoid]] [--verify]
 //! tcount batch <jobfile> [--scale smoke|bench|large] [--workers N]
 //!                        [--json FILE] [--metrics [FILE]] [--prom FILE]
 //!                        [--trace FILE] [--shed]
 //! tcount sanitize-selftest
+//! tcount verify-selftest
 //!
 //! backends: forward (default) | edge-iterator | node-iterator | hashed |
 //!           parallel | hybrid[:<tau>] | gtx980 | c2050 | nvs5200m |
@@ -21,8 +22,11 @@
 //! `gtx980/balanced+hash` gives the heaviest bin the shared-memory
 //! hash-intersection kernel. A `/reorder` suffix (after the scheduling
 //! clause) relabels vertices by descending degree before orientation, and
-//! a final `/sanitize[:paranoid]` suffix runs the pipeline under the
-//! compute-sanitizer layer (DESIGN.md §12).
+//! a `/sanitize[:paranoid]` suffix runs the pipeline under the
+//! compute-sanitizer layer (DESIGN.md §12), and a final `/verify` suffix
+//! turns on the static kernel-launch verifier (DESIGN.md §15): every
+//! launch's declared access contract is proven in-bounds and race-free
+//! against the live allocation map before it runs.
 //!
 //! `cluster:<n>x<m>[:2d]/<device>` runs the sharded cluster engine on a
 //! simulated grid of `n` nodes × `m` devices: the oriented arcs are
@@ -47,6 +51,15 @@
 //! read, uninitialized read, write-write race), prints their reports, and
 //! fails unless every seeded bug was detected — the CI gate that proves
 //! the sanitizer actually fires.
+//!
+//! `--verify` (simulated GPU backends) is equivalent to the `/verify`
+//! backend suffix: the static verifier report is printed as JSON and the
+//! exit code is nonzero if there is at least one finding. `tcount
+//! verify-selftest` runs kernels with seeded dishonest contracts
+//! (footprint too narrow, false disjointness claim, shared-budget
+//! understatement, statically out-of-bounds footprint) and fails unless
+//! every lie is caught — the CI gate that proves the verifier actually
+//! fires.
 //!
 //! `--trace FILE` (simulated GPU backends, single- or multi-device) writes
 //! a Chrome Trace Event file of the device's phases — nested spans over
@@ -90,6 +103,7 @@ use triangles::gen::Scale;
 use triangles::graph::{io, EdgeArray, GraphStats};
 use triangles::simt::sanitizer::selftest;
 use triangles::simt::trace::{write_chrome_trace_spanned, TraceThread};
+use triangles::simt::verifier::selftest as verify_selftest;
 use triangles::simt::SanitizerMode;
 
 struct Args {
@@ -105,6 +119,9 @@ struct Args {
     /// `--sanitize [paranoid]`: requested sanitizer mode, folded into the
     /// backend token.
     sanitize: Option<SanitizerMode>,
+    /// `--verify`: run the static launch verifier, folded into the backend
+    /// token.
+    verify: bool,
 }
 
 #[derive(PartialEq)]
@@ -151,6 +168,7 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         profile: None,
         sanitize: None,
+        verify: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -189,6 +207,7 @@ fn parse_args() -> Result<Args, String> {
                     _ => SanitizerMode::Check,
                 });
             }
+            "--verify" => parsed.verify = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -245,6 +264,7 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
                 seconds: report.total_s,
                 profile: Some(trace.profile),
                 sanitizer: report.sanitizer.clone(),
+                verifier: report.verifier.clone(),
                 gpu: Some(report),
             })
         }
@@ -263,6 +283,7 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
                 seconds: report.total_s,
                 profile: Some(merged_profile(&traces)),
                 sanitizer: report.sanitizer,
+                verifier: report.verifier,
                 gpu: None,
             })
         }
@@ -287,6 +308,7 @@ fn run_gpu_observed(graph: &EdgeArray, args: &Args) -> Result<TriangleCount, Str
                 seconds: report.total_s,
                 profile: Some(merged_profile(&traces)),
                 sanitizer: report.sanitizer,
+                verifier: report.verifier,
                 gpu: None,
             })
         }
@@ -318,6 +340,9 @@ fn run(mut args: Args) -> Result<(), String> {
         if !args.backend.set_sanitizer(mode) {
             return Err("--sanitize requires a simulated-GPU backend".into());
         }
+    }
+    if args.verify && !args.backend.set_verify(true) {
+        return Err("--verify requires a simulated-GPU backend".into());
     }
     let graph: EdgeArray = if let Some(name) = args.path.strip_prefix("suite:") {
         suite_graph(name)?
@@ -387,6 +412,26 @@ fn run(mut args: Args) -> Result<(), String> {
         );
     } else if args.backend.sanitizer() != SanitizerMode::Off {
         return Err("sanitizer was requested but produced no report".into());
+    }
+
+    if let Some(report) = &result.verifier {
+        println!("{}", report.to_json());
+        if !report.is_clean() {
+            return Err(format!(
+                "verifier: {} finding(s) (see report above)",
+                report.findings.len()
+            ));
+        }
+        println!(
+            "verifier: clean ({} launch(es) checked, {} proven race-free, \
+             {} racecheck(s) skipped, {} host pass(es) checked)",
+            report.launches_checked,
+            report.launches_proven,
+            report.racechecks_skipped,
+            report.passes_checked
+        );
+    } else if args.backend.verify() {
+        return Err("verifier was requested but produced no report".into());
     }
 
     if args.clustering {
@@ -465,7 +510,7 @@ fn parse_batch_args(args: impl Iterator<Item = String>) -> Result<BatchArgs, Str
 }
 
 /// `tcount batch <jobfile>`: run a jobfile through the batched engine.
-fn run_batch_cmd(args: BatchArgs) -> Result<(), String> {
+fn run_batch_cmd(args: &BatchArgs) -> Result<(), String> {
     let text = std::fs::read_to_string(&args.jobfile)
         .map_err(|e| format!("reading {}: {e}", args.jobfile))?;
     let jobs = parse_jobfile(&text, args.scale).map_err(|e| e.to_string())?;
@@ -564,15 +609,43 @@ fn run_selftest_cmd() -> ExitCode {
     }
 }
 
+/// `tcount verify-selftest`: run the seeded dishonest-contract kernels
+/// and fail unless every lie was caught.
+fn run_verify_selftest_cmd() -> ExitCode {
+    let lies = verify_selftest::run();
+    println!("{}", verify_selftest::to_json(&lies));
+    if verify_selftest::all_detected(&lies) {
+        println!(
+            "verify-selftest: all {} seeded contract lies detected",
+            lies.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let missed: Vec<&str> = lies
+            .iter()
+            .filter(|l| !l.detected)
+            .map(|l| l.name)
+            .collect();
+        eprintln!(
+            "error: verify-selftest: seeded contract lie(s) went undetected: {}",
+            missed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("sanitize-selftest") {
         return run_selftest_cmd();
     }
+    if argv.peek().map(String::as_str) == Some("verify-selftest") {
+        return run_verify_selftest_cmd();
+    }
     if argv.peek().map(String::as_str) == Some("batch") {
         argv.next();
         return match parse_batch_args(argv) {
-            Ok(args) => match run_batch_cmd(args) {
+            Ok(args) => match run_batch_cmd(&args) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

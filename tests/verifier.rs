@@ -1,0 +1,205 @@
+//! The static kernel-launch verifier must be three things at once:
+//! **honest** (every shipped kernel's declared footprint contains its
+//! actual lane-access trace, across the whole evaluation suite, on every
+//! device preset and schedule), a **pure observer** (verification is
+//! host-side bookkeeping: modeled time and every modeled counter are
+//! bit-identical with the verifier on), and a **safe substitute** (when a
+//! launch is statically proven race-free, skipping the Check-mode dynamic
+//! racecheck changes neither the sanitizer findings nor the modeled
+//! numbers).
+
+use triangles::core::count::{Backend, CountRequest};
+use triangles::core::cpu::count_forward;
+use triangles::gen::suite::{full_suite, Scale};
+use triangles::graph::EdgeArray;
+use triangles::simt::verifier::selftest;
+
+fn run(g: &EdgeArray, token: &str) -> triangles::core::TriangleCount {
+    let backend: Backend = token.parse().unwrap_or_else(|e| panic!("{token}: {e}"));
+    CountRequest::new(backend)
+        .run(g)
+        .unwrap_or_else(|e| panic!("{token}: {e}"))
+}
+
+/// Every dynamic lane access must land inside the kernel's declared
+/// static footprint. Paranoid mode cross-validates the sanitizer trace
+/// against the contract, so a clean verifier report here *is* the
+/// containment proof — for every suite graph, device preset, and
+/// schedule we ship.
+#[test]
+fn whole_suite_traces_are_contained_in_declared_footprints() {
+    let suite = full_suite(Scale::Smoke);
+    for row in &suite {
+        let want = count_forward(&row.graph).unwrap();
+        for device in ["nvs5200m", "c2050", "gtx980"] {
+            for schedule in ["", "/balanced", "/balanced+hash"] {
+                let token = format!("{device}{schedule}/sanitize:paranoid/verify");
+                let result = run(&row.graph, &token);
+                assert_eq!(result.triangles, want, "{} on {token}", row.name);
+                let report = result
+                    .verifier
+                    .as_ref()
+                    .expect("verified backends attach a report");
+                assert!(
+                    report.is_clean(),
+                    "{} on {token}: trace escaped the declared footprint:\n{}",
+                    row.name,
+                    report.to_json()
+                );
+                assert!(report.launches_checked > 0, "{} on {token}", row.name);
+                // Every shipped kernel declares a contract and every
+                // checked launch is proven race-free, so the proof count
+                // matches the launch count exactly.
+                assert_eq!(
+                    report.launches_proven, report.launches_checked,
+                    "{} on {token}: a launch went unproven",
+                    row.name
+                );
+                // Paranoid never skips the dynamic sweep — it is the
+                // cross-validation mode, not the fast path.
+                assert_eq!(report.racechecks_skipped, 0, "{} on {token}", row.name);
+            }
+        }
+    }
+}
+
+/// Check mode with the verifier on skips the dynamic racecheck for every
+/// proven launch — and that skip must be invisible: byte-identical
+/// sanitizer findings and bit-identical modeled perf versus the
+/// unverified Check run.
+#[test]
+fn check_mode_skip_is_byte_identical_to_the_full_sweep() {
+    let suite = full_suite(Scale::Smoke);
+    for row in &suite {
+        for token in ["gtx980/sanitize", "c2050/balanced/sanitize"] {
+            let swept = run(&row.graph, token);
+            let skipped = run(&row.graph, &format!("{token}/verify"));
+            assert_eq!(swept.triangles, skipped.triangles, "{} {token}", row.name);
+            let (a, b) = (
+                swept.sanitizer.as_ref().unwrap(),
+                skipped.sanitizer.as_ref().unwrap(),
+            );
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "{} {token}: skipping proven racechecks changed the findings",
+                row.name
+            );
+            assert_eq!(
+                swept.seconds.to_bits(),
+                skipped.seconds.to_bits(),
+                "{} {token}: skipping proven racechecks changed modeled time",
+                row.name
+            );
+            let vr = skipped.verifier.as_ref().unwrap();
+            assert!(vr.is_clean(), "{}", vr.to_json());
+            assert_eq!(
+                vr.racechecks_skipped, vr.launches_proven,
+                "{} {token}: a proven launch still paid the dynamic sweep",
+                row.name
+            );
+            assert!(vr.racechecks_skipped > 0, "{} {token}", row.name);
+        }
+    }
+}
+
+/// The verifier alone (no sanitizer) is free: bit-identical modeled time
+/// and identical per-kernel profile versus the plain run.
+#[test]
+fn verifier_charges_no_modeled_time() {
+    let suite = full_suite(Scale::Smoke);
+    for row in suite.iter().take(4) {
+        let plain = run(&row.graph, "gtx980/balanced");
+        let verified = run(&row.graph, "gtx980/balanced/verify");
+        assert!(plain.verifier.is_none());
+        assert_eq!(plain.triangles, verified.triangles, "{}", row.name);
+        assert_eq!(
+            plain.seconds.to_bits(),
+            verified.seconds.to_bits(),
+            "{}: the verifier changed the modeled wall time",
+            row.name
+        );
+        let (p, v) = (plain.gpu.unwrap(), verified.gpu.unwrap());
+        assert_eq!(p.kernel, v.kernel, "{}", row.name);
+        assert_eq!(p.preprocess_s.to_bits(), v.preprocess_s.to_bits());
+        assert_eq!(p.peak_device_bytes, v.peak_device_bytes);
+        let report = verified.verifier.unwrap();
+        assert!(report.is_clean(), "{}", report.to_json());
+        // Analytic primitive passes (scan/sort/compact/…) are
+        // interval-checked too, not just lockstep launches.
+        assert!(report.passes_checked > 0, "{}", row.name);
+    }
+}
+
+/// The hash-intersection kernel's contract covers its per-virtual-warp
+/// scratch windows and shared-memory budget. A clique is the one smoke
+/// graph dense enough for the tuner to actually engage the hash bin, so
+/// this is the contract's only real exercise of those clauses.
+#[test]
+fn hash_strategy_contract_contains_its_scratch_traffic() {
+    let n = 80u32;
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    let g = EdgeArray::from_undirected_pairs(pairs);
+    let want = count_forward(&g).unwrap();
+    for token in [
+        "gtx980/balanced+hash/sanitize:paranoid/verify",
+        "gtx980/balanced+hash/reorder/sanitize/verify",
+    ] {
+        let result = run(&g, token);
+        assert_eq!(result.triangles, want, "{token}");
+        let report = result.verifier.as_ref().expect("report present");
+        assert!(report.is_clean(), "{token}:\n{}", report.to_json());
+    }
+}
+
+/// Multi-device backends merge their per-device verifier reports in
+/// device-index order; the merged report must be clean and account for
+/// every shard's launches.
+#[test]
+fn multi_device_backends_merge_clean_reports() {
+    let suite = full_suite(Scale::Smoke);
+    let row = &suite[3]; // citeseer: triangle-dense, exercises heavy bins
+    let want = count_forward(&row.graph).unwrap();
+    let single = run(&row.graph, "gtx980/verify");
+    let single_launches = single.verifier.as_ref().unwrap().launches_checked;
+    for token in [
+        "2xc2050/verify",
+        "4xgtx980/balanced/verify",
+        "gtx980/split:3/verify",
+        "cluster:2x2/gtx980/verify",
+    ] {
+        let result = run(&row.graph, token);
+        assert_eq!(result.triangles, want, "{token}");
+        let report = result.verifier.as_ref().expect("report present");
+        assert!(report.is_clean(), "{token}:\n{}", report.to_json());
+        assert!(
+            report.launches_checked >= single_launches,
+            "{token}: merged report dropped shard launches"
+        );
+    }
+}
+
+/// Dishonest contracts must be caught, and caught deterministically: the
+/// seeded-lie suite (narrow footprints, false disjointness claims,
+/// understated shared budgets, undeclared writes) produces byte-identical
+/// reports run to run, with every lie detected.
+#[test]
+fn seeded_lies_are_detected_with_byte_identical_reports() {
+    let first = selftest::run();
+    assert!(
+        selftest::all_detected(&first),
+        "a seeded contract lie went undetected:\n{}",
+        selftest::to_json(&first)
+    );
+    let second = selftest::run();
+    assert_eq!(
+        selftest::to_json(&first),
+        selftest::to_json(&second),
+        "seeded-lie reports must be deterministic"
+    );
+}
